@@ -1,0 +1,346 @@
+// Benchmarks regenerating every experiment of the reproduction (see
+// DESIGN.md §5 for the experiment index and EXPERIMENTS.md for recorded
+// results). Each BenchmarkE* target corresponds to a figure, worked example
+// or theorem of the paper; micro-benchmarks for the substrates follow.
+//
+// Run with: go test -bench=. -benchmem
+package gqs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/lattice"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+// benchConfig is tuned for fast iterations: small delays and ticks.
+func benchConfig() harness.Config {
+	return harness.Config{
+		Seed:     1,
+		MinDelay: 5 * time.Microsecond,
+		MaxDelay: 50 * time.Microsecond,
+		Tick:     500 * time.Microsecond,
+		ViewC:    5 * time.Millisecond,
+	}
+}
+
+func requireTable(b *testing.B, t *harness.Table, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(t.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+}
+
+// BenchmarkE01_Figure1Validation — Figure 1 / Examples 2,7,8: validating the
+// running-example GQS (consistency, availability, U_f computation).
+func BenchmarkE01_Figure1Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E01Figure1Validation()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE02_Example9Existence — Example 9: the GQS existence decision for
+// F (exists) and F' (does not exist).
+func BenchmarkE02_Example9Existence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E02Example9Existence()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE03_ClassicalEquivalence — Examples 4-6: GQS existence coincides
+// with n >= 2k+1 on crash-only threshold systems.
+func BenchmarkE03_ClassicalEquivalence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E03ClassicalEquivalence()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE04_ClassicalQAF — Figure 2 access functions on a crash-only
+// majority system.
+func BenchmarkE04_ClassicalQAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E04ClassicalQAF(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE05_GeneralizedQAF — Figure 3 access functions under all four
+// Figure-1 patterns with real-time-ordering verification.
+func BenchmarkE05_GeneralizedQAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E05GeneralizedQAF(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE06_RegisterLinearizability — Figure 4 register workload at U_f1
+// under f1 (full checker-based validation runs in the test suite).
+func BenchmarkE06_RegisterLinearizability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E06Register(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE07_Snapshot — atomic snapshot update/scan under f1.
+func BenchmarkE07_Snapshot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E07Snapshot(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE08_LatticeAgreement — lattice agreement proposals at U_f1 under
+// f1 with validity/comparability verification.
+func BenchmarkE08_LatticeAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E08LatticeAgreement(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE09_ViewSyncOverlap — Proposition 2: the analytic overlap series.
+func BenchmarkE09_ViewSyncOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E09ViewSyncOverlap()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE10_Consensus — Figure 6 consensus under all Figure-1 patterns.
+func BenchmarkE10_Consensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E10Consensus(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE10b_ConsensusGST — decision latency vs GST under partial
+// synchrony.
+func BenchmarkE10b_ConsensusGST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E10bConsensusGST(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE11_BaselineComparison — GQS register vs classical ABD: the
+// stall-vs-complete comparison plus failure-free overhead.
+func BenchmarkE11_BaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E11BaselineComparison(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE12_ThresholdSweep — the decision procedure's cost across
+// threshold systems n=3..11.
+func BenchmarkE12_ThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E12ThresholdSweep()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE13_PropagationBatching — ablation: per-instance vs batched
+// periodic propagation.
+func BenchmarkE13_PropagationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E13PropagationBatching(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE14_TransportModes — ablation: routed vs flooded vs direct
+// transitivity simulation.
+func BenchmarkE14_TransportModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E14TransportModes(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE15_ScenarioCatalog — decision procedure + metrics over the
+// realistic failure-scenario catalog.
+func BenchmarkE15_ScenarioCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E15ScenarioCatalog()
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE16_ReplicatedKV — the SMR application layer (replicated KV)
+// failure-free and under pattern f1.
+func BenchmarkE16_ReplicatedKV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E16ReplicatedKV(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// --- Micro-benchmarks for the substrates ---
+
+// BenchmarkRegisterOpsFailureFree measures steady-state register throughput
+// (write+read pairs) on the Figure-1 GQS without failures.
+func BenchmarkRegisterOpsFailureFree(b *testing.B) {
+	benchmarkRegisterOps(b, false)
+}
+
+// BenchmarkRegisterOpsUnderF1 measures the same workload while pattern f1
+// holds (ops driven from U_f1).
+func BenchmarkRegisterOpsUnderF1(b *testing.B) {
+	benchmarkRegisterOps(b, true)
+}
+
+func benchmarkRegisterOps(b *testing.B, applyF1 bool) {
+	qs := quorum.Figure1()
+	c := harness.NewRegisterCluster(4, qs.Reads, qs.Writes, false, benchConfig())
+	defer c.Stop()
+	if applyF1 {
+		c.Net.ApplyPattern(qs.F.Patterns[0])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Registers[i%2].Write(ctx, fmt.Sprintf("v%d", i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.Registers[(i+1)%2].Read(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConsensusDecision measures a full single-shot consensus round on
+// the Figure-1 GQS.
+func BenchmarkConsensusDecision(b *testing.B) {
+	qs := quorum.Figure1()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := harness.NewConsensusCluster(4, qs.Reads, qs.Writes, benchConfig())
+		if _, err := c.Consensus[0].Propose(ctx, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		c.Stop()
+	}
+}
+
+// BenchmarkFindGQSFigure1 measures the decision procedure on the 4-process
+// running example.
+func BenchmarkFindGQSFigure1(b *testing.B) {
+	sys := failure.Figure1()
+	g := quorum.Network(sys.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := quorum.Find(g, sys); !ok {
+			b.Fatal("GQS must exist")
+		}
+	}
+}
+
+// BenchmarkFindGQSThreshold9 measures the decision procedure on the 256-
+// pattern threshold system Threshold(9, 4).
+func BenchmarkFindGQSThreshold9(b *testing.B) {
+	sys := failure.Threshold(9, 4)
+	g := quorum.Network(sys.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := quorum.Find(g, sys); !ok {
+			b.Fatal("GQS must exist")
+		}
+	}
+}
+
+// BenchmarkSCC measures Tarjan on dense random-ish graphs of 64 vertices.
+func BenchmarkSCC(b *testing.B) {
+	g := graph.New(64)
+	for u := 0; u < 64; u++ {
+		for v := 0; v < 64; v++ {
+			if u != v && (u*31+v*17)%3 == 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if comps := g.SCCs(); len(comps) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+// BenchmarkUfComputation measures the Proposition-1 U_f computation.
+func BenchmarkUfComputation(b *testing.B) {
+	qs := quorum.Figure1()
+	g := quorum.Network(4)
+	f := qs.F.Patterns[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if u := qs.Uf(g, f); u.Empty() {
+			b.Fatal("empty U_f")
+		}
+	}
+}
+
+// BenchmarkMemNetworkThroughput measures raw simulated-network delivery.
+func BenchmarkMemNetworkThroughput(b *testing.B) {
+	net := transport.NewMem(4,
+		transport.WithDelay(transport.UniformDelay{Min: 1 * time.Microsecond, Max: 5 * time.Microsecond}),
+		transport.WithSeed(1))
+	defer net.Close()
+	done := make(chan struct{}, 1024)
+	net.Register(1, func(failure.Proc, []byte) {
+		select {
+		case done <- struct{}{}:
+		default:
+		}
+	})
+	payload := []byte("benchmark-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(0, 1, payload)
+		<-done
+	}
+}
+
+// BenchmarkLatticeJoin measures SetLattice joins on medium sets.
+func BenchmarkLatticeJoin(b *testing.B) {
+	l := lattice.SetLattice{}
+	a := lattice.EncodeSet("a", "b", "c", "d", "e", "f")
+	c := lattice.EncodeSet("d", "e", "f", "g", "h", "i")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Join(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableRender keeps the harness's render path honest.
+func BenchmarkTableRender(b *testing.B) {
+	t := harness.NewTable("X", "bench", "a", "b", "c")
+	for i := 0; i < 32; i++ {
+		t.AddRow("r", "s", "t")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Render(io.Discard)
+	}
+}

@@ -1,0 +1,37 @@
+// Command experiments regenerates every experiment table of the
+// reproduction (E01-E16; see DESIGN.md §5 for the index mapping each
+// experiment to a figure, example or theorem of the paper).
+//
+// Usage:
+//
+//	experiments [-markdown] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "network RNG seed")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := harness.Config{Seed: *seed}
+	if *markdown {
+		return harness.RunAllMarkdown(os.Stdout, cfg)
+	}
+	return harness.RunAll(os.Stdout, cfg)
+}

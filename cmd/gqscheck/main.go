@@ -1,0 +1,149 @@
+// Command gqscheck decides whether a fail-prone system admits a generalized
+// quorum system and prints a witness (Definition 2 / Theorem 2).
+//
+// Input is a JSON description of the fail-prone system, read from a file or
+// stdin:
+//
+//	{
+//	  "n": 4,
+//	  "patterns": [
+//	    {"name": "f1", "crash": [3], "disconnect": [[0,2],[1,2],[2,1]]}
+//	  ]
+//	}
+//
+// where "crash" lists processes that may crash and "disconnect" lists
+// channels [from, to] that may disconnect. With -figure1 the paper's
+// running-example system is checked instead.
+//
+// Exit status: 0 if a GQS exists, 2 if not, 1 on input errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/quorum"
+)
+
+type patternJSON struct {
+	Name       string   `json:"name"`
+	Crash      []int    `json:"crash"`
+	Disconnect [][2]int `json:"disconnect"`
+}
+
+type systemJSON struct {
+	N        int           `json:"n"`
+	Patterns []patternJSON `json:"patterns"`
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gqscheck:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
+	fs := flag.NewFlagSet("gqscheck", flag.ContinueOnError)
+	file := fs.String("f", "-", "input file (- for stdin)")
+	fig1 := fs.Bool("figure1", false, "check the paper's Figure-1 system instead of reading input")
+	dot := fs.Bool("dot", false, "also emit Graphviz DOT of each pattern's residual graph with U_f highlighted")
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+
+	var sys failure.System
+	if *fig1 {
+		sys = failure.Figure1()
+	} else {
+		var r io.Reader = stdin
+		if *file != "-" {
+			f, err := os.Open(*file)
+			if err != nil {
+				return 1, err
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		sys, err = parseSystem(r)
+		if err != nil {
+			return 1, err
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return 1, fmt.Errorf("invalid fail-prone system: %w", err)
+	}
+
+	g := quorum.Network(sys.N)
+	qs, ok := quorum.Find(g, sys)
+	if !ok {
+		fmt.Fprintf(stdout, "no generalized quorum system exists for this fail-prone system\n")
+		fmt.Fprintf(stdout, "(by Theorem 2, registers, snapshots, lattice agreement and consensus are unimplementable under it)\n")
+		return 2, nil
+	}
+	fmt.Fprintf(stdout, "generalized quorum system found\n\nread quorums:\n")
+	for _, r := range qs.Reads {
+		fmt.Fprintf(stdout, "  R = %s\n", r)
+	}
+	fmt.Fprintf(stdout, "write quorums:\n")
+	for _, w := range qs.Writes {
+		fmt.Fprintf(stdout, "  W = %s\n", w)
+	}
+	fmt.Fprintf(stdout, "termination components (Proposition 1):\n")
+	for i, f := range sys.Patterns {
+		fmt.Fprintf(stdout, "  U_%s = %s\n", name(f, i), qs.Uf(g, f))
+	}
+	if *dot {
+		for i, f := range sys.Patterns {
+			fmt.Fprintln(stdout)
+			res := f.Residual(g)
+			if err := res.WriteDot(stdout, graph.DotOptions{
+				Name:      name(f, i),
+				Highlight: qs.Uf(g, f),
+			}); err != nil {
+				return 1, err
+			}
+		}
+	}
+	return 0, nil
+}
+
+func name(f failure.Pattern, i int) string {
+	if f.Name != "" {
+		return f.Name
+	}
+	return fmt.Sprintf("f%d", i+1)
+}
+
+func parseSystem(r io.Reader) (failure.System, error) {
+	var sj systemJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return failure.System{}, fmt.Errorf("parse input: %w", err)
+	}
+	if sj.N <= 0 {
+		return failure.System{}, fmt.Errorf("field n must be positive, got %d", sj.N)
+	}
+	sys := failure.System{N: sj.N}
+	for _, pj := range sj.Patterns {
+		procs := make([]failure.Proc, len(pj.Crash))
+		for i, p := range pj.Crash {
+			procs[i] = failure.Proc(p)
+		}
+		chans := make([]failure.Channel, len(pj.Disconnect))
+		for i, c := range pj.Disconnect {
+			chans[i] = failure.Channel{From: failure.Proc(c[0]), To: failure.Proc(c[1])}
+		}
+		sys.Patterns = append(sys.Patterns, failure.NewPattern(sj.N, procs, chans).WithName(pj.Name))
+	}
+	return sys, nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure1(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-figure1"}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	s := out.String()
+	for _, want := range []string{"generalized quorum system found", "U_f1 = {0, 1}", "U_f3 = {2, 3}"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunJSONInput(t *testing.T) {
+	in := `{"n":4,"patterns":[
+		{"name":"f1","crash":[3],"disconnect":[[0,2],[1,2],[2,1]]},
+		{"name":"f2","crash":[0],"disconnect":[[1,3],[2,3],[3,2]]}
+	]}`
+	var out bytes.Buffer
+	code, err := run(nil, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "read quorums:") {
+		t.Fatalf("missing witness:\n%s", out.String())
+	}
+}
+
+func TestRunUnsatisfiable(t *testing.T) {
+	// Split brain: n=2, either may crash.
+	in := `{"n":2,"patterns":[{"crash":[0]},{"crash":[1]}]}`
+	var out bytes.Buffer
+	code, err := run(nil, strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "no generalized quorum system") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{garbage`,
+		`{"n":0,"patterns":[]}`,
+		`{"n":3,"patterns":[{"crash":[0],"disconnect":[[0,1]]}]}`, // channel at crashed proc
+		`{"n":3,"unknown_field":1}`,
+	}
+	for _, in := range cases {
+		var out bytes.Buffer
+		if code, err := run(nil, strings.NewReader(in), &out); err == nil && code == 0 {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-f", "/no/such/file.json"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Command gqsim runs a protocol simulation on the paper's Figure-1
+// generalized quorum system under a chosen failure pattern, printing each
+// operation and its latency. It is a quick way to watch the protocols work
+// (or the classical baseline stall) under weak connectivity.
+//
+// Usage:
+//
+//	gqsim -protocol register|consensus|lattice [-pattern 0..4] [-classical] [-ops N]
+//
+// pattern 0 means no failures; 1..4 select f1..f4 of Figure 1.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/lattice"
+	"repro/internal/quorum"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gqsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gqsim", flag.ContinueOnError)
+	protocol := fs.String("protocol", "register", "protocol to run: register, consensus or lattice")
+	pattern := fs.Int("pattern", 1, "failure pattern: 0 = none, 1..4 = f1..f4 of Figure 1")
+	classical := fs.Bool("classical", false, "use the classical (Figure 2) access functions for the register")
+	ops := fs.Int("ops", 4, "number of operations to run")
+	seed := fs.Int64("seed", 1, "network RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern < 0 || *pattern > 4 {
+		return fmt.Errorf("pattern must be in 0..4, got %d", *pattern)
+	}
+
+	qs := quorum.Figure1()
+	g := quorum.Network(qs.F.N)
+	cfg := harness.Config{Seed: *seed}
+
+	// Determine where operations may be invoked: U_f under a pattern, or
+	// everywhere failure-free.
+	callers := []int{0, 1, 2, 3}
+	if *pattern > 0 {
+		f := qs.F.Patterns[*pattern-1]
+		callers = qs.Uf(g, f).Elems()
+		fmt.Fprintf(w, "pattern %s: %s\n", f.Name, f)
+		fmt.Fprintf(w, "termination guaranteed within U_f = %v\n\n", callers)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	switch *protocol {
+	case "register":
+		c := harness.NewRegisterCluster(4, qs.Reads, qs.Writes, *classical, cfg)
+		defer c.Stop()
+		if *pattern > 0 {
+			c.Net.ApplyPattern(qs.F.Patterns[*pattern-1])
+		}
+		for i := 0; i < *ops; i++ {
+			p := callers[i%len(callers)]
+			val := fmt.Sprintf("value-%d", i)
+			start := time.Now()
+			if _, err := c.Registers[p].Write(ctx, val); err != nil {
+				return fmt.Errorf("write at p%d: %w", p, err)
+			}
+			fmt.Fprintf(w, "p%d write(%q)  %v\n", p, val, time.Since(start).Round(time.Microsecond))
+			q := callers[(i+1)%len(callers)]
+			start = time.Now()
+			got, ver, err := c.Registers[q].Read(ctx)
+			if err != nil {
+				return fmt.Errorf("read at p%d: %w", q, err)
+			}
+			fmt.Fprintf(w, "p%d read() = %q %v  %v\n", q, got, ver, time.Since(start).Round(time.Microsecond))
+		}
+
+	case "consensus":
+		c := harness.NewConsensusCluster(4, qs.Reads, qs.Writes, cfg)
+		defer c.Stop()
+		if *pattern > 0 {
+			c.Net.ApplyPattern(qs.F.Patterns[*pattern-1])
+		}
+		type out struct {
+			p   int
+			v   string
+			d   time.Duration
+			err error
+		}
+		ch := make(chan out, len(callers))
+		start := time.Now()
+		for _, p := range callers {
+			p := p
+			go func() {
+				v, err := c.Consensus[p].Propose(ctx, fmt.Sprintf("proposal-p%d", p))
+				ch <- out{p, v, time.Since(start), err}
+			}()
+		}
+		for range callers {
+			o := <-ch
+			if o.err != nil {
+				return fmt.Errorf("propose at p%d: %w", o.p, o.err)
+			}
+			fmt.Fprintf(w, "p%d decided %q  %v\n", o.p, o.v, o.d.Round(time.Microsecond))
+		}
+
+	case "lattice":
+		l := lattice.SetLattice{}
+		c := harness.NewAgreementCluster(4, l, qs.Reads, qs.Writes, cfg)
+		defer c.Stop()
+		if *pattern > 0 {
+			c.Net.ApplyPattern(qs.F.Patterns[*pattern-1])
+		}
+		type out struct {
+			p   int
+			v   string
+			d   time.Duration
+			err error
+		}
+		ch := make(chan out, len(callers))
+		start := time.Now()
+		for _, p := range callers {
+			p := p
+			go func() {
+				v, err := c.Agreement[p].Propose(ctx, lattice.EncodeSet(fmt.Sprintf("x%d", p)))
+				ch <- out{p, v, time.Since(start), err}
+			}()
+		}
+		for range callers {
+			o := <-ch
+			if o.err != nil {
+				return fmt.Errorf("propose at p%d: %w", o.p, o.err)
+			}
+			fmt.Fprintf(w, "p%d output %s  %v\n", o.p, o.v, o.d.Round(time.Microsecond))
+		}
+
+	default:
+		return fmt.Errorf("unknown protocol %q (want register, consensus or lattice)", *protocol)
+	}
+	return nil
+}

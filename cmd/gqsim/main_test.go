@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRegisterPattern1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "register", "-pattern", "1", "-ops", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "U_f = [0 1]") {
+		t.Errorf("missing U_f line:\n%s", s)
+	}
+	if !strings.Contains(s, "write(") || !strings.Contains(s, "read()") {
+		t.Errorf("missing op lines:\n%s", s)
+	}
+}
+
+func TestRunConsensusFailureFree(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "consensus", "-pattern", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "decided"); got != 4 {
+		t.Fatalf("%d decisions, want 4:\n%s", got, out.String())
+	}
+}
+
+func TestRunLatticePattern2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "lattice", "-pattern", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "output"); got != 2 {
+		t.Fatalf("%d outputs, want 2 (|U_f2| = 2):\n%s", got, out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "nope"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-pattern", "9"}, &out); err == nil {
+		t.Error("out-of-range pattern accepted")
+	}
+}

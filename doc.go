@@ -1,0 +1,28 @@
+// Package gqs is a Go implementation of "Tight Bounds on Channel Reliability
+// via Generalized Quorum Systems" (Naser-Pastoriza, Chockler, Gotsman,
+// Ryabinin — PODC 2025).
+//
+// A generalized quorum system (GQS) characterizes exactly which combinations
+// of process crashes and channel disconnections still permit implementing
+// MWMR atomic registers, SWMR atomic snapshots, single-shot lattice
+// agreement, and partially synchronous consensus. Unlike classical quorum
+// systems, a GQS requires only that some strongly connected write quorum be
+// unidirectionally reachable from some read quorum — read quorums need not
+// be strongly connected at all.
+//
+// The package re-exports the library's public surface:
+//
+//   - failure patterns and fail-prone systems (NewPattern, NewSystem,
+//     Threshold, Figure1);
+//   - quorum systems, validity checking, the termination component U_f, and
+//     the GQS existence decision procedure (FindGQS, GQSExists);
+//   - the simulated network with fault injection and partial synchrony
+//     (NewMemNetwork), a TCP transport (NewTCPNetwork), and the process
+//     runtime (NewNode);
+//   - protocol endpoints: NewRegister (Figure 4 over the Figure 3 quorum
+//     access functions), NewSnapshot, NewLatticeAgreement, NewConsensus
+//     (Figure 6).
+//
+// See README.md for a quickstart, DESIGN.md for the architecture and the
+// per-experiment index, and EXPERIMENTS.md for the reproduction results.
+package gqs

@@ -1,0 +1,82 @@
+// Quickstart: build the paper's Figure-1 generalized quorum system, inject
+// its failure pattern f1 (process d crashes; only channels (c,a), (a,b),
+// (b,a) survive), and run atomic register operations at the termination
+// component U_f1 = {a, b} — demonstrating progress under connectivity too
+// weak for classical quorum protocols.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	gqs "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The running example of the paper: 4 processes a=0, b=1, c=2, d=3.
+	system := gqs.Figure1GQS()
+	if err := system.Validate(); err != nil {
+		return fmt.Errorf("validate GQS: %w", err)
+	}
+	fmt.Println("Figure-1 generalized quorum system is valid")
+
+	// A simulated asynchronous network with seeded delays.
+	net := gqs.NewMemNetwork(4, gqs.WithSeed(7))
+	defer net.Close()
+
+	// One node and one register endpoint per process.
+	var nodes []*gqs.Node
+	var regs []*gqs.Register
+	for p := gqs.Proc(0); p < 4; p++ {
+		n := gqs.NewNode(p, net)
+		nodes = append(nodes, n)
+		regs = append(regs, gqs.NewRegister(n, gqs.RegisterOptions{
+			Reads:  system.Reads,
+			Writes: system.Writes,
+		}))
+	}
+	defer func() {
+		for _, r := range regs {
+			r.Stop()
+		}
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	// Make every failure allowed by pattern f1 actually happen.
+	f1 := system.F.Patterns[0]
+	net.ApplyPattern(f1)
+	uf := system.Uf(gqs.NetworkGraph(4), f1)
+	fmt.Printf("applied %s; termination guaranteed within U_f1 = %s\n", f1.Name, uf)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Write at a (process 0), read at b (process 1): completes despite c
+	// being unreachable and d crashed.
+	ver, err := regs[0].Write(ctx, "hello, weak connectivity")
+	if err != nil {
+		return fmt.Errorf("write at a: %w", err)
+	}
+	fmt.Printf("a wrote with version %v\n", ver)
+
+	val, rver, err := regs[1].Read(ctx)
+	if err != nil {
+		return fmt.Errorf("read at b: %w", err)
+	}
+	fmt.Printf("b read %q (version %v)\n", val, rver)
+	if val != "hello, weak connectivity" {
+		return fmt.Errorf("read %q; atomicity violated", val)
+	}
+	fmt.Println("real-time ordering held: the read observed the completed write")
+	return nil
+}

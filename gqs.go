@@ -1,0 +1,188 @@
+package gqs
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/node"
+	"repro/internal/quorum"
+	"repro/internal/register"
+	"repro/internal/smr"
+	"repro/internal/snapshot"
+	"repro/internal/transport"
+)
+
+// Core model types.
+type (
+	// Proc identifies a process (0..n-1).
+	Proc = failure.Proc
+	// Channel is a unidirectional channel between two processes.
+	Channel = failure.Channel
+	// Pattern is a failure pattern (P, C): processes that may crash and
+	// channels that may disconnect.
+	Pattern = failure.Pattern
+	// FailProneSystem is a set of failure patterns.
+	FailProneSystem = failure.System
+	// ProcSet is a set of processes (used for quorums).
+	ProcSet = graph.BitSet
+	// QuorumSystem is a (generalized) read-write quorum system (F, R, W).
+	QuorumSystem = quorum.System
+)
+
+// Failure-model constructors.
+var (
+	// NewPattern builds a failure pattern over n processes.
+	NewPattern = failure.NewPattern
+	// NewFailProneSystem builds a fail-prone system from patterns.
+	NewFailProneSystem = failure.NewSystem
+	// Threshold returns the crash-only system where any k of n processes
+	// may fail (Example 4).
+	Threshold = failure.Threshold
+	// Minority is Threshold(n, floor((n-1)/2)).
+	Minority = failure.Minority
+	// Figure1System is the paper's running-example fail-prone system.
+	Figure1System = failure.Figure1
+	// IngressLoss / EgressLoss / OneWayRing / Partition / SoftPartition
+	// generate fail-prone systems for common asymmetric failure scenarios.
+	IngressLoss   = failure.IngressLoss
+	EgressLoss    = failure.EgressLoss
+	OneWayRing    = failure.OneWayRing
+	Partition     = failure.Partition
+	SoftPartition = failure.SoftPartition
+)
+
+// Quorum-system functions.
+var (
+	// NewProcSet builds a process set able to hold 0..n-1.
+	NewProcSet = graph.NewBitSet
+	// ProcSetOf builds a process set from elements.
+	ProcSetOf = graph.BitSetOf
+	// FindGQS decides GQS existence and returns a witness (Theorem 2's
+	// canonical construction).
+	FindGQS = quorum.Find
+	// GQSExists reports whether a fail-prone system admits any GQS.
+	GQSExists = quorum.Exists
+	// MajorityQuorums is the classical threshold quorum system (Example 6).
+	MajorityQuorums = quorum.Majority
+	// Figure1GQS is the paper's running-example generalized quorum system.
+	Figure1GQS = quorum.Figure1
+	// NetworkGraph returns the complete directed network graph on n
+	// processes.
+	NetworkGraph = quorum.Network
+	// ComputeQuorumMetrics evaluates load/size/coverage metrics of a quorum
+	// system.
+	ComputeQuorumMetrics = quorum.ComputeMetrics
+)
+
+// QuorumMetrics summarizes structural measures of a quorum system.
+type QuorumMetrics = quorum.Metrics
+
+// Runtime types.
+type (
+	// Node is the actor-style process runtime hosting protocol endpoints.
+	Node = node.Node
+	// Network is the abstract message transport.
+	Network = transport.Network
+	// MemNetwork is the in-memory simulated network with fault injection.
+	MemNetwork = transport.MemNetwork
+	// TCPNetwork runs the protocols over TCP sockets.
+	TCPNetwork = transport.TCPNetwork
+	// DelayModel shapes simulated message delays.
+	DelayModel = transport.DelayModel
+	// UniformDelay delays each hop uniformly within bounds.
+	UniformDelay = transport.UniformDelay
+	// PartialSync is the GST + delta delay model of §7.
+	PartialSync = transport.PartialSync
+)
+
+// Runtime constructors and options.
+var (
+	// NewNode creates a process runtime on a network.
+	NewNode = node.New
+	// NewMemNetwork creates the in-memory simulated network.
+	NewMemNetwork = transport.NewMem
+	// NewTCPNetwork creates one process's TCP transport endpoint.
+	NewTCPNetwork = transport.NewTCP
+	// WithDelay / WithSeed / WithMode / WithoutForwarding configure
+	// NewMemNetwork.
+	WithDelay         = transport.WithDelay
+	WithSeed          = transport.WithSeed
+	WithMode          = transport.WithMode
+	WithoutForwarding = transport.WithoutForwarding
+)
+
+// Protocol endpoint types.
+type (
+	// Register is the MWMR atomic register endpoint (Figure 4).
+	Register = register.Register
+	// RegisterOptions configures a register endpoint.
+	RegisterOptions = register.Options
+	// Version tags register values.
+	Version = register.Version
+	// Snapshot is the SWMR atomic snapshot endpoint.
+	Snapshot = snapshot.Snapshot
+	// SnapshotOptions configures a snapshot endpoint.
+	SnapshotOptions = snapshot.Options
+	// LatticeAgreement is the single-shot lattice agreement endpoint.
+	LatticeAgreement = lattice.Agreement
+	// LatticeAgreementOptions configures a lattice agreement endpoint.
+	LatticeAgreementOptions = lattice.AgreementOptions
+	// Lattice is a join semi-lattice over string-encoded elements.
+	Lattice = lattice.Lattice
+	// SetLattice / MaxIntLattice / VectorMaxLattice are ready-made lattices.
+	SetLattice       = lattice.SetLattice
+	MaxIntLattice    = lattice.MaxIntLattice
+	VectorMaxLattice = lattice.VectorMaxLattice
+	// Consensus is the partially synchronous consensus endpoint (Figure 6).
+	Consensus = consensus.Consensus
+	// ConsensusOptions configures a consensus endpoint.
+	ConsensusOptions = consensus.Options
+	// ReplicatedLog is a multi-slot replicated command log (SMR) built from
+	// one consensus instance per slot.
+	ReplicatedLog = smr.Log
+	// ReplicatedLogOptions configures a replicated log endpoint.
+	ReplicatedLogOptions = smr.Options
+	// ReplicatedKV is a linearizable key-value store over the replicated log.
+	ReplicatedKV = smr.KV
+)
+
+// Deployment is the high-level adoption surface: it derives (or validates) a
+// GQS for a fail-prone system, provisions a cluster, and hands out named
+// object endpoints. See internal/core for details.
+type (
+	// Deployment is a provisioned cluster plus its validated quorum system.
+	Deployment = core.Deployment
+	// DeploymentConfig configures NewDeployment.
+	DeploymentConfig = core.Config
+)
+
+// Deployment constructors and errors.
+var (
+	// NewDeployment validates the config, derives quorums if needed, and
+	// starts the cluster.
+	NewDeployment = core.NewDeployment
+	// ErrNoGQS reports that the fail-prone system is unimplementable
+	// (Theorem 2).
+	ErrNoGQS = core.ErrNoGQS
+)
+
+// Protocol constructors.
+var (
+	// NewRegister installs an MWMR atomic register endpoint on a node.
+	NewRegister = register.New
+	// NewSnapshot installs a SWMR atomic snapshot endpoint on a node.
+	NewSnapshot = snapshot.New
+	// NewLatticeAgreement installs a lattice agreement endpoint on a node.
+	NewLatticeAgreement = lattice.NewAgreement
+	// NewConsensus installs a consensus endpoint on a node.
+	NewConsensus = consensus.New
+	// NewReplicatedLog installs a replicated log endpoint on a node.
+	NewReplicatedLog = smr.New
+	// NewReplicatedKV installs a replicated key-value store on a node.
+	NewReplicatedKV = smr.NewKV
+	// EncodeSet / EncodeVec build lattice elements.
+	EncodeSet = lattice.EncodeSet
+	EncodeVec = lattice.EncodeVec
+)

@@ -1,0 +1,112 @@
+package gqs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIQuickstart exercises the re-exported surface end to end, the
+// way the README's quickstart does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	system := Figure1GQS()
+	if err := system.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+
+	net := NewMemNetwork(4, WithSeed(2), WithDelay(UniformDelay{
+		Min: 5 * time.Microsecond, Max: 100 * time.Microsecond,
+	}))
+	defer net.Close()
+
+	var nodes []*Node
+	var regs []*Register
+	for p := Proc(0); p < 4; p++ {
+		n := NewNode(p, net)
+		nodes = append(nodes, n)
+		regs = append(regs, NewRegister(n, RegisterOptions{
+			Reads: system.Reads, Writes: system.Writes, Tick: time.Millisecond,
+		}))
+	}
+	defer func() {
+		for _, r := range regs {
+			r.Stop()
+		}
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	f1 := system.F.Patterns[0]
+	net.ApplyPattern(f1)
+	uf := system.Uf(NetworkGraph(4), f1)
+	if uf.String() != "{0, 1}" {
+		t.Fatalf("U_f1 = %s, want {0, 1}", uf)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := regs[0].Write(ctx, "api"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, _, err := regs[1].Read(ctx)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got != "api" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+// TestPublicAPIDecisionProcedure exercises FindGQS/GQSExists via the facade.
+func TestPublicAPIDecisionProcedure(t *testing.T) {
+	if !GQSExists(Minority(5)) {
+		t.Fatal("Minority(5) must admit a GQS")
+	}
+	if GQSExists(Threshold(3, 2)) {
+		t.Fatal("Threshold(3,2) must not admit a GQS")
+	}
+	sys := Figure1System()
+	qs, ok := FindGQS(NetworkGraph(sys.N), sys)
+	if !ok {
+		t.Fatal("FindGQS failed on Figure 1")
+	}
+	if err := qs.Validate(); err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+}
+
+// TestPublicAPIPatternConstruction builds a custom fail-prone system through
+// the facade types.
+func TestPublicAPIPatternConstruction(t *testing.T) {
+	p := NewPattern(3, []Proc{2}, []Channel{{From: 0, To: 1}})
+	sys := NewFailProneSystem(3, p.WithName("custom"))
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// One-directional loss between the two survivors still admits a GQS
+	// (W={1,0} reachable? 0->1 failed but 1->0 works; {0,1} not strongly
+	// connected... the SCCs are {0} and {1}; W={1} with R={0,1} works if
+	// consistency holds across the single pattern).
+	if !GQSExists(sys) {
+		t.Fatal("single-pattern system should admit a GQS")
+	}
+}
+
+// TestPublicAPILattices sanity-checks the re-exported lattices.
+func TestPublicAPILattices(t *testing.T) {
+	var l Lattice = SetLattice{}
+	j, err := l.Join(EncodeSet("a"), EncodeSet("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leq, err := l.Leq(EncodeSet("a"), j)
+	if err != nil || !leq {
+		t.Fatal("join must dominate operand")
+	}
+	var v Lattice = VectorMaxLattice{}
+	jv, err := v.Join(EncodeVec(1, 2), EncodeVec(2, 1))
+	if err != nil || jv != EncodeVec(2, 2) {
+		t.Fatalf("vector join = %q, %v", jv, err)
+	}
+}

@@ -1,0 +1,183 @@
+package gqs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestIntegrationRegisterOverTCP runs the full protocol stack — node
+// runtime, generalized quorum access functions, MWMR register — over real
+// TCP sockets on the loopback interface, proving the protocols are not tied
+// to the simulator.
+func TestIntegrationRegisterOverTCP(t *testing.T) {
+	const n = 4
+	system := Figure1GQS()
+
+	// Bring up one TCP endpoint per process on ephemeral ports and exchange
+	// the real addresses.
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	nets := make([]*TCPNetwork, n)
+	for i := range nets {
+		tn, err := NewTCPNetwork(Proc(i), addrs)
+		if err != nil {
+			t.Fatalf("NewTCPNetwork(%d): %v", i, err)
+		}
+		nets[i] = tn
+		t.Cleanup(tn.Close)
+	}
+	for i := range nets {
+		for j := range nets {
+			nets[j].SetPeerAddr(Proc(i), nets[i].Addr())
+		}
+	}
+
+	var nodes []*Node
+	var regs []*Register
+	for i := range nets {
+		nd := NewNode(Proc(i), nets[i])
+		nodes = append(nodes, nd)
+		regs = append(regs, NewRegister(nd, RegisterOptions{
+			Reads: system.Reads, Writes: system.Writes, Tick: 2 * time.Millisecond,
+		}))
+	}
+	t.Cleanup(func() {
+		for _, r := range regs {
+			r.Stop()
+		}
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		val := fmt.Sprintf("tcp-%d", i)
+		if _, err := regs[i%n].Write(ctx, val); err != nil {
+			t.Fatalf("write %d over TCP: %v", i, err)
+		}
+		got, _, err := regs[(i+1)%n].Read(ctx)
+		if err != nil {
+			t.Fatalf("read %d over TCP: %v", i, err)
+		}
+		if got != val {
+			t.Fatalf("read %q, want %q", got, val)
+		}
+	}
+}
+
+// TestIntegrationConsensusOverTCP decides a value over real sockets.
+func TestIntegrationConsensusOverTCP(t *testing.T) {
+	const n = 4
+	system := Figure1GQS()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	nets := make([]*TCPNetwork, n)
+	for i := range nets {
+		tn, err := NewTCPNetwork(Proc(i), addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = tn
+		t.Cleanup(tn.Close)
+	}
+	for i := range nets {
+		for j := range nets {
+			nets[j].SetPeerAddr(Proc(i), nets[i].Addr())
+		}
+	}
+
+	var nodes []*Node
+	var cons []*Consensus
+	for i := range nets {
+		nd := NewNode(Proc(i), nets[i])
+		nodes = append(nodes, nd)
+		cons = append(cons, NewConsensus(nd, ConsensusOptions{
+			Reads: system.Reads, Writes: system.Writes, C: 15 * time.Millisecond,
+		}))
+	}
+	t.Cleanup(func() {
+		for _, c := range cons {
+			c.Stop()
+		}
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	vals := make([]string, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v, err := cons[p].Propose(ctx, fmt.Sprintf("tcp-p%d", p))
+			if err != nil {
+				t.Errorf("propose p%d: %v", p, err)
+				return
+			}
+			vals[p] = v
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p < n; p++ {
+		if vals[p] != vals[0] {
+			t.Fatalf("agreement violated over TCP: %v", vals)
+		}
+	}
+}
+
+// TestIntegrationDeploymentEndToEnd drives the high-level Deployment API the
+// way a downstream service would.
+func TestIntegrationDeploymentEndToEnd(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{
+		FailProne: Figure1System(),
+		Seed:      21,
+		Delay:     UniformDelay{Min: 5 * time.Microsecond, Max: 100 * time.Microsecond},
+		Tick:      time.Millisecond,
+		ViewC:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	f1 := Figure1System().Patterns[0]
+	if err := d.InjectPattern(f1); err != nil {
+		t.Fatal(err)
+	}
+	uf := d.Uf(f1).Elems()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	regs := d.Register("state")
+	if _, err := regs[uf[0]].Write(ctx, "e2e"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := regs[uf[1]].Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "e2e" {
+		t.Fatalf("read %q", got)
+	}
+
+	cons := d.Consensus("election")
+	v, err := cons[uf[0]].Propose(ctx, "winner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "winner" {
+		t.Fatalf("decided %q", v)
+	}
+}

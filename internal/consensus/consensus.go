@@ -1,0 +1,328 @@
+// Package consensus implements the partially synchronous consensus protocol
+// of Figure 6: a single-decree Paxos-like algorithm whose leader election is
+// driven by the growing-timeout view synchronizer of §7 and whose quorums
+// come from a generalized quorum system. With the classical majority quorum
+// system it degenerates to ordinary Paxos with round-robin leaders — the
+// baseline configuration used in the experiments.
+package consensus
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/viewsync"
+	"repro/internal/wire"
+)
+
+// ErrStopped is returned by Propose after the instance has been stopped.
+var ErrStopped = errors.New("consensus instance stopped")
+
+// phase tracks protocol progress within a view (Figure 6, line 3).
+type phase int
+
+const (
+	phaseEnter phase = iota + 1
+	phasePropose
+	phaseAccept
+	phaseDecide
+)
+
+// Wire bodies. HasVal distinguishes ⊥ from an empty-string value.
+type (
+	msg1B struct {
+		View   int64  `json:"view"`
+		AView  int64  `json:"aview"`
+		Val    string `json:"val"`
+		HasVal bool   `json:"has_val"`
+	}
+	msg2A struct {
+		View int64  `json:"view"`
+		Val  string `json:"val"`
+	}
+	msg2B struct {
+		View int64  `json:"view"`
+		Val  string `json:"val"`
+	}
+)
+
+// oneB is a recorded 1B message.
+type oneB struct {
+	aview  int64
+	val    string
+	hasVal bool
+}
+
+// Options configures a consensus endpoint.
+type Options struct {
+	// Name scopes wire topics. Defaults to "cons".
+	Name string
+	// Reads and Writes are the quorum families (phase-1 / phase-2 quorums).
+	Reads, Writes []graph.BitSet
+	// C is the view-duration constant: view v lasts v*C. Defaults to 25ms.
+	C time.Duration
+	// OnDecide, when set, is invoked exactly once with the decided value,
+	// from the node's event loop, as soon as this process learns the
+	// decision. It lets layers above (e.g. a replicated log) react without
+	// polling.
+	OnDecide func(val string)
+}
+
+// Consensus is one process's endpoint of a single-shot consensus object.
+type Consensus struct {
+	n      *node.Node
+	reads  []graph.BitSet
+	writes []graph.BitSet
+	sync   *viewsync.Synchronizer
+
+	// Loop-confined state (Figure 6, lines 1-3).
+	view     int64
+	aview    int64
+	val      string
+	hasVal   bool
+	myVal    string
+	hasMine  bool
+	ph       phase
+	oneBs    map[int64]map[failure.Proc]oneB   // per-view 1B messages (leader)
+	twoBs    map[int64]map[failure.Proc]string // per-view 2B messages
+	decided  bool
+	decVal   string
+	waiters  []chan string
+	onDecide func(string)
+	stopped  bool
+
+	topic1B string
+	topic2A string
+	topic2B string
+}
+
+// New installs a consensus endpoint on the node and starts its view
+// synchronizer.
+func New(n *node.Node, opts Options) *Consensus {
+	if opts.Name == "" {
+		opts.Name = "cons"
+	}
+	if opts.C <= 0 {
+		opts.C = 25 * time.Millisecond
+	}
+	c := &Consensus{
+		n:        n,
+		reads:    opts.Reads,
+		writes:   opts.Writes,
+		oneBs:    make(map[int64]map[failure.Proc]oneB),
+		twoBs:    make(map[int64]map[failure.Proc]string),
+		onDecide: opts.OnDecide,
+		topic1B:  opts.Name + "/1b",
+		topic2A:  opts.Name + "/2a",
+		topic2B:  opts.Name + "/2b",
+	}
+	n.Handle(c.topic1B, c.on1B)
+	n.Handle(c.topic2A, c.on2A)
+	n.Handle(c.topic2B, c.on2B)
+	c.sync = viewsync.New(opts.C, func(v viewsync.View) {
+		// Hop onto the event loop; the synchronizer runs its own goroutine.
+		n.Do(func() { c.enterView(int64(v)) })
+	})
+	c.sync.Start()
+	return c
+}
+
+// enterView implements Figure 6, lines 27-31.
+func (c *Consensus) enterView(v int64) {
+	if c.stopped || v <= c.view {
+		return
+	}
+	c.view = v
+	delete(c.oneBs, v-2) // prune stale per-view state
+	delete(c.twoBs, v-2)
+	leader := failure.Proc(viewsync.Leader(viewsync.View(v), c.n.ClusterSize()))
+	c.n.Send(leader, c.topic1B, msg1B{View: v, AView: c.aview, Val: c.val, HasVal: c.hasVal})
+	c.ph = phaseEnter
+}
+
+// on1B implements the leader's proposal rule (Figure 6, lines 8-16).
+func (c *Consensus) on1B(from failure.Proc, m wire.Message) {
+	var b msg1B
+	if wire.Decode(m, &b) != nil {
+		return
+	}
+	if c.stopped || b.View != c.view || c.ph != phaseEnter {
+		return // messages from other views are out of date (§7)
+	}
+	if viewsync.Leader(viewsync.View(c.view), c.n.ClusterSize()) != int(c.n.ID()) {
+		return // not the leader of this view
+	}
+	views, ok := c.oneBs[c.view]
+	if !ok {
+		views = make(map[failure.Proc]oneB)
+		c.oneBs[c.view] = views
+	}
+	views[from] = oneB{aview: b.AView, val: b.Val, hasVal: b.HasVal}
+
+	responders := graph.NewBitSet(c.n.ClusterSize())
+	for p := range views {
+		responders.Add(int(p))
+	}
+	ri := quorumIn(c.reads, responders)
+	if ri < 0 {
+		return
+	}
+	// Lines 10-15: pick the value accepted in the highest view, else our own.
+	var (
+		chosen    string
+		hasChosen bool
+		bestView  int64 = -1
+	)
+	c.reads[ri].ForEach(func(p int) {
+		r := views[failure.Proc(p)]
+		if r.hasVal && r.aview > bestView {
+			bestView = r.aview
+			chosen = r.val
+			hasChosen = true
+		}
+	})
+	if !hasChosen {
+		if !c.hasMine {
+			return // line 11: skip our turn
+		}
+		chosen = c.myVal
+	}
+	c.n.Broadcast(c.topic2A, msg2A{View: c.view, Val: chosen})
+	c.ph = phasePropose
+}
+
+// on2A implements acceptance (Figure 6, lines 17-22).
+func (c *Consensus) on2A(from failure.Proc, m wire.Message) {
+	var a msg2A
+	if wire.Decode(m, &a) != nil {
+		return
+	}
+	if c.stopped || a.View != c.view {
+		return
+	}
+	if c.ph != phaseEnter && c.ph != phasePropose {
+		return
+	}
+	c.val = a.Val
+	c.hasVal = true
+	c.aview = c.view
+	c.n.Broadcast(c.topic2B, msg2B{View: c.view, Val: a.Val})
+	c.ph = phaseAccept
+}
+
+// on2B implements the decision rule (Figure 6, lines 23-26).
+func (c *Consensus) on2B(from failure.Proc, m wire.Message) {
+	var b msg2B
+	if wire.Decode(m, &b) != nil {
+		return
+	}
+	if c.stopped || b.View != c.view {
+		return
+	}
+	views, ok := c.twoBs[c.view]
+	if !ok {
+		views = make(map[failure.Proc]string)
+		c.twoBs[c.view] = views
+	}
+	views[from] = b.Val
+	responders := graph.NewBitSet(c.n.ClusterSize())
+	for p, v := range views {
+		if v == b.Val {
+			responders.Add(int(p))
+		}
+	}
+	if quorumIn(c.writes, responders) < 0 {
+		return
+	}
+	c.val = b.Val
+	c.hasVal = true
+	c.aview = c.view
+	c.ph = phaseDecide
+	if !c.decided {
+		c.decided = true
+		c.decVal = b.Val
+		for _, w := range c.waiters {
+			w <- b.Val
+		}
+		c.waiters = nil
+		if c.onDecide != nil {
+			c.onDecide(b.Val)
+		}
+	}
+}
+
+// Propose submits x and blocks until this process learns the decision
+// (Figure 6, lines 4-7). It may be called by multiple goroutines; the first
+// value registered at this process becomes its proposal.
+func (c *Consensus) Propose(ctx context.Context, x string) (string, error) {
+	ch := make(chan string, 1)
+	registered := false
+	c.n.Call(func() {
+		if c.stopped {
+			return
+		}
+		registered = true
+		if !c.hasMine {
+			c.myVal = x
+			c.hasMine = true
+		}
+		if c.decided {
+			ch <- c.decVal
+			return
+		}
+		c.waiters = append(c.waiters, ch)
+	})
+	if !registered {
+		return "", ErrStopped
+	}
+	select {
+	case v, ok := <-ch:
+		if !ok {
+			return "", ErrStopped
+		}
+		return v, nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// Decided reports the decision at this process, if any.
+func (c *Consensus) Decided() (string, bool) {
+	var (
+		v  string
+		ok bool
+	)
+	c.n.Call(func() { v, ok = c.decVal, c.decided })
+	return v, ok
+}
+
+// View returns the process's current view (for experiments).
+func (c *Consensus) View() int64 {
+	var v int64
+	c.n.Call(func() { v = c.view })
+	return v
+}
+
+// Stop terminates the synchronizer and releases pending Propose calls.
+func (c *Consensus) Stop() {
+	c.sync.Stop()
+	c.n.Do(func() {
+		c.stopped = true
+		for _, w := range c.waiters {
+			close(w)
+		}
+		c.waiters = nil
+	})
+}
+
+func quorumIn(family []graph.BitSet, responders graph.BitSet) int {
+	for i, q := range family {
+		if q.SubsetOf(responders) {
+			return i
+		}
+	}
+	return -1
+}

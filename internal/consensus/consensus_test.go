@@ -1,0 +1,293 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/node"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+type consCluster struct {
+	net   *transport.MemNetwork
+	nodes []*node.Node
+	cons  []*Consensus
+}
+
+func (c *consCluster) stop() {
+	for _, x := range c.cons {
+		x.Stop()
+	}
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.net.Close()
+}
+
+func newConsCluster(t *testing.T, n int, opts Options, netOpts ...transport.MemOption) *consCluster {
+	t.Helper()
+	netOpts = append([]transport.MemOption{
+		transport.WithDelay(transport.UniformDelay{Min: 10 * time.Microsecond, Max: 500 * time.Microsecond}),
+		transport.WithSeed(57),
+	}, netOpts...)
+	c := &consCluster{net: transport.NewMem(n, netOpts...)}
+	for i := 0; i < n; i++ {
+		nd := node.New(failure.Proc(i), c.net)
+		c.nodes = append(c.nodes, nd)
+		c.cons = append(c.cons, New(nd, opts))
+	}
+	return c
+}
+
+func figure1Cluster(t *testing.T, netOpts ...transport.MemOption) (*consCluster, quorum.System) {
+	t.Helper()
+	qs := quorum.Figure1()
+	c := newConsCluster(t, 4, Options{
+		Reads: qs.Reads, Writes: qs.Writes, C: 20 * time.Millisecond,
+	}, netOpts...)
+	return c, qs
+}
+
+func TestConsensusFailureFreeDecides(t *testing.T) {
+	c, _ := figure1Cluster(t)
+	defer c.stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	vals := make([]string, 4)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v, err := c.cons[p].Propose(ctx, fmt.Sprintf("v%d", p))
+			if err != nil {
+				t.Errorf("propose p%d: %v", p, err)
+				return
+			}
+			vals[p] = v
+		}(p)
+	}
+	wg.Wait()
+
+	// Agreement: all identical.
+	for p := 1; p < 4; p++ {
+		if vals[p] != vals[0] {
+			t.Fatalf("agreement violated: %v", vals)
+		}
+	}
+	// Validity: decision is someone's proposal.
+	valid := map[string]bool{"v0": true, "v1": true, "v2": true, "v3": true}
+	if !valid[vals[0]] {
+		t.Fatalf("decision %q not a proposed value", vals[0])
+	}
+}
+
+// TestConsensusUnderEachFigure1Pattern is Theorem 5's liveness validated
+// operationally: under every f_i, proposals at U_f members decide, and all
+// decisions agree.
+func TestConsensusUnderEachFigure1Pattern(t *testing.T) {
+	qsStatic := quorum.Figure1()
+	g := quorum.Network(4)
+	for _, f := range qsStatic.F.Patterns {
+		f := f
+		uf := qsStatic.Uf(g, f).Elems()
+		t.Run(f.Name, func(t *testing.T) {
+			c, _ := figure1Cluster(t)
+			defer c.stop()
+			c.net.ApplyPattern(f)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			vals := make([]string, len(uf))
+			var wg sync.WaitGroup
+			for i, p := range uf {
+				wg.Add(1)
+				go func(i, p int) {
+					defer wg.Done()
+					v, err := c.cons[p].Propose(ctx, fmt.Sprintf("%s-p%d", f.Name, p))
+					if err != nil {
+						t.Errorf("propose at %d under %s: %v", p, f.Name, err)
+						return
+					}
+					vals[i] = v
+				}(i, p)
+			}
+			wg.Wait()
+			for i := 1; i < len(vals); i++ {
+				if vals[i] != vals[0] {
+					t.Fatalf("agreement violated under %s: %v", f.Name, vals)
+				}
+			}
+		})
+	}
+}
+
+// TestConsensusPartialSynchrony runs under the DLS model: chaotic delays
+// before GST, timely afterwards. Decisions must still be unique and arrive
+// after GST.
+func TestConsensusPartialSynchrony(t *testing.T) {
+	c, qs := figure1Cluster(t, transport.WithDelay(transport.PartialSync{
+		GST:    300 * time.Millisecond,
+		Before: transport.UniformDelay{Min: 0, Max: 250 * time.Millisecond},
+		Delta:  2 * time.Millisecond,
+	}))
+	defer c.stop()
+	c.net.ApplyPattern(qs.F.Patterns[0]) // U_f1 = {a, b}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	vals := make([]string, 2)
+	for i, p := range []int{0, 1} {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			v, err := c.cons[p].Propose(ctx, fmt.Sprintf("ps%d", p))
+			if err != nil {
+				t.Errorf("propose p%d: %v", p, err)
+				return
+			}
+			vals[i] = v
+		}(i, p)
+	}
+	wg.Wait()
+	if vals[0] != vals[1] {
+		t.Fatalf("agreement violated: %v", vals)
+	}
+}
+
+// TestConsensusMajorityBaseline: the same protocol on the classical majority
+// quorum system decides under a minority crash — ordinary Paxos behaviour.
+func TestConsensusMajorityBaseline(t *testing.T) {
+	qs := quorum.Majority(3, 1)
+	c := newConsCluster(t, 3, Options{
+		Reads: qs.Reads, Writes: qs.Writes, C: 20 * time.Millisecond,
+	})
+	defer c.stop()
+	c.net.Crash(2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	vals := make([]string, 2)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v, err := c.cons[p].Propose(ctx, fmt.Sprintf("m%d", p))
+			if err != nil {
+				t.Errorf("propose p%d: %v", p, err)
+				return
+			}
+			vals[p] = v
+		}(p)
+	}
+	wg.Wait()
+	if vals[0] != vals[1] {
+		t.Fatalf("agreement violated: %v", vals)
+	}
+}
+
+// TestConsensusSingleProposer: a solo proposer's value is the decision
+// (validity pins it).
+func TestConsensusSingleProposer(t *testing.T) {
+	c, _ := figure1Cluster(t)
+	defer c.stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	v, err := c.cons[2].Propose(ctx, "solo")
+	if err != nil {
+		t.Fatalf("propose: %v", err)
+	}
+	if v != "solo" {
+		t.Fatalf("decision = %q, want solo", v)
+	}
+	// Decided() agrees.
+	dv, ok := c.cons[2].Decided()
+	if !ok || dv != "solo" {
+		t.Fatalf("Decided = %q/%v", dv, ok)
+	}
+}
+
+// TestConsensusLateProposerLearnsDecision: a process proposing after the
+// decision still returns the agreed value, not its own.
+func TestConsensusLateProposerLearnsDecision(t *testing.T) {
+	c, _ := figure1Cluster(t)
+	defer c.stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	first, err := c.cons[0].Propose(ctx, "early")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := c.cons[1].Propose(ctx, "late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late != first {
+		t.Fatalf("late proposer decided %q, want %q", late, first)
+	}
+}
+
+func TestConsensusProposeRespectsContext(t *testing.T) {
+	c, qs := figure1Cluster(t)
+	defer c.stop()
+	// Crash everything but d: no quorum can assemble, so no decision.
+	c.net.Crash(0)
+	c.net.Crash(1)
+	c.net.Crash(2)
+	_ = qs
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := c.cons[3].Propose(ctx, "x"); err == nil {
+		t.Fatal("propose decided without quorums")
+	}
+}
+
+func TestConsensusStopReleasesWaiters(t *testing.T) {
+	c, _ := figure1Cluster(t)
+	defer c.stop()
+	c.net.Crash(1)
+	c.net.Crash(2)
+	c.net.Crash(3)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.cons[0].Propose(context.Background(), "x")
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	c.cons[0].Stop()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Propose returned nil after Stop")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Propose not released by Stop")
+	}
+	if _, err := c.cons[0].Propose(context.Background(), "y"); err != ErrStopped {
+		t.Fatalf("Propose after Stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestConsensusViewsAdvance: the synchronizer must keep rotating leaders
+// while no decision is possible.
+func TestConsensusViewsAdvance(t *testing.T) {
+	c, _ := figure1Cluster(t)
+	defer c.stop()
+	c.net.Crash(1)
+	c.net.Crash(2)
+	c.net.Crash(3)
+	start := c.cons[0].View()
+	time.Sleep(200 * time.Millisecond)
+	if got := c.cons[0].View(); got <= start {
+		t.Fatalf("view did not advance: %d -> %d", start, got)
+	}
+}

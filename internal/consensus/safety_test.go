@@ -1,0 +1,155 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+// TestConsensusSafetyUnderFloodMode re-runs concurrent proposals over the
+// literal flooding transport: duplicated and heavily reordered deliveries
+// must not break Agreement.
+func TestConsensusSafetyUnderFloodMode(t *testing.T) {
+	qs := quorum.Figure1()
+	c := newConsCluster(t, 4, Options{
+		Reads: qs.Reads, Writes: qs.Writes, C: 20 * time.Millisecond,
+	}, transport.WithMode(transport.ModeFlood))
+	defer c.stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	vals := make([]string, 4)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v, err := c.cons[p].Propose(ctx, fmt.Sprintf("flood-%d", p))
+			if err != nil {
+				t.Errorf("propose p%d: %v", p, err)
+				return
+			}
+			vals[p] = v
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p < 4; p++ {
+		if vals[p] != vals[0] {
+			t.Fatalf("agreement violated under flooding: %v", vals)
+		}
+	}
+}
+
+// TestConsensusSafetyAcrossRepeatedRuns checks Agreement over many seeds:
+// different delay interleavings must never produce divergent decisions.
+func TestConsensusSafetyAcrossRepeatedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated runs are slow")
+	}
+	qs := quorum.Figure1()
+	for seed := int64(1); seed <= 8; seed++ {
+		c := newConsCluster(t, 4, Options{
+			Reads: qs.Reads, Writes: qs.Writes, C: 15 * time.Millisecond,
+		}, transport.WithSeed(seed))
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		vals := make([]string, 4)
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				v, err := c.cons[p].Propose(ctx, fmt.Sprintf("s%d-p%d", seed, p))
+				if err != nil {
+					t.Errorf("seed %d propose p%d: %v", seed, p, err)
+					return
+				}
+				vals[p] = v
+			}(p)
+		}
+		wg.Wait()
+		cancel()
+		for p := 1; p < 4; p++ {
+			if vals[p] != vals[0] {
+				c.stop()
+				t.Fatalf("seed %d: agreement violated: %v", seed, vals)
+			}
+		}
+		c.stop()
+	}
+}
+
+// TestConsensusOnDecideFiresOnce verifies the decision callback contract.
+func TestConsensusOnDecideFiresOnce(t *testing.T) {
+	qs := quorum.Figure1()
+	fired := make(chan string, 16)
+	c := newConsCluster(t, 4, Options{
+		Reads: qs.Reads, Writes: qs.Writes, C: 15 * time.Millisecond,
+	})
+	defer c.stop()
+	// Install a callback-bearing instance alongside on node 0.
+	cb := New(c.nodes[0], Options{
+		Name:  "cb",
+		Reads: qs.Reads, Writes: qs.Writes, C: 15 * time.Millisecond,
+		OnDecide: func(v string) { fired <- v },
+	})
+	defer cb.Stop()
+	others := make([]*Consensus, 0, 3)
+	for p := 1; p < 4; p++ {
+		o := New(c.nodes[p], Options{
+			Name:  "cb",
+			Reads: qs.Reads, Writes: qs.Writes, C: 15 * time.Millisecond,
+		})
+		others = append(others, o)
+	}
+	defer func() {
+		for _, o := range others {
+			o.Stop()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	want, err := cb.Propose(ctx, "callback-val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-fired:
+		if got != want {
+			t.Fatalf("callback value %q, want %q", got, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnDecide never fired")
+	}
+	// No second invocation.
+	select {
+	case v := <-fired:
+		t.Fatalf("OnDecide fired twice (second value %q)", v)
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// TestConsensusIgnoresStaleViewMessages: a 2A from an old view must not be
+// accepted (the §7 "out of date" rule). We check indirectly: after deciding,
+// the decision is stable across further view changes.
+func TestConsensusDecisionStableAcrossViews(t *testing.T) {
+	c, _ := figure1Cluster(t)
+	defer c.stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	v1, err := c.cons[0].Propose(ctx, "stable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let several views elapse.
+	time.Sleep(150 * time.Millisecond)
+	v2, ok := c.cons[0].Decided()
+	if !ok || v2 != v1 {
+		t.Fatalf("decision changed: %q -> %q (ok=%v)", v1, v2, ok)
+	}
+}

@@ -1,0 +1,96 @@
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/quorum"
+)
+
+// TestConsensusSevenProcessMajority scales the protocol to n=7 on the
+// classical majority quorum system with two crashes — the largest
+// configuration the threshold bound allows losing while staying live.
+func TestConsensusSevenProcessMajority(t *testing.T) {
+	qs := quorum.Majority(7, 3)
+	c := newConsCluster(t, 7, Options{
+		Reads: qs.Reads, Writes: qs.Writes, C: 20 * time.Millisecond,
+	})
+	defer c.stop()
+	c.net.Crash(5)
+	c.net.Crash(6)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	vals := make([]string, 5)
+	var wg sync.WaitGroup
+	for p := 0; p < 5; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v, err := c.cons[p].Propose(ctx, fmt.Sprintf("n7-%d", p))
+			if err != nil {
+				t.Errorf("propose p%d: %v", p, err)
+				return
+			}
+			vals[p] = v
+		}(p)
+	}
+	wg.Wait()
+	for p := 1; p < 5; p++ {
+		if vals[p] != vals[0] {
+			t.Fatalf("agreement violated at n=7: %v", vals)
+		}
+	}
+}
+
+// TestConsensusOnIngressLossScenario runs consensus on a derived GQS for the
+// ingress-loss deployment: a send-only replica participates in phase 1 while
+// the rest decide.
+func TestConsensusOnIngressLossScenario(t *testing.T) {
+	sys := failureIngress6()
+	qs, ok := quorum.Find(quorum.Network(6), sys)
+	if !ok {
+		t.Fatal("IngressLoss(6) must admit a GQS")
+	}
+	c := newConsCluster(t, 6, Options{
+		Reads: qs.Reads, Writes: qs.Writes, C: 20 * time.Millisecond,
+	})
+	defer c.stop()
+	f := sys.Patterns[2] // replica 2 send-only, replica 5 crashed
+	c.net.ApplyPattern(f)
+	uf := qs.Uf(quorum.Network(6), f).Elems()
+	if len(uf) == 0 {
+		t.Fatal("empty U_f")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	vals := make([]string, len(uf))
+	var wg sync.WaitGroup
+	for i, p := range uf {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			v, err := c.cons[p].Propose(ctx, fmt.Sprintf("ingress-%d", p))
+			if err != nil {
+				t.Errorf("propose p%d: %v", p, err)
+				return
+			}
+			vals[i] = v
+		}(i, p)
+	}
+	wg.Wait()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("agreement violated: %v", vals)
+		}
+	}
+}
+
+// failureIngress6 avoids an import cycle helper: the generator lives in the
+// failure package.
+func failureIngress6() failure.System { return failure.IngressLoss(6) }

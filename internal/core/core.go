@@ -1,0 +1,249 @@
+// Package core ties the library together into a deployable service: given a
+// fail-prone system (the operator's failure assumptions), it derives or
+// validates a generalized quorum system, provisions a cluster of process
+// runtimes over a chosen transport, and exposes typed handles to every
+// object the paper proves implementable — registers, snapshots, lattice
+// agreement and consensus — with termination-component introspection.
+//
+// This is the "adoption surface" of the reproduction: examples and
+// experiments compose the lower-level packages directly, while downstream
+// users can start from core.NewDeployment and stay at this level.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/lattice"
+	"repro/internal/node"
+	"repro/internal/quorum"
+	"repro/internal/register"
+	"repro/internal/snapshot"
+	"repro/internal/transport"
+)
+
+// ErrNoGQS is returned when the fail-prone system admits no generalized
+// quorum system — by Theorem 2 nothing in this library (nor anything else)
+// can be implemented under it.
+var ErrNoGQS = errors.New("fail-prone system admits no generalized quorum system (Theorem 2: unimplementable)")
+
+// Config describes a deployment.
+type Config struct {
+	// FailProne is the operator's failure assumptions. Required.
+	FailProne failure.System
+	// Reads/Writes optionally pin the quorum families. When nil, the
+	// decision procedure derives canonical families (and fails with ErrNoGQS
+	// if none exist).
+	Reads, Writes []graph.BitSet
+	// Network optionally supplies the transport. When nil an in-memory
+	// simulated network is created with Seed and Delay.
+	Network transport.Network
+	// Seed seeds the simulated network (ignored when Network is set).
+	Seed int64
+	// Delay shapes simulated message delays (ignored when Network is set).
+	Delay transport.DelayModel
+	// Tick is the periodic propagation interval of the quorum access
+	// functions (default 2ms).
+	Tick time.Duration
+	// ViewC is the consensus view-duration constant (default 25ms).
+	ViewC time.Duration
+}
+
+// Deployment is a provisioned cluster plus its validated quorum system.
+type Deployment struct {
+	// QS is the generalized quorum system in force (validated).
+	QS quorum.System
+
+	net     transport.Network
+	ownsNet bool
+	nodes   []*node.Node
+
+	registers  map[string][]*register.Register
+	snapshots  map[string][]*snapshot.Snapshot
+	agreements map[string][]*lattice.Agreement
+	consensi   map[string][]*consensus.Consensus
+
+	tick  time.Duration
+	viewC time.Duration
+}
+
+// NewDeployment validates the configuration, derives quorums if needed, and
+// starts one process runtime per process.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if err := cfg.FailProne.Validate(); err != nil {
+		return nil, fmt.Errorf("fail-prone system: %w", err)
+	}
+	n := cfg.FailProne.N
+	g := quorum.Network(n)
+
+	qs := quorum.System{F: cfg.FailProne, Reads: cfg.Reads, Writes: cfg.Writes}
+	if len(cfg.Reads) == 0 || len(cfg.Writes) == 0 {
+		derived, ok := quorum.Find(g, cfg.FailProne)
+		if !ok {
+			return nil, ErrNoGQS
+		}
+		qs = derived
+	}
+	if err := qs.Validate(); err != nil {
+		return nil, fmt.Errorf("quorum system: %w", err)
+	}
+
+	d := &Deployment{
+		QS:         qs,
+		tick:       cfg.Tick,
+		viewC:      cfg.ViewC,
+		registers:  make(map[string][]*register.Register),
+		snapshots:  make(map[string][]*snapshot.Snapshot),
+		agreements: make(map[string][]*lattice.Agreement),
+		consensi:   make(map[string][]*consensus.Consensus),
+	}
+	if d.tick <= 0 {
+		d.tick = 2 * time.Millisecond
+	}
+	if d.viewC <= 0 {
+		d.viewC = 25 * time.Millisecond
+	}
+	if cfg.Network != nil {
+		d.net = cfg.Network
+	} else {
+		opts := []transport.MemOption{transport.WithSeed(cfg.Seed)}
+		if cfg.Delay != nil {
+			opts = append(opts, transport.WithDelay(cfg.Delay))
+		}
+		d.net = transport.NewMem(n, opts...)
+		d.ownsNet = true
+	}
+	for i := 0; i < n; i++ {
+		d.nodes = append(d.nodes, node.New(failure.Proc(i), d.net))
+	}
+	return d, nil
+}
+
+// N returns the number of processes.
+func (d *Deployment) N() int { return len(d.nodes) }
+
+// Node returns the runtime of process p (for advanced wiring).
+func (d *Deployment) Node(p failure.Proc) (*node.Node, error) {
+	if int(p) < 0 || int(p) >= len(d.nodes) {
+		return nil, fmt.Errorf("process %d out of range [0,%d)", p, len(d.nodes))
+	}
+	return d.nodes[p], nil
+}
+
+// Uf returns the termination component for pattern f: the exact set of
+// processes at which every object's operations are wait-free when f's
+// failures happen (Theorems 1 and 5).
+func (d *Deployment) Uf(f failure.Pattern) graph.BitSet {
+	return d.QS.Uf(quorum.Network(d.N()), f)
+}
+
+// InjectPattern makes every failure allowed by f actually happen, when the
+// transport supports fault injection (the in-memory simulator does).
+func (d *Deployment) InjectPattern(f failure.Pattern) error {
+	inj, ok := d.net.(transport.FaultInjector)
+	if !ok {
+		return errors.New("transport does not support fault injection")
+	}
+	inj.ApplyPattern(f)
+	return nil
+}
+
+// Register provisions (or returns) the named MWMR atomic register and
+// returns the endpoints, one per process.
+func (d *Deployment) Register(name string) []*register.Register {
+	if eps, ok := d.registers[name]; ok {
+		return eps
+	}
+	eps := make([]*register.Register, 0, d.N())
+	for _, nd := range d.nodes {
+		eps = append(eps, register.New(nd, register.Options{
+			Name:  "reg/" + name,
+			Reads: d.QS.Reads, Writes: d.QS.Writes, Tick: d.tick,
+		}))
+	}
+	d.registers[name] = eps
+	return eps
+}
+
+// Snapshot provisions (or returns) the named SWMR atomic snapshot object.
+func (d *Deployment) Snapshot(name string) []*snapshot.Snapshot {
+	if eps, ok := d.snapshots[name]; ok {
+		return eps
+	}
+	eps := make([]*snapshot.Snapshot, 0, d.N())
+	for _, nd := range d.nodes {
+		eps = append(eps, snapshot.New(nd, snapshot.Options{
+			Name:  "snap/" + name,
+			Reads: d.QS.Reads, Writes: d.QS.Writes, Tick: d.tick,
+		}))
+	}
+	d.snapshots[name] = eps
+	return eps
+}
+
+// LatticeAgreement provisions (or returns) the named single-shot lattice
+// agreement object over l.
+func (d *Deployment) LatticeAgreement(name string, l lattice.Lattice) []*lattice.Agreement {
+	if eps, ok := d.agreements[name]; ok {
+		return eps
+	}
+	eps := make([]*lattice.Agreement, 0, d.N())
+	for _, nd := range d.nodes {
+		eps = append(eps, lattice.NewAgreement(nd, lattice.AgreementOptions{
+			Name: "la/" + name, Lattice: l,
+			Reads: d.QS.Reads, Writes: d.QS.Writes, Tick: d.tick,
+		}))
+	}
+	d.agreements[name] = eps
+	return eps
+}
+
+// Consensus provisions (or returns) the named single-shot consensus object.
+func (d *Deployment) Consensus(name string) []*consensus.Consensus {
+	if eps, ok := d.consensi[name]; ok {
+		return eps
+	}
+	eps := make([]*consensus.Consensus, 0, d.N())
+	for _, nd := range d.nodes {
+		eps = append(eps, consensus.New(nd, consensus.Options{
+			Name:  "cons/" + name,
+			Reads: d.QS.Reads, Writes: d.QS.Writes, C: d.viewC,
+		}))
+	}
+	d.consensi[name] = eps
+	return eps
+}
+
+// Stop shuts every object, node and (owned) network down.
+func (d *Deployment) Stop() {
+	for _, eps := range d.consensi {
+		for _, e := range eps {
+			e.Stop()
+		}
+	}
+	for _, eps := range d.agreements {
+		for _, e := range eps {
+			e.Stop()
+		}
+	}
+	for _, eps := range d.snapshots {
+		for _, e := range eps {
+			e.Stop()
+		}
+	}
+	for _, eps := range d.registers {
+		for _, e := range eps {
+			e.Stop()
+		}
+	}
+	for _, nd := range d.nodes {
+		nd.Stop()
+	}
+	if d.ownsNet {
+		d.net.Close()
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/lattice"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+func fastCfg(sys failure.System) Config {
+	return Config{
+		FailProne: sys,
+		Seed:      9,
+		Delay:     transport.UniformDelay{Min: 5 * time.Microsecond, Max: 100 * time.Microsecond},
+		// A 1ms tick saturates the race detector's instrumented JSON path
+		// when many objects coexist; 4ms keeps the load sane everywhere.
+		Tick:  4 * time.Millisecond,
+		ViewC: 10 * time.Millisecond,
+	}
+}
+
+func ctxSec(t *testing.T, s int) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(s)*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestDeploymentDerivesQuorums(t *testing.T) {
+	d, err := NewDeployment(fastCfg(failure.Figure1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.QS.Validate(); err != nil {
+		t.Fatalf("derived quorum system invalid: %v", err)
+	}
+	if d.N() != 4 {
+		t.Fatalf("N = %d", d.N())
+	}
+}
+
+func TestDeploymentRejectsImpossibleSystem(t *testing.T) {
+	_, err := NewDeployment(fastCfg(failure.Threshold(3, 2)))
+	if !errors.Is(err, ErrNoGQS) {
+		t.Fatalf("err = %v, want ErrNoGQS", err)
+	}
+}
+
+func TestDeploymentRejectsInvalidExplicitQuorums(t *testing.T) {
+	cfg := fastCfg(failure.Figure1())
+	qs := quorum.Figure1()
+	cfg.Reads = qs.Reads[:1] // single read quorum breaks availability for other patterns
+	cfg.Writes = qs.Writes[:1]
+	if _, err := NewDeployment(cfg); err == nil {
+		t.Fatal("invalid explicit quorums accepted")
+	}
+}
+
+func TestDeploymentRejectsInvalidFailProne(t *testing.T) {
+	bad := failure.NewSystem(3, failure.NewPattern(3, []failure.Proc{0}, []failure.Channel{{From: 0, To: 1}}))
+	if _, err := NewDeployment(fastCfg(bad)); err == nil {
+		t.Fatal("invalid fail-prone system accepted")
+	}
+}
+
+func TestDeploymentRegisterUnderPattern(t *testing.T) {
+	cfg := fastCfg(failure.Figure1())
+	qs := quorum.Figure1()
+	cfg.Reads, cfg.Writes = qs.Reads, qs.Writes
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	f1 := cfg.FailProne.Patterns[0]
+	if err := d.InjectPattern(f1); err != nil {
+		t.Fatal(err)
+	}
+	uf := d.Uf(f1).Elems()
+	if len(uf) < 2 {
+		t.Fatalf("U_f too small: %v", uf)
+	}
+
+	regs := d.Register("config")
+	if same := d.Register("config"); &same[0] == nil || same[0] != regs[0] {
+		t.Fatal("Register not idempotent per name")
+	}
+	ctx := ctxSec(t, 30)
+	if _, err := regs[uf[0]].Write(ctx, "deployed"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, _, err := regs[uf[1]].Read(ctx)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got != "deployed" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestDeploymentMultipleObjectsCoexist(t *testing.T) {
+	cfg := fastCfg(failure.Figure1())
+	qs := quorum.Figure1()
+	cfg.Reads, cfg.Writes = qs.Reads, qs.Writes
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	ctx := ctxSec(t, 60)
+	regsA := d.Register("a")
+	regsB := d.Register("b")
+	if _, err := regsA[0].Write(ctx, "va"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regsB[0].Write(ctx, "vb"); err != nil {
+		t.Fatal(err)
+	}
+	gotA, _, err := regsA[1].Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, _, err := regsB[1].Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA != "va" || gotB != "vb" {
+		t.Fatalf("cross-contamination: a=%q b=%q", gotA, gotB)
+	}
+
+	// Consensus next to registers on the same nodes.
+	cons := d.Consensus("leader")
+	v, err := cons[0].Propose(ctx, "p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "p0" {
+		t.Fatalf("decision %q", v)
+	}
+
+	// Lattice agreement too.
+	las := d.LatticeAgreement("agg", lattice.MaxIntLattice{})
+	out, err := las[1].Propose(ctx, "41")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "41" {
+		t.Fatalf("lattice output %q", out)
+	}
+}
+
+func TestDeploymentSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot deployment is heavy")
+	}
+	cfg := fastCfg(failure.Figure1())
+	qs := quorum.Figure1()
+	cfg.Reads, cfg.Writes = qs.Reads, qs.Writes
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	ctx := ctxSec(t, 180)
+	snaps := d.Snapshot("views")
+	if err := snaps[2].Update(ctx, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	view, err := snaps[3].Scan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view[2] != "s2" {
+		t.Fatalf("view = %v", view)
+	}
+}
+
+func TestDeploymentNodeAccessor(t *testing.T) {
+	d, err := NewDeployment(fastCfg(failure.Figure1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if _, err := d.Node(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Node(99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestDeploymentExternalNetworkNotClosed(t *testing.T) {
+	net := transport.NewMem(4, transport.WithSeed(1))
+	defer net.Close()
+	cfg := fastCfg(failure.Figure1())
+	cfg.Network = net
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	// The externally supplied network must still work after Stop.
+	got := make(chan struct{}, 1)
+	net.Register(1, func(failure.Proc, []byte) { got <- struct{}{} })
+	net.Send(0, 1, []byte("still-alive"))
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("externally owned network was closed by deployment Stop")
+	}
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,196 @@
+// Package failure models the paper's failure assumptions (§2): failure
+// patterns that combine process crashes with channel disconnections, and
+// fail-prone systems — sets of such patterns, one of which may materialize
+// in any single execution.
+package failure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Proc identifies a process. Processes are numbered 0..n-1.
+type Proc int
+
+// Channel is a unidirectional communication channel from From to To.
+type Channel struct {
+	From Proc `json:"from"`
+	To   Proc `json:"to"`
+}
+
+// String renders the channel as "(p, q)".
+func (c Channel) String() string { return fmt.Sprintf("(%d, %d)", c.From, c.To) }
+
+// Pattern is a failure pattern (P, C): the processes in Procs may crash and
+// the channels in Chans may disconnect during an execution. Following the
+// paper, Chans must contain only channels between correct processes; channels
+// incident to a faulty process are faulty by default and need not be listed.
+type Pattern struct {
+	// Procs is the set of processes allowed to crash.
+	Procs graph.BitSet
+	// Chans is the set of channels (between correct processes) allowed to
+	// disconnect.
+	Chans map[Channel]bool
+	// Name is an optional label, e.g. "f1".
+	Name string
+}
+
+// NewPattern returns a failure pattern over n processes in which the listed
+// processes may crash and the listed channels may disconnect.
+func NewPattern(n int, procs []Proc, chans []Channel) Pattern {
+	p := Pattern{Procs: graph.NewBitSet(n), Chans: make(map[Channel]bool, len(chans))}
+	for _, q := range procs {
+		p.Procs.Add(int(q))
+	}
+	for _, c := range chans {
+		p.Chans[c] = true
+	}
+	return p
+}
+
+// WithName returns a copy of the pattern carrying the given label.
+func (p Pattern) WithName(name string) Pattern {
+	q := p.Clone()
+	q.Name = name
+	return q
+}
+
+// Clone returns an independent copy of the pattern.
+func (p Pattern) Clone() Pattern {
+	q := Pattern{Procs: p.Procs.Clone(), Chans: make(map[Channel]bool, len(p.Chans)), Name: p.Name}
+	for c := range p.Chans {
+		q.Chans[c] = true
+	}
+	return q
+}
+
+// FaultyProc reports whether process q is allowed to crash under p.
+func (p Pattern) FaultyProc(q Proc) bool { return p.Procs.Contains(int(q)) }
+
+// FaultyChannel reports whether the channel c may fail under p, either
+// because it is listed explicitly or because it is incident to a faulty
+// process.
+func (p Pattern) FaultyChannel(c Channel) bool {
+	if p.FaultyProc(c.From) || p.FaultyProc(c.To) {
+		return true
+	}
+	return p.Chans[c]
+}
+
+// Correct returns the set of processes correct under p, given n processes.
+func (p Pattern) Correct(n int) graph.BitSet {
+	out := graph.NewBitSet(n)
+	for i := 0; i < n; i++ {
+		if !p.Procs.Contains(i) {
+			out.Add(i)
+		}
+	}
+	return out
+}
+
+// Validate checks the well-formedness condition of §2: every channel in
+// Chans must connect two processes that are correct under p and must be a
+// real channel (distinct endpoints within range).
+func (p Pattern) Validate(n int) error {
+	for _, e := range p.Procs.Elems() {
+		if e >= n {
+			return fmt.Errorf("pattern %s: process %d out of range [0,%d)", p.label(), e, n)
+		}
+	}
+	for c := range p.Chans {
+		if c.From < 0 || int(c.From) >= n || c.To < 0 || int(c.To) >= n {
+			return fmt.Errorf("pattern %s: channel %s out of range", p.label(), c)
+		}
+		if c.From == c.To {
+			return fmt.Errorf("pattern %s: self-channel %s", p.label(), c)
+		}
+		if p.FaultyProc(c.From) || p.FaultyProc(c.To) {
+			return fmt.Errorf("pattern %s: channel %s is incident to a faulty process; it is faulty by default and must not be listed", p.label(), c)
+		}
+	}
+	return nil
+}
+
+func (p Pattern) label() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return "(unnamed)"
+}
+
+// String renders the pattern as "f1: P={3} C={(0,2), (1,2)}".
+func (p Pattern) String() string {
+	chans := make([]string, 0, len(p.Chans))
+	for c := range p.Chans {
+		chans = append(chans, c.String())
+	}
+	sort.Strings(chans)
+	return fmt.Sprintf("%s: P=%s C={%s}", p.label(), p.Procs.String(), strings.Join(chans, ", "))
+}
+
+// Residual returns the residual graph G \ p: the subgraph of g obtained by
+// removing all faulty processes, their incident channels, and all channels
+// in Chans (§3).
+func (p Pattern) Residual(g *graph.Graph) *graph.Graph {
+	n := g.N()
+	out := graph.New(n)
+	for u := 0; u < n; u++ {
+		if p.FaultyProc(Proc(u)) {
+			continue
+		}
+		g.Successors(u).ForEach(func(v int) {
+			c := Channel{From: Proc(u), To: Proc(v)}
+			if !p.FaultyChannel(c) {
+				out.AddEdge(u, v)
+			}
+		})
+	}
+	return out
+}
+
+// System is a fail-prone system: a set of failure patterns over n processes.
+type System struct {
+	N        int
+	Patterns []Pattern
+}
+
+// NewSystem returns a fail-prone system over n processes.
+func NewSystem(n int, patterns ...Pattern) System {
+	return System{N: n, Patterns: patterns}
+}
+
+// Validate checks every pattern in the system.
+func (s System) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("fail-prone system must have at least one process, got %d", s.N)
+	}
+	for i, p := range s.Patterns {
+		if err := p.Validate(s.N); err != nil {
+			return fmt.Errorf("pattern %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Threshold returns the classical fail-prone system F_M of Example 4: any
+// set of at most k processes may crash, and channels between correct
+// processes never fail. The number of patterns is sum_{i<=k} C(n, i).
+func Threshold(n, k int) System {
+	var pats []Pattern
+	graph.SortedSubsets(n, k, func(s graph.BitSet) bool {
+		pats = append(pats, Pattern{
+			Procs: s,
+			Chans: map[Channel]bool{},
+			Name:  fmt.Sprintf("crash%s", s.String()),
+		})
+		return true
+	})
+	return System{N: n, Patterns: pats}
+}
+
+// Minority returns the standard "any minority may crash" fail-prone system:
+// Threshold(n, floor((n-1)/2)).
+func Minority(n int) System { return Threshold(n, (n-1)/2) }

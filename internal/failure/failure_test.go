@@ -1,0 +1,187 @@
+package failure
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPatternBasics(t *testing.T) {
+	p := NewPattern(4, []Proc{3}, []Channel{{From: 0, To: 2}})
+	if !p.FaultyProc(3) || p.FaultyProc(0) {
+		t.Fatal("FaultyProc misreported")
+	}
+	if !p.FaultyChannel(Channel{From: 0, To: 2}) {
+		t.Error("explicit channel should be faulty")
+	}
+	if p.FaultyChannel(Channel{From: 2, To: 0}) {
+		t.Error("reverse channel should be correct")
+	}
+	// Channels incident to a faulty process are faulty by default.
+	if !p.FaultyChannel(Channel{From: 3, To: 1}) || !p.FaultyChannel(Channel{From: 1, To: 3}) {
+		t.Error("channels incident to crashed process must be faulty")
+	}
+	if got := p.Correct(4).Elems(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Correct = %v", got)
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	if err := NewPattern(4, []Proc{3}, []Channel{{From: 0, To: 1}}).Validate(4); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	// Channel incident to faulty process must be rejected.
+	if err := NewPattern(4, []Proc{3}, []Channel{{From: 3, To: 1}}).Validate(4); err == nil {
+		t.Error("channel incident to faulty process accepted")
+	}
+	// Self channel rejected.
+	if err := NewPattern(4, nil, []Channel{{From: 1, To: 1}}).Validate(4); err == nil {
+		t.Error("self channel accepted")
+	}
+	// Out of range channel rejected.
+	if err := NewPattern(4, nil, []Channel{{From: 1, To: 9}}).Validate(4); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+	// Out of range process rejected.
+	if err := NewPattern(8, []Proc{7}, nil).Validate(4); err == nil {
+		t.Error("out-of-range process accepted")
+	}
+}
+
+func TestPatternCloneIndependence(t *testing.T) {
+	p := NewPattern(4, []Proc{1}, []Channel{{From: 0, To: 2}})
+	q := p.Clone()
+	q.Procs.Add(2)
+	q.Chans[Channel{From: 2, To: 3}] = true
+	if p.FaultyProc(2) || p.FaultyChannel(Channel{From: 2, To: 3}) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestResidualFigure1F1(t *testing.T) {
+	sys := Figure1()
+	g := graph.Complete(Figure1N)
+	res := sys.Patterns[0].Residual(g) // f1
+
+	wantEdges := []Channel{{From: C, To: A}, {From: A, To: B}, {From: B, To: A}}
+	if got := res.EdgeCount(); got != len(wantEdges) {
+		t.Fatalf("residual edge count = %d, want %d\n%s", got, len(wantEdges), res)
+	}
+	for _, c := range wantEdges {
+		if !res.HasEdge(int(c.From), int(c.To)) {
+			t.Errorf("residual missing edge %s", c)
+		}
+	}
+	// d is removed entirely.
+	for v := 0; v < Figure1N; v++ {
+		if res.HasEdge(int(D), v) || res.HasEdge(v, int(D)) {
+			t.Errorf("residual kept an edge incident to crashed d")
+		}
+	}
+}
+
+func TestFigure1Validates(t *testing.T) {
+	sys := Figure1()
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("Figure 1 system invalid: %v", err)
+	}
+	if len(sys.Patterns) != 4 {
+		t.Fatalf("Figure 1 should have 4 patterns, got %d", len(sys.Patterns))
+	}
+	// Each pattern crashes exactly one process and the crashed processes are
+	// d, a, b, c in order.
+	wantCrashed := []Proc{D, A, B, C}
+	for i, p := range sys.Patterns {
+		if got := p.Procs.Len(); got != 1 {
+			t.Errorf("pattern %d crashes %d processes, want 1", i, got)
+		}
+		if !p.FaultyProc(wantCrashed[i]) {
+			t.Errorf("pattern %d should crash %d", i, wantCrashed[i])
+		}
+	}
+}
+
+func TestFigure1ResidualShapes(t *testing.T) {
+	sys := Figure1()
+	g := graph.Complete(Figure1N)
+	_, writes := Figure1Quorums()
+	for i, p := range sys.Patterns {
+		res := p.Residual(g)
+		if got := res.EdgeCount(); got != 3 {
+			t.Errorf("%s: residual edges = %d, want 3", p.Name, got)
+		}
+		if !res.StronglyConnectedSubset(writes[i]) {
+			t.Errorf("%s: W%d = %v should be strongly connected in residual", p.Name, i+1, writes[i])
+		}
+	}
+}
+
+func TestFigure1QuorumConsistency(t *testing.T) {
+	reads, writes := Figure1Quorums()
+	for i, r := range reads {
+		for j, w := range writes {
+			if !r.Intersects(w) {
+				t.Errorf("R%d ∩ W%d = ∅", i+1, j+1)
+			}
+		}
+	}
+}
+
+func binom(n, k int) int {
+	var b big.Int
+	b.Binomial(int64(n), int64(k))
+	return int(b.Int64())
+}
+
+func TestThresholdCounts(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{3, 1}, {5, 2}, {7, 3}, {4, 0}} {
+		sys := Threshold(c.n, c.k)
+		want := 0
+		for i := 0; i <= c.k; i++ {
+			want += binom(c.n, i)
+		}
+		if got := len(sys.Patterns); got != want {
+			t.Errorf("Threshold(%d,%d): %d patterns, want %d", c.n, c.k, got, want)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Errorf("Threshold(%d,%d) invalid: %v", c.n, c.k, err)
+		}
+		for _, p := range sys.Patterns {
+			if len(p.Chans) != 0 {
+				t.Errorf("threshold pattern has channel failures: %v", p)
+			}
+			if p.Procs.Len() > c.k {
+				t.Errorf("threshold pattern crashes %d > k=%d", p.Procs.Len(), c.k)
+			}
+		}
+	}
+}
+
+func TestMinority(t *testing.T) {
+	sys := Minority(5)
+	maxCrash := 0
+	for _, p := range sys.Patterns {
+		if l := p.Procs.Len(); l > maxCrash {
+			maxCrash = l
+		}
+	}
+	if maxCrash != 2 {
+		t.Fatalf("Minority(5) max crashes = %d, want 2", maxCrash)
+	}
+}
+
+func TestSystemValidateRejectsBadN(t *testing.T) {
+	if err := (System{N: 0}).Validate(); err == nil {
+		t.Error("system with 0 processes accepted")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := NewPattern(4, []Proc{3}, []Channel{{From: 1, To: 2}, {From: 0, To: 2}}).WithName("fx")
+	got := p.String()
+	want := "fx: P={3} C={(0, 2), (1, 2)}"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,83 @@
+package failure
+
+import "repro/internal/graph"
+
+// Figure-1 process names. The paper's example uses processes a, b, c, d; we
+// map them to indices 0..3.
+const (
+	A Proc = 0
+	B Proc = 1
+	C Proc = 2
+	D Proc = 3
+)
+
+// Figure1N is the number of processes in the paper's running example.
+const Figure1N = 4
+
+// chansExcept returns, for the 4-process complete graph restricted to the
+// correct processes, the complement of the given correct channels — i.e. the
+// set of channels between correct processes that may disconnect.
+func chansExcept(crashed Proc, correct []Channel) []Channel {
+	keep := make(map[Channel]bool, len(correct))
+	for _, c := range correct {
+		keep[c] = true
+	}
+	var out []Channel
+	for u := Proc(0); u < Figure1N; u++ {
+		for v := Proc(0); v < Figure1N; v++ {
+			if u == v || u == crashed || v == crashed {
+				continue
+			}
+			c := Channel{From: u, To: v}
+			if !keep[c] {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Figure1 returns the fail-prone system F = {f1, f2, f3, f4} of Figure 1.
+// Under f_i one process may crash and all channels between the remaining
+// three processes may disconnect except the three correct channels shown as
+// solid arrows in the figure.
+//
+//	f1: d crashes; correct channels (c,a), (a,b), (b,a)
+//	f2: a crashes; correct channels (d,b), (b,c), (c,b)
+//	f3: b crashes; correct channels (a,c), (c,d), (d,c)
+//	f4: c crashes; correct channels (b,d), (d,a), (a,d)
+//
+// The rotation follows the figure: each f_{i+1} is f_i with the roles of
+// (a,b,c,d) rotated by one position.
+func Figure1() System {
+	rot := func(p Proc, k int) Proc { return Proc((int(p) + k) % Figure1N) }
+	var pats []Pattern
+	names := []string{"f1", "f2", "f3", "f4"}
+	for i := 0; i < 4; i++ {
+		crashed := rot(D, i)
+		correct := []Channel{
+			{From: rot(C, i), To: rot(A, i)},
+			{From: rot(A, i), To: rot(B, i)},
+			{From: rot(B, i), To: rot(A, i)},
+		}
+		p := NewPattern(Figure1N, []Proc{crashed}, chansExcept(crashed, correct))
+		pats = append(pats, p.WithName(names[i]))
+	}
+	return NewSystem(Figure1N, pats...)
+}
+
+// Figure1Quorums returns the read and write quorum families R = {R_i} and
+// W = {W_i} of Figure 1, aligned index-wise with the patterns of Figure1():
+//
+//	R1 = {a, c}, W1 = {a, b}
+//	R2 = {b, d}, W2 = {b, c}
+//	R3 = {c, a}, W3 = {c, d}
+//	R4 = {d, b}, W4 = {d, a}
+func Figure1Quorums() (reads, writes []graph.BitSet) {
+	rot := func(p Proc, k int) int { return (int(p) + k) % Figure1N }
+	for i := 0; i < 4; i++ {
+		reads = append(reads, graph.BitSetOf(Figure1N, rot(A, i), rot(C, i)))
+		writes = append(writes, graph.BitSetOf(Figure1N, rot(A, i), rot(B, i)))
+	}
+	return reads, writes
+}

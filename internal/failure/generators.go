@@ -1,0 +1,147 @@
+package failure
+
+import (
+	"fmt"
+)
+
+// This file provides generators for fail-prone systems modelling common
+// real-world failure scenarios beyond simple crash thresholds. Each produces
+// failure patterns combining crashes with the asymmetric channel failures
+// the paper's framework was designed for.
+
+// IngressLoss returns the fail-prone system used by the georeplication
+// example: for each process i, one pattern in which all channels INTO i
+// disconnect (i becomes send-only — e.g. a broken ingress path or one-way
+// firewall misconfiguration) while the "antipodal" process (i + n/2) mod n
+// may crash. For n >= 4 this system admits a GQS in which the send-only
+// process serves only in read quorums.
+func IngressLoss(n int) System {
+	var patterns []Pattern
+	for i := 0; i < n; i++ {
+		crashed := Proc((i + n/2) % n)
+		var chans []Channel
+		for from := Proc(0); int(from) < n; from++ {
+			to := Proc(i)
+			if from == to || from == crashed || to == crashed {
+				continue
+			}
+			chans = append(chans, Channel{From: from, To: to})
+		}
+		p := NewPattern(n, []Proc{crashed}, chans)
+		patterns = append(patterns, p.WithName(fmt.Sprintf("ingress-loss-%d", i)))
+	}
+	return NewSystem(n, patterns...)
+}
+
+// EgressLoss is the mirror image of IngressLoss: for each process i, all
+// channels OUT of i disconnect (i becomes receive-only — e.g. an asymmetric
+// link where acknowledgments still flow in). A receive-only correct process
+// can never be part of any read quorum that must push state, nor of a write
+// quorum; these systems stress the decision procedure's handling of
+// processes that are correct but useless.
+func EgressLoss(n int) System {
+	var patterns []Pattern
+	for i := 0; i < n; i++ {
+		crashed := Proc((i + n/2) % n)
+		var chans []Channel
+		for to := Proc(0); int(to) < n; to++ {
+			from := Proc(i)
+			if from == to || from == crashed || to == crashed {
+				continue
+			}
+			chans = append(chans, Channel{From: from, To: to})
+		}
+		p := NewPattern(n, []Proc{crashed}, chans)
+		patterns = append(patterns, p.WithName(fmt.Sprintf("egress-loss-%d", i)))
+	}
+	return NewSystem(n, patterns...)
+}
+
+// OneWayRing returns a fail-prone system over n processes in which, under
+// the single pattern, every channel may fail except a directed ring
+// 0 -> 1 -> ... -> n-1 -> 0. The ring keeps all processes strongly connected
+// (through relays), so the whole process set is one write quorum — the
+// minimal connectivity under which everything still works everywhere.
+func OneWayRing(n int) System {
+	ring := make(map[Channel]bool, n)
+	for i := 0; i < n; i++ {
+		ring[Channel{From: Proc(i), To: Proc((i + 1) % n)}] = true
+	}
+	var chans []Channel
+	for u := Proc(0); int(u) < n; u++ {
+		for v := Proc(0); int(v) < n; v++ {
+			if u == v {
+				continue
+			}
+			c := Channel{From: u, To: v}
+			if !ring[c] {
+				chans = append(chans, c)
+			}
+		}
+	}
+	p := NewPattern(n, nil, chans).WithName("ring-only")
+	return NewSystem(n, p)
+}
+
+// Partition returns a fail-prone system with one pattern per way of
+// splitting the processes into a "majority side" keeping the first m
+// processes connected and cutting every channel across the split, with the
+// minority side's processes additionally allowed to crash. It models clean
+// network partitions where only the majority side should stay live.
+// m must satisfy n/2 < m < n.
+func Partition(n, m int) (System, error) {
+	if m <= n/2 || m >= n {
+		return System{}, fmt.Errorf("partition majority m=%d must satisfy n/2 < m < n (n=%d)", m, n)
+	}
+	// One representative pattern per rotation of the split.
+	var patterns []Pattern
+	for r := 0; r < n; r++ {
+		inMaj := make(map[Proc]bool, m)
+		for i := 0; i < m; i++ {
+			inMaj[Proc((r+i)%n)] = true
+		}
+		var crashed []Proc
+		for p := Proc(0); int(p) < n; p++ {
+			if !inMaj[p] {
+				crashed = append(crashed, p)
+			}
+		}
+		// Channels across the split involve a crashed process and are faulty
+		// by default, so no explicit channel failures are needed: the
+		// pattern is "minority crashes". (A softer variant where the
+		// minority survives but is disconnected is expressible with Chans;
+		// then the minority is correct-but-isolated, and U_f excludes it.)
+		p := NewPattern(n, crashed, nil)
+		patterns = append(patterns, p.WithName(fmt.Sprintf("partition-%d", r)))
+	}
+	return NewSystem(n, patterns...), nil
+}
+
+// SoftPartition is the variant of Partition in which the minority side stays
+// up but every channel between the two sides disconnects in both directions.
+// The minority processes are correct yet outside every U_f — the situation
+// the paper's restricted termination mapping exists to describe.
+func SoftPartition(n, m int) (System, error) {
+	if m <= n/2 || m >= n {
+		return System{}, fmt.Errorf("partition majority m=%d must satisfy n/2 < m < n (n=%d)", m, n)
+	}
+	var patterns []Pattern
+	for r := 0; r < n; r++ {
+		inMaj := make(map[Proc]bool, m)
+		for i := 0; i < m; i++ {
+			inMaj[Proc((r+i)%n)] = true
+		}
+		var chans []Channel
+		for u := Proc(0); int(u) < n; u++ {
+			for v := Proc(0); int(v) < n; v++ {
+				if u == v || inMaj[u] == inMaj[v] {
+					continue
+				}
+				chans = append(chans, Channel{From: u, To: v})
+			}
+		}
+		p := NewPattern(n, nil, chans)
+		patterns = append(patterns, p.WithName(fmt.Sprintf("soft-partition-%d", r)))
+	}
+	return NewSystem(n, patterns...), nil
+}

@@ -1,0 +1,123 @@
+package failure
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestIngressLossWellFormed(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		sys := IngressLoss(n)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("IngressLoss(%d): %v", n, err)
+		}
+		if len(sys.Patterns) != n {
+			t.Fatalf("IngressLoss(%d): %d patterns", n, len(sys.Patterns))
+		}
+		g := graph.Complete(n)
+		for i, p := range sys.Patterns {
+			res := p.Residual(g)
+			// Process i keeps all outgoing channels to surviving processes
+			// but none incoming.
+			for v := 0; v < n; v++ {
+				if v == i || p.FaultyProc(Proc(v)) {
+					continue
+				}
+				if !res.HasEdge(i, v) {
+					t.Errorf("IngressLoss(%d) pattern %d: egress edge (%d,%d) missing", n, i, i, v)
+				}
+				if res.HasEdge(v, i) {
+					t.Errorf("IngressLoss(%d) pattern %d: ingress edge (%d,%d) survived", n, i, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEgressLossWellFormed(t *testing.T) {
+	sys := EgressLoss(6)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Complete(6)
+	res := sys.Patterns[0].Residual(g)
+	// Process 0 keeps ingress, loses egress.
+	if res.HasEdge(0, 1) {
+		t.Error("egress edge survived")
+	}
+	if !res.HasEdge(1, 0) {
+		t.Error("ingress edge missing")
+	}
+}
+
+func TestOneWayRing(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		sys := OneWayRing(n)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("OneWayRing(%d): %v", n, err)
+		}
+		if len(sys.Patterns) != 1 {
+			t.Fatalf("OneWayRing(%d): %d patterns, want 1", n, len(sys.Patterns))
+		}
+		g := graph.Complete(n)
+		res := sys.Patterns[0].Residual(g)
+		if got := res.EdgeCount(); got != n {
+			t.Fatalf("OneWayRing(%d): residual has %d edges, want %d", n, got, n)
+		}
+		// The whole vertex set is strongly connected through the ring.
+		all := graph.NewBitSet(n)
+		for i := 0; i < n; i++ {
+			all.Add(i)
+		}
+		if !res.StronglyConnectedSubset(all) {
+			t.Fatalf("OneWayRing(%d): ring not strongly connected", n)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := Partition(4, 2); err == nil {
+		t.Error("m = n/2 accepted")
+	}
+	if _, err := Partition(4, 4); err == nil {
+		t.Error("m = n accepted")
+	}
+	sys, err := Partition(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Patterns) != 5 {
+		t.Fatalf("%d patterns", len(sys.Patterns))
+	}
+	for _, p := range sys.Patterns {
+		if got := p.Procs.Len(); got != 2 {
+			t.Fatalf("partition pattern crashes %d, want 2", got)
+		}
+	}
+}
+
+func TestSoftPartitionValidation(t *testing.T) {
+	sys, err := SoftPartition(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SoftPartition(5, 2); err == nil {
+		t.Error("invalid majority accepted")
+	}
+	// Nobody crashes; channels across the cut fail in both directions.
+	p := sys.Patterns[0]
+	if p.Procs.Len() != 0 {
+		t.Fatal("soft partition should crash nobody")
+	}
+	// 3x2 cut, both directions: 12 channels.
+	if got := len(p.Chans); got != 12 {
+		t.Fatalf("%d failed channels, want 12", got)
+	}
+}

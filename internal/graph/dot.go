@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DotOptions controls DOT rendering.
+type DotOptions struct {
+	// Name is the graph name (default "G").
+	Name string
+	// Labels optionally names vertices (index -> label); unnamed vertices
+	// render as p<i>.
+	Labels map[int]string
+	// Highlight renders the given vertex set with a distinct style (e.g. a
+	// write quorum or U_f).
+	Highlight BitSet
+}
+
+// WriteDot renders the graph in Graphviz DOT format, one directed edge per
+// channel. It is used by cmd/gqscheck to visualize residual graphs and
+// termination components.
+func (g *Graph) WriteDot(w io.Writer, opts DotOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	label := func(v int) string {
+		if l, ok := opts.Labels[v]; ok {
+			return l
+		}
+		return fmt.Sprintf("p%d", v)
+	}
+	for v := 0; v < g.n; v++ {
+		style := ""
+		if opts.Highlight.Contains(v) {
+			style = ` style=filled fillcolor="#cde7ff"`
+		}
+		fmt.Fprintf(&b, "  %d [label=%q%s];\n", v, label(v), style)
+	}
+	for u := 0; u < g.n; u++ {
+		g.Successors(u).ForEach(func(v int) {
+			fmt.Fprintf(&b, "  %d -> %d;\n", u, v)
+		})
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

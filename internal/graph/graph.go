@@ -1,0 +1,218 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Graph is a directed graph over vertices 0..n-1. Vertices model processes
+// and edges model unidirectional communication channels. Self-loops are
+// permitted but have no effect on connectivity semantics (a process can
+// always "send to itself").
+type Graph struct {
+	n   int
+	adj []BitSet // adj[u] = set of v with edge (u, v)
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{n: n, adj: make([]BitSet, n)}
+	for i := range g.adj {
+		g.adj[i] = NewBitSet(n)
+	}
+	return g
+}
+
+// Complete returns the complete directed graph on n vertices (an edge in both
+// directions between every distinct pair). This is the network graph G of the
+// paper's system model: a channel (p, q) for every pair of processes.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the directed edge (u, v). Out-of-range endpoints are
+// ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return
+	}
+	g.adj[u].Add(v)
+}
+
+// RemoveEdge deletes the directed edge (u, v) if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return
+	}
+	g.adj[u].Remove(v)
+}
+
+// HasEdge reports whether the directed edge (u, v) is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n {
+		return false
+	}
+	return g.adj[u].Contains(v)
+}
+
+// Successors returns the out-neighbour set of u. The returned set must not
+// be modified by the caller.
+func (g *Graph) Successors(u int) BitSet { return g.adj[u] }
+
+// EdgeCount returns the number of directed edges.
+func (g *Graph) EdgeCount() int {
+	c := 0
+	for _, s := range g.adj {
+		c += s.Len()
+	}
+	return c
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, adj: make([]BitSet, g.n)}
+	for i := range g.adj {
+		c.adj[i] = g.adj[i].Clone()
+	}
+	return c
+}
+
+// Transpose returns the graph with every edge reversed.
+func (g *Graph) Transpose() *Graph {
+	t := New(g.n)
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) { t.AddEdge(v, u) })
+	}
+	return t
+}
+
+// InducedSubgraph returns a graph on the same vertex set that keeps only the
+// edges whose both endpoints are in keep, and drops all edges incident to
+// vertices outside keep. Vertices outside keep become isolated.
+func (g *Graph) InducedSubgraph(keep BitSet) *Graph {
+	s := New(g.n)
+	keep.ForEach(func(u int) {
+		g.adj[u].ForEach(func(v int) {
+			if keep.Contains(v) {
+				s.AddEdge(u, v)
+			}
+		})
+	})
+	return s
+}
+
+// ReachableFrom returns the set of vertices reachable from u by a directed
+// path, including u itself.
+func (g *Graph) ReachableFrom(u int) BitSet {
+	out := NewBitSet(g.n)
+	if u < 0 || u >= g.n {
+		return out
+	}
+	stack := []int{u}
+	out.Add(u)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.adj[x].ForEach(func(v int) {
+			if !out.Contains(v) {
+				out.Add(v)
+				stack = append(stack, v)
+			}
+		})
+	}
+	return out
+}
+
+// CanReachSet returns the set of vertices that can reach at least one vertex
+// in target by a directed path (members of target reach themselves).
+func (g *Graph) CanReachSet(target BitSet) BitSet {
+	t := g.Transpose()
+	out := NewBitSet(g.n)
+	var stack []int
+	target.ForEach(func(u int) {
+		out.Add(u)
+		stack = append(stack, u)
+	})
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.adj[x].ForEach(func(v int) {
+			if !out.Contains(v) {
+				out.Add(v)
+				stack = append(stack, v)
+			}
+		})
+	}
+	return out
+}
+
+// CanReachAll returns the set of vertices that can reach every vertex of
+// target by directed paths. This is the set from which target is reachable
+// in the sense of the paper's f-reachability.
+func (g *Graph) CanReachAll(target BitSet) BitSet {
+	out := NewBitSet(g.n)
+	if target.Empty() {
+		// Every vertex vacuously reaches all of an empty target.
+		for v := 0; v < g.n; v++ {
+			out.Add(v)
+		}
+		return out
+	}
+	first := true
+	t := g.Transpose()
+	target.ForEach(func(u int) {
+		// Vertices that can reach u = vertices reachable from u in transpose.
+		r := t.ReachableFrom(u)
+		if first {
+			out = r
+			first = false
+		} else {
+			out = out.Intersect(r)
+		}
+	})
+	return out
+}
+
+// StronglyConnectedSubset reports whether every pair of vertices in set can
+// reach each other using only paths through the whole graph. The empty set
+// and singletons are strongly connected.
+//
+// Note: the paper's definition of f-availability ("strongly connected in
+// G \ f") permits connecting paths to pass through any correct vertex of the
+// residual graph, not only through members of the set; this method implements
+// that semantics.
+func (g *Graph) StronglyConnectedSubset(set BitSet) bool {
+	elems := set.Elems()
+	if len(elems) <= 1 {
+		return true
+	}
+	r := g.ReachableFrom(elems[0])
+	if !set.SubsetOf(r) {
+		return false
+	}
+	back := g.CanReachSet(BitSetOf(g.n, elems[0]))
+	return set.SubsetOf(back)
+}
+
+// String renders the adjacency structure for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for u := 0; u < g.n; u++ {
+		fmt.Fprintf(&b, "%d -> %s\n", u, g.adj[u].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// figure1Residual builds the residual graph G \ f1 from Figure 1 of the
+// paper: processes a=0, b=1, c=2, d=3; correct channels (c,a), (a,b), (b,a);
+// process d crashed.
+func figure1Residual() *Graph {
+	g := New(4)
+	g.AddEdge(2, 0) // (c, a)
+	g.AddEdge(0, 1) // (a, b)
+	g.AddEdge(1, 0) // (b, a)
+	return g
+}
+
+func TestCompleteGraph(t *testing.T) {
+	g := Complete(4)
+	if got := g.EdgeCount(); got != 12 {
+		t.Fatalf("EdgeCount = %d, want 12", got)
+	}
+	for u := 0; u < 4; u++ {
+		if g.HasEdge(u, u) {
+			t.Errorf("complete graph should not have self loop at %d", u)
+		}
+	}
+	if !g.HasEdge(0, 3) || !g.HasEdge(3, 0) {
+		t.Error("missing edges in complete graph")
+	}
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // idempotent
+	g.AddEdge(-1, 2)
+	g.AddEdge(2, 99)
+	if got := g.EdgeCount(); got != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", got)
+	}
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) {
+		t.Error("edge not removed")
+	}
+	g.RemoveEdge(0, 1) // idempotent
+	g.RemoveEdge(-5, 0)
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := figure1Residual()
+	cases := []struct {
+		from int
+		want []int
+	}{
+		{0, []int{0, 1}},    // a reaches a, b
+		{1, []int{0, 1}},    // b reaches a, b
+		{2, []int{0, 1, 2}}, // c reaches everyone correct
+		{3, []int{3}},       // d isolated (crashed)
+	}
+	for _, c := range cases {
+		got := g.ReachableFrom(c.from).Elems()
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ReachableFrom(%d) = %v, want %v", c.from, got, c.want)
+		}
+	}
+}
+
+func TestCanReachSet(t *testing.T) {
+	g := figure1Residual()
+	// Who can reach {a} = {0}? a itself, b (b->a), c (c->a).
+	got := g.CanReachSet(BitSetOf(4, 0)).Elems()
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("CanReachSet({a}) = %v", got)
+	}
+}
+
+func TestCanReachAll(t *testing.T) {
+	g := figure1Residual()
+	w1 := BitSetOf(4, 0, 1) // W1 = {a, b}
+	got := g.CanReachAll(w1).Elems()
+	// R1 = {a, c} and also b can reach both a and b.
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("CanReachAll(W1) = %v", got)
+	}
+
+	// Empty target: everyone vacuously qualifies.
+	if got := g.CanReachAll(NewBitSet(4)).Len(); got != 4 {
+		t.Fatalf("CanReachAll(empty) size = %d, want 4", got)
+	}
+}
+
+func TestStronglyConnectedSubset(t *testing.T) {
+	g := figure1Residual()
+	if !g.StronglyConnectedSubset(BitSetOf(4, 0, 1)) {
+		t.Error("W1={a,b} should be strongly connected")
+	}
+	if g.StronglyConnectedSubset(BitSetOf(4, 0, 2)) {
+		t.Error("R1={a,c} should NOT be strongly connected (a cannot reach c)")
+	}
+	if !g.StronglyConnectedSubset(BitSetOf(4, 2)) {
+		t.Error("singleton must be strongly connected")
+	}
+	if !g.StronglyConnectedSubset(NewBitSet(4)) {
+		t.Error("empty set must be strongly connected")
+	}
+}
+
+// StronglyConnectedSubset allows paths through vertices outside the set.
+func TestStronglyConnectedSubsetViaOutsideVertex(t *testing.T) {
+	g := New(3)
+	// 0 -> 2 -> 1 and 1 -> 0: {0, 1} strongly connected via 2.
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 0)
+	if !g.StronglyConnectedSubset(BitSetOf(3, 0, 1)) {
+		t.Fatal("{0,1} should be strongly connected via intermediate vertex 2")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tr := g.Transpose()
+	if !tr.HasEdge(1, 0) || !tr.HasEdge(2, 1) {
+		t.Error("transpose missing reversed edges")
+	}
+	if tr.HasEdge(0, 1) {
+		t.Error("transpose kept a forward edge")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(4)
+	sub := g.InducedSubgraph(BitSetOf(4, 0, 1))
+	if got := sub.EdgeCount(); got != 2 {
+		t.Fatalf("induced edge count = %d, want 2", got)
+	}
+	if sub.HasEdge(0, 2) || sub.HasEdge(2, 0) {
+		t.Error("induced subgraph kept an edge to a removed vertex")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func sortComponents(comps []BitSet) [][]int {
+	out := make([][]int, len(comps))
+	for i, c := range comps {
+		out[i] = c.Elems()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) == 0 {
+			return true
+		}
+		if len(out[j]) == 0 {
+			return false
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+func TestSCCsFigure1(t *testing.T) {
+	g := figure1Residual()
+	comps := sortComponents(g.SCCs())
+	want := [][]int{{0, 1}, {2}, {3}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("SCCs = %v, want %v", comps, want)
+	}
+}
+
+func TestSCCsCycleAndChain(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 (cycle), 3 -> 0 (chain in), 2 -> 4 (chain out).
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 0)
+	g.AddEdge(2, 4)
+	comps := sortComponents(g.SCCs())
+	want := [][]int{{0, 1, 2}, {3}, {4}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Fatalf("SCCs = %v, want %v", comps, want)
+	}
+}
+
+func TestSCCOfAndCondensation(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	of, comps := g.SCCOf()
+	if of[0] != of[1] || of[2] != of[3] || of[0] == of[2] {
+		t.Fatalf("unexpected component assignment %v", of)
+	}
+	dag, dagOf, dagComps := g.Condensation()
+	if len(dagComps) != len(comps) || len(dagComps) != 2 {
+		t.Fatalf("condensation has %d comps, want 2", len(dagComps))
+	}
+	if !dag.HasEdge(dagOf[0], dagOf[2]) {
+		t.Error("condensation missing inter-component edge")
+	}
+	if dag.HasEdge(dagOf[2], dagOf[0]) {
+		t.Error("condensation has a back edge; should be a DAG")
+	}
+}
+
+func TestSCCContaining(t *testing.T) {
+	g := figure1Residual()
+	if got := g.SCCContaining(0).Elems(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("SCCContaining(0) = %v", got)
+	}
+	if got := g.SCCContaining(3).Elems(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("SCCContaining(3) = %v", got)
+	}
+	if got := g.SCCContaining(-1); !got.Empty() {
+		t.Fatalf("SCCContaining(-1) = %v, want empty", got)
+	}
+}
+
+// Property: on random graphs, SCC partition agrees with the O(n^2)
+// mutual-reachability definition.
+func TestSCCQuickAgainstReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.25 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		of, _ := g.SCCOf()
+		reach := make([]BitSet, n)
+		for u := 0; u < n; u++ {
+			reach[u] = g.ReachableFrom(u)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				mutual := reach[u].Contains(v) && reach[v].Contains(u)
+				if mutual != (of[u] == of[v]) {
+					t.Fatalf("trial %d: SCC disagrees with mutual reachability at (%d,%d)", trial, u, v)
+				}
+			}
+		}
+	}
+}
+
+// Property: SCCs form a partition of the vertex set.
+func TestSCCsArePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(20)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.3 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		comps := g.SCCs()
+		seen := NewBitSet(n)
+		total := 0
+		for _, c := range comps {
+			if c.Empty() {
+				t.Fatal("empty component")
+			}
+			if seen.Intersects(c) {
+				t.Fatal("overlapping components")
+			}
+			seen = seen.Union(c)
+			total += c.Len()
+		}
+		if total != n {
+			t.Fatalf("components cover %d of %d vertices", total, n)
+		}
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	g := figure1Residual()
+	var buf strings.Builder
+	err := g.WriteDot(&buf, DotOptions{
+		Name:      "f1",
+		Labels:    map[int]string{0: "a", 1: "b", 2: "c", 3: "d"},
+		Highlight: BitSetOf(4, 0, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`digraph "f1"`, `label="a"`, "2 -> 0;", "0 -> 1;", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Defaults: unnamed graph and vertices.
+	buf.Reset()
+	if err := New(2).WriteDot(&buf, DotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `digraph "G"`) || !strings.Contains(buf.String(), `label="p0"`) {
+		t.Errorf("default dot output wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,117 @@
+package graph
+
+// SCCs computes the strongly connected components of the graph using
+// Tarjan's algorithm (iterative, so deep graphs cannot overflow the stack).
+// Components are returned in reverse topological order of the condensation
+// (i.e. a component appears before the components it can reach... Tarjan
+// emits components in reverse topological order; callers that care about
+// order should use Condensation).
+func (g *Graph) SCCs() []BitSet {
+	n := g.n
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		comps   []BitSet
+		stack   []int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		iter []int // remaining successors
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		callStack := []frame{{v: root, iter: g.adj[root].Elems()}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if len(f.iter) > 0 {
+				w := f.iter[0]
+				f.iter = f.iter[1:]
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w, iter: g.adj[w].Elems()})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Done with v: pop the frame.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				comp := NewBitSet(n)
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp.Add(w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// SCCOf returns, for each vertex, the index of its strongly connected
+// component in the slice returned by SCCs, plus the components themselves.
+func (g *Graph) SCCOf() ([]int, []BitSet) {
+	comps := g.SCCs()
+	of := make([]int, g.n)
+	for ci, c := range comps {
+		c.ForEach(func(v int) { of[v] = ci })
+	}
+	return of, comps
+}
+
+// SCCContaining returns the strongly connected component containing vertex v.
+func (g *Graph) SCCContaining(v int) BitSet {
+	of, comps := g.SCCOf()
+	if v < 0 || v >= g.n {
+		return NewBitSet(g.n)
+	}
+	return comps[of[v]]
+}
+
+// Condensation returns the DAG whose vertices are the SCCs of g (indexed as
+// in SCCs) and whose edges are the inter-component edges, along with the
+// component index of each original vertex.
+func (g *Graph) Condensation() (*Graph, []int, []BitSet) {
+	of, comps := g.SCCOf()
+	dag := New(len(comps))
+	for u := 0; u < g.n; u++ {
+		g.adj[u].ForEach(func(v int) {
+			if of[u] != of[v] {
+				dag.AddEdge(of[u], of[v])
+			}
+		})
+	}
+	return dag, of, comps
+}

@@ -1,0 +1,182 @@
+package lattice
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/node"
+	"repro/internal/qaf"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+type laCluster struct {
+	net   *transport.MemNetwork
+	nodes []*node.Node
+	las   []*Agreement
+	props []*qaf.Propagator
+}
+
+func (c *laCluster) stop() {
+	for _, a := range c.las {
+		a.Stop()
+	}
+	for _, p := range c.props {
+		p.Stop()
+	}
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.net.Close()
+}
+
+func newLACluster(t *testing.T) *laCluster {
+	t.Helper()
+	qs := quorum.Figure1()
+	c := &laCluster{net: transport.NewMem(4,
+		transport.WithDelay(transport.UniformDelay{Min: 5 * time.Microsecond, Max: 100 * time.Microsecond}),
+		transport.WithSeed(31))}
+	for i := 0; i < 4; i++ {
+		nd := node.New(failure.Proc(i), c.net)
+		c.nodes = append(c.nodes, nd)
+		prop := qaf.NewPropagator(nd, 2*time.Millisecond)
+		c.props = append(c.props, prop)
+		c.las = append(c.las, NewAgreement(nd, AgreementOptions{
+			Lattice: SetLattice{},
+			Reads:   qs.Reads, Writes: qs.Writes,
+			Tick: 2 * time.Millisecond, Propagator: prop,
+		}))
+	}
+	return c
+}
+
+// TestLatticeAgreementProperties runs concurrent proposals and checks the
+// three conditions of §6: Comparability, Downward validity, Upward validity.
+func TestLatticeAgreementProperties(t *testing.T) {
+	c := newLACluster(t)
+	defer c.stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
+	defer cancel()
+
+	// Four-way concurrency saturates the race detector's instrumented JSON
+	// path (every proposer drives ~50 register ops per AHR iteration); two
+	// proposers still exercise every property.
+	proposers := 4
+	if raceEnabled {
+		proposers = 2
+	}
+	l := SetLattice{}
+	inputs := make([]string, proposers)
+	outputs := make([]string, proposers)
+	var wg sync.WaitGroup
+	for p := 0; p < proposers; p++ {
+		inputs[p] = EncodeSet(fmt.Sprintf("x%d", p))
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out, err := c.las[p].Propose(ctx, inputs[p])
+			if err != nil {
+				t.Errorf("propose p%d: %v", p, err)
+				return
+			}
+			outputs[p] = out
+		}(p)
+	}
+	wg.Wait()
+
+	allInputs, err := JoinAll(l, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < proposers; p++ {
+		if outputs[p] == "" {
+			continue // propose errored; already reported
+		}
+		// Downward validity: x_p <= y_p.
+		leq, err := l.Leq(inputs[p], outputs[p])
+		if err != nil || !leq {
+			t.Errorf("downward validity violated at p%d: %q !<= %q", p, inputs[p], outputs[p])
+		}
+		// Upward validity: y_p <= join of all inputs.
+		leq, err = l.Leq(outputs[p], allInputs)
+		if err != nil || !leq {
+			t.Errorf("upward validity violated at p%d: %q !<= %q", p, outputs[p], allInputs)
+		}
+	}
+	// Comparability: all pairs of outputs ordered.
+	for i := 0; i < proposers; i++ {
+		for j := i + 1; j < proposers; j++ {
+			if outputs[i] == "" || outputs[j] == "" {
+				continue
+			}
+			comp, err := Comparable(l, outputs[i], outputs[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !comp {
+				t.Errorf("outputs of p%d and p%d incomparable: %q vs %q", i, j, outputs[i], outputs[j])
+			}
+		}
+	}
+}
+
+// TestLatticeAgreementSolo: a solo proposer outputs exactly its input
+// (Downward + Upward validity pin it).
+func TestLatticeAgreementSolo(t *testing.T) {
+	c := newLACluster(t)
+	defer c.stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	in := EncodeSet("only")
+	out, err := c.las[2].Propose(ctx, in)
+	if err != nil {
+		t.Fatalf("propose: %v", err)
+	}
+	if out != in {
+		t.Fatalf("solo output = %q, want %q", out, in)
+	}
+}
+
+// TestLatticeAgreementUnderF1: termination within U_f1 = {a, b} under the
+// Figure-1 pattern f1, with comparable outputs (Theorem 1 for lattice
+// agreement).
+func TestLatticeAgreementUnderF1(t *testing.T) {
+	qs := quorum.Figure1()
+	c := newLACluster(t)
+	defer c.stop()
+	c.net.ApplyPattern(qs.F.Patterns[0])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
+	defer cancel()
+	l := SetLattice{}
+	outs := make([]string, 2)
+	var wg sync.WaitGroup
+	for _, p := range []int{0, 1} {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out, err := c.las[p].Propose(ctx, EncodeSet(fmt.Sprintf("v%d", p)))
+			if err != nil {
+				t.Errorf("propose p%d under f1: %v", p, err)
+				return
+			}
+			outs[p] = out
+		}(p)
+	}
+	wg.Wait()
+	if outs[0] == "" || outs[1] == "" {
+		return
+	}
+	comp, err := Comparable(l, outs[0], outs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp {
+		t.Fatalf("outputs incomparable under f1: %q vs %q", outs[0], outs[1])
+	}
+}

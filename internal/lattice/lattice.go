@@ -1,0 +1,275 @@
+// Package lattice implements single-shot lattice agreement from atomic
+// snapshots, following Attiya, Herlihy and Rachman [11]: a process
+// repeatedly publishes its current value in its snapshot segment and scans;
+// once the join of the scanned values equals what it published, it outputs.
+// Monotonicity of published values plus snapshot atomicity yields
+// Comparability; Downward/Upward validity are immediate from joining only
+// input values. Layered over generalized-quorum-system snapshots this proves
+// the lattice-agreement part of Theorem 1.
+package lattice
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Lattice defines a join semi-lattice over string-encoded elements.
+type Lattice interface {
+	// Bottom returns the encoding of the least element.
+	Bottom() string
+	// Join returns the least upper bound of a and b.
+	Join(a, b string) (string, error)
+	// Leq reports whether a <= b in the lattice order.
+	Leq(a, b string) (bool, error)
+}
+
+// ErrIncomparable is a sentinel for callers that need to detect comparability
+// violations when validating outputs.
+var ErrIncomparable = errors.New("lattice elements are incomparable")
+
+// Comparable reports whether a and b are ordered either way.
+func Comparable(l Lattice, a, b string) (bool, error) {
+	ab, err := l.Leq(a, b)
+	if err != nil {
+		return false, err
+	}
+	ba, err := l.Leq(b, a)
+	if err != nil {
+		return false, err
+	}
+	return ab || ba, nil
+}
+
+// SetLattice is the powerset lattice over strings: elements are JSON arrays
+// of distinct strings, ordered by inclusion, joined by union. The empty set
+// is bottom. This is the lattice used in the paper's lower-bound proofs
+// (two singleton sets are incomparable).
+type SetLattice struct{}
+
+var _ Lattice = SetLattice{}
+
+// Bottom implements Lattice.
+func (SetLattice) Bottom() string { return "[]" }
+
+func decodeSet(s string) (map[string]bool, error) {
+	if s == "" {
+		return map[string]bool{}, nil
+	}
+	var elems []string
+	if err := json.Unmarshal([]byte(s), &elems); err != nil {
+		return nil, fmt.Errorf("decode set element: %w", err)
+	}
+	out := make(map[string]bool, len(elems))
+	for _, e := range elems {
+		out[e] = true
+	}
+	return out, nil
+}
+
+// EncodeSet canonically encodes a set of strings (sorted JSON array).
+func EncodeSet(elems ...string) string {
+	set := make(map[string]bool, len(elems))
+	for _, e := range elems {
+		set[e] = true
+	}
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	b, err := json.Marshal(out)
+	if err != nil {
+		return "[]" // strings are always marshalable; unreachable
+	}
+	return string(b)
+}
+
+// Join implements Lattice.
+func (SetLattice) Join(a, b string) (string, error) {
+	sa, err := decodeSet(a)
+	if err != nil {
+		return "", err
+	}
+	sb, err := decodeSet(b)
+	if err != nil {
+		return "", err
+	}
+	union := make([]string, 0, len(sa)+len(sb))
+	for e := range sa {
+		union = append(union, e)
+	}
+	for e := range sb {
+		if !sa[e] {
+			union = append(union, e)
+		}
+	}
+	return EncodeSet(union...), nil
+}
+
+// Leq implements Lattice.
+func (SetLattice) Leq(a, b string) (bool, error) {
+	sa, err := decodeSet(a)
+	if err != nil {
+		return false, err
+	}
+	sb, err := decodeSet(b)
+	if err != nil {
+		return false, err
+	}
+	for e := range sa {
+		if !sb[e] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// MaxIntLattice is the total order of non-negative integers under max.
+type MaxIntLattice struct{}
+
+var _ Lattice = MaxIntLattice{}
+
+// Bottom implements Lattice.
+func (MaxIntLattice) Bottom() string { return "0" }
+
+func decodeInt(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("decode int element %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// Join implements Lattice.
+func (MaxIntLattice) Join(a, b string) (string, error) {
+	va, err := decodeInt(a)
+	if err != nil {
+		return "", err
+	}
+	vb, err := decodeInt(b)
+	if err != nil {
+		return "", err
+	}
+	if vb > va {
+		va = vb
+	}
+	return strconv.FormatInt(va, 10), nil
+}
+
+// Leq implements Lattice.
+func (MaxIntLattice) Leq(a, b string) (bool, error) {
+	va, err := decodeInt(a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := decodeInt(b)
+	if err != nil {
+		return false, err
+	}
+	return va <= vb, nil
+}
+
+// VectorMaxLattice is the component-wise max lattice over int vectors of a
+// fixed dimension (JSON arrays). Vectors of differing lengths are padded
+// with zeros. It is the natural lattice for monotone telemetry aggregation.
+type VectorMaxLattice struct{}
+
+var _ Lattice = VectorMaxLattice{}
+
+// Bottom implements Lattice.
+func (VectorMaxLattice) Bottom() string { return "[]" }
+
+func decodeVec(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var v []int64
+	if err := json.Unmarshal([]byte(s), &v); err != nil {
+		return nil, fmt.Errorf("decode vector element: %w", err)
+	}
+	return v, nil
+}
+
+// EncodeVec encodes an int vector.
+func EncodeVec(v ...int64) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "[]" // unreachable for int slices
+	}
+	return string(b)
+}
+
+// Join implements Lattice.
+func (VectorMaxLattice) Join(a, b string) (string, error) {
+	va, err := decodeVec(a)
+	if err != nil {
+		return "", err
+	}
+	vb, err := decodeVec(b)
+	if err != nil {
+		return "", err
+	}
+	n := len(va)
+	if len(vb) > n {
+		n = len(vb)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		var x, y int64
+		if i < len(va) {
+			x = va[i]
+		}
+		if i < len(vb) {
+			y = vb[i]
+		}
+		if y > x {
+			x = y
+		}
+		out[i] = x
+	}
+	return EncodeVec(out...), nil
+}
+
+// Leq implements Lattice.
+func (VectorMaxLattice) Leq(a, b string) (bool, error) {
+	va, err := decodeVec(a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := decodeVec(b)
+	if err != nil {
+		return false, err
+	}
+	for i, x := range va {
+		var y int64
+		if i < len(vb) {
+			y = vb[i]
+		}
+		if x > y {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// JoinAll folds Join over a list of elements starting from bottom.
+func JoinAll(l Lattice, elems []string) (string, error) {
+	acc := l.Bottom()
+	for _, e := range elems {
+		if e == "" {
+			continue
+		}
+		j, err := l.Join(acc, e)
+		if err != nil {
+			return "", err
+		}
+		acc = j
+	}
+	return acc, nil
+}

@@ -1,0 +1,180 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetLatticeBasics(t *testing.T) {
+	l := SetLattice{}
+	if l.Bottom() != "[]" {
+		t.Fatal("bottom")
+	}
+	ab := EncodeSet("a", "b")
+	j, err := l.Join(EncodeSet("a"), EncodeSet("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != ab {
+		t.Fatalf("join = %q, want %q", j, ab)
+	}
+	// Canonical encoding is order-insensitive and dedups.
+	if EncodeSet("b", "a", "a") != ab {
+		t.Fatal("EncodeSet not canonical")
+	}
+	leq, err := l.Leq(EncodeSet("a"), ab)
+	if err != nil || !leq {
+		t.Fatal("subset not leq")
+	}
+	leq, err = l.Leq(ab, EncodeSet("a"))
+	if err != nil || leq {
+		t.Fatal("superset leq")
+	}
+	// Incomparable singletons (the lower-bound proof's lattice).
+	comp, err := Comparable(l, EncodeSet("x1"), EncodeSet("x2"))
+	if err != nil || comp {
+		t.Fatal("distinct singletons must be incomparable")
+	}
+	// Empty string treated as bottom.
+	leq, err = l.Leq("", EncodeSet("a"))
+	if err != nil || !leq {
+		t.Fatal("empty not leq")
+	}
+	if _, err := l.Join("{bad", "[]"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := l.Leq("[]", "{bad"); err == nil {
+		t.Fatal("garbage accepted in Leq")
+	}
+}
+
+func TestMaxIntLattice(t *testing.T) {
+	l := MaxIntLattice{}
+	j, err := l.Join("3", "7")
+	if err != nil || j != "7" {
+		t.Fatalf("join = %q, %v", j, err)
+	}
+	leq, err := l.Leq("3", "7")
+	if err != nil || !leq {
+		t.Fatal("3 <= 7 failed")
+	}
+	leq, err = l.Leq("7", "3")
+	if err != nil || leq {
+		t.Fatal("7 <= 3 passed")
+	}
+	if l.Bottom() != "0" {
+		t.Fatal("bottom")
+	}
+	if _, err := l.Join("x", "1"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Empty string is bottom.
+	j, err = l.Join("", "5")
+	if err != nil || j != "5" {
+		t.Fatal("empty join")
+	}
+}
+
+func TestVectorMaxLattice(t *testing.T) {
+	l := VectorMaxLattice{}
+	j, err := l.Join(EncodeVec(1, 5), EncodeVec(3, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != EncodeVec(3, 5, 4) {
+		t.Fatalf("join = %q", j)
+	}
+	leq, err := l.Leq(EncodeVec(1, 2), EncodeVec(1, 3))
+	if err != nil || !leq {
+		t.Fatal("leq failed")
+	}
+	leq, err = l.Leq(EncodeVec(2, 0), EncodeVec(1, 3))
+	if err != nil || leq {
+		t.Fatal("incomparable reported leq")
+	}
+	// Shorter vector padded with zeros.
+	leq, err = l.Leq(EncodeVec(1), EncodeVec(1, 0, 0))
+	if err != nil || !leq {
+		t.Fatal("padding broken")
+	}
+	if _, err := l.Join("{", "[]"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestJoinAll(t *testing.T) {
+	l := SetLattice{}
+	j, err := JoinAll(l, []string{EncodeSet("a"), "", EncodeSet("b", "c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != EncodeSet("a", "b", "c") {
+		t.Fatalf("JoinAll = %q", j)
+	}
+	// Empty input list = bottom.
+	j, err = JoinAll(l, nil)
+	if err != nil || j != "[]" {
+		t.Fatalf("JoinAll(nil) = %q", j)
+	}
+}
+
+// Lattice laws on random sets: commutativity, associativity, idempotence,
+// and the join-order correspondence (a <= b iff join(a,b) == b).
+func TestSetLatticeLawsQuick(t *testing.T) {
+	l := SetLattice{}
+	enc := func(xs []uint8) string {
+		strs := make([]string, len(xs))
+		for i, x := range xs {
+			strs[i] = string(rune('a' + x%16))
+		}
+		return EncodeSet(strs...)
+	}
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, c := enc(xs), enc(ys), enc(zs)
+		ab, err1 := l.Join(a, b)
+		ba, err2 := l.Join(b, a)
+		if err1 != nil || err2 != nil || ab != ba {
+			return false
+		}
+		abc1, _ := l.Join(ab, c)
+		bc, _ := l.Join(b, c)
+		abc2, _ := l.Join(a, bc)
+		if abc1 != abc2 {
+			return false
+		}
+		aa, _ := l.Join(a, a)
+		if aa != a {
+			return false
+		}
+		leq, _ := l.Leq(a, b)
+		return leq == (ab == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorLatticeLawsQuick(t *testing.T) {
+	l := VectorMaxLattice{}
+	enc := func(xs []uint8) string {
+		v := make([]int64, len(xs)%5)
+		for i := range v {
+			v[i] = int64(xs[i])
+		}
+		return EncodeVec(v...)
+	}
+	f := func(xs, ys []uint8) bool {
+		a, b := enc(xs), enc(ys)
+		ab, err := l.Join(a, b)
+		if err != nil {
+			return false
+		}
+		// join dominates both.
+		la, _ := l.Leq(a, ab)
+		lb, _ := l.Leq(b, ab)
+		return la && lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package lattice
+
+// raceEnabled lets tests scale concurrency down when the race detector's
+// instrumentation overhead would otherwise saturate the simulated cluster.
+const raceEnabled = false

@@ -1,0 +1,304 @@
+// Package lincheck verifies linearizability of register histories. It
+// provides a concurrent history recorder, a black-box Wing–Gong search
+// checker for small histories, and the white-box dependency-graph check of
+// the paper's Appendix B, which exploits the version tags of the register
+// protocol and scales to long histories.
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind distinguishes operation types.
+type Kind int
+
+// Operation kinds.
+const (
+	KindWrite Kind = iota + 1
+	KindRead
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWrite:
+		return "write"
+	case KindRead:
+		return "read"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one completed operation in a history.
+type Op struct {
+	ID     int
+	Proc   int
+	Kind   Kind
+	Arg    string // value written (writes only)
+	Out    string // value returned (reads only)
+	Invoke int64  // invocation timestamp, ns
+	Return int64  // response timestamp, ns
+	// VerNum/VerProc optionally carry the register version tag τ(op) for the
+	// white-box check; zero for untagged histories.
+	VerNum  uint64
+	VerProc int
+}
+
+// History records operations concurrently.
+type History struct {
+	mu   sync.Mutex
+	ops  []Op
+	open map[int]int // op id -> index
+	next int
+}
+
+// NewHistory returns an empty history recorder.
+func NewHistory() *History {
+	return &History{open: make(map[int]int)}
+}
+
+// Begin records an invocation and returns the operation id.
+func (h *History) Begin(proc int, kind Kind, arg string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.next
+	h.next++
+	h.open[id] = len(h.ops)
+	h.ops = append(h.ops, Op{
+		ID: id, Proc: proc, Kind: kind, Arg: arg,
+		Invoke: time.Now().UnixNano(), Return: -1,
+	})
+	return id
+}
+
+// End records a response for the operation id with its result and optional
+// version tag.
+func (h *History) End(id int, out string, verNum uint64, verProc int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx, ok := h.open[id]
+	if !ok {
+		return
+	}
+	delete(h.open, id)
+	h.ops[idx].Out = out
+	h.ops[idx].VerNum = verNum
+	h.ops[idx].VerProc = verProc
+	h.ops[idx].Return = time.Now().UnixNano()
+}
+
+// Discard drops an operation that never completed (e.g. it timed out and
+// the test treats it as never linearized).
+func (h *History) Discard(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx, ok := h.open[id]
+	if !ok {
+		return
+	}
+	delete(h.open, id)
+	h.ops[idx].Return = -2 // tombstone
+}
+
+// Ops returns the completed operations, sorted by invocation time.
+func (h *History) Ops() []Op {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Op, 0, len(h.ops))
+	for _, op := range h.ops {
+		if op.Return >= 0 {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Invoke < out[j].Invoke })
+	return out
+}
+
+// CheckRegister decides linearizability of a complete register history with
+// initial value "" using Wing–Gong search with memoization. Histories with
+// more than 63 operations are rejected (use CheckVersioned for long runs).
+func CheckRegister(ops []Op) (bool, error) {
+	n := len(ops)
+	if n == 0 {
+		return true, nil
+	}
+	if n > 63 {
+		return false, fmt.Errorf("history too long for search checker: %d ops", n)
+	}
+	memo := make(map[string]bool)
+	var rec func(done uint64, val string) bool
+	rec = func(done uint64, val string) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		key := strconv.FormatUint(done, 16) + "|" + val
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		// minRet = earliest return among pending ops; a pending op may
+		// linearize next only if it was invoked before every other pending
+		// op returned.
+		minRet := int64(1<<62 - 1)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && ops[i].Return < minRet {
+				minRet = ops[i].Return
+			}
+		}
+		ok := false
+		for i := 0; i < n && !ok; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			if ops[i].Invoke > minRet {
+				continue
+			}
+			switch ops[i].Kind {
+			case KindWrite:
+				ok = rec(done|1<<i, ops[i].Arg)
+			case KindRead:
+				if ops[i].Out == val {
+					ok = rec(done|1<<i, val)
+				}
+			}
+		}
+		memo[key] = ok
+		return ok
+	}
+	return rec(0, ""), nil
+}
+
+// CheckVersioned runs the dependency-graph linearizability check of
+// Appendix B on a version-tagged history: it builds the rt, wr, ww and rw
+// relations from the version tags τ(op) and verifies the resulting graph is
+// acyclic (Theorem 7/8). Nil error means the history is linearizable.
+func CheckVersioned(ops []Op) error {
+	n := len(ops)
+	// Sanity: distinct writes carry distinct versions (Proposition 3(1));
+	// reads either return the initial version (0,0) or match some write
+	// (Proposition 3(3-4)).
+	writeByVer := make(map[[2]uint64]int, n)
+	for i, op := range ops {
+		if op.Kind != KindWrite {
+			continue
+		}
+		key := [2]uint64{op.VerNum, uint64(op.VerProc)}
+		if op.VerNum == 0 {
+			return fmt.Errorf("write op %d has zero version", op.ID)
+		}
+		if j, dup := writeByVer[key]; dup {
+			return fmt.Errorf("writes %d and %d share version (%d,%d)", ops[j].ID, op.ID, op.VerNum, op.VerProc)
+		}
+		writeByVer[key] = i
+	}
+	for _, op := range ops {
+		if op.Kind != KindRead {
+			continue
+		}
+		if op.VerNum == 0 {
+			if op.Out != "" {
+				return fmt.Errorf("read op %d returned %q with initial version", op.ID, op.Out)
+			}
+			continue
+		}
+		w, ok := writeByVer[[2]uint64{op.VerNum, uint64(op.VerProc)}]
+		if !ok {
+			return fmt.Errorf("read op %d returned version (%d,%d) written by no write", op.ID, op.VerNum, op.VerProc)
+		}
+		if ops[w].Arg != op.Out {
+			return fmt.Errorf("read op %d returned %q but version (%d,%d) wrote %q", op.ID, op.Out, op.VerNum, op.VerProc, ops[w].Arg)
+		}
+	}
+
+	// Build edges.
+	adj := make([][]int, n)
+	addEdge := func(u, v int) { adj[u] = append(adj[u], v) }
+	verLess := func(a, b Op) bool {
+		if a.VerNum != b.VerNum {
+			return a.VerNum < b.VerNum
+		}
+		return a.VerProc < b.VerProc
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			oi, oj := ops[i], ops[j]
+			// rt: oi returned before oj was invoked.
+			if oi.Return < oj.Invoke {
+				addEdge(i, j)
+				continue
+			}
+			switch {
+			case oi.Kind == KindWrite && oj.Kind == KindWrite:
+				if verLess(oi, oj) { // ww
+					addEdge(i, j)
+				}
+			case oi.Kind == KindWrite && oj.Kind == KindRead:
+				if oi.VerNum == oj.VerNum && oi.VerProc == oj.VerProc { // wr
+					addEdge(i, j)
+				}
+			case oi.Kind == KindRead && oj.Kind == KindWrite:
+				if verLess(oi, oj) { // rw: read's version below the write's
+					addEdge(i, j)
+				}
+			}
+		}
+	}
+
+	// Cycle detection via iterative DFS colouring.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	for s := 0; s < n; s++ {
+		if color[s] != white {
+			continue
+		}
+		type frame struct {
+			v    int
+			next int
+		}
+		stack := []frame{{v: s}}
+		color[s] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.v]) {
+				w := adj[f.v][f.next]
+				f.next++
+				switch color[w] {
+				case white:
+					color[w] = gray
+					stack = append(stack, frame{v: w})
+				case gray:
+					return fmt.Errorf("dependency cycle involving ops %d and %d: history not linearizable", ops[f.v].ID, ops[w].ID)
+				}
+				continue
+			}
+			color[f.v] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// FormatOps renders a history for debugging.
+func FormatOps(ops []Op) string {
+	var b strings.Builder
+	for _, op := range ops {
+		switch op.Kind {
+		case KindWrite:
+			fmt.Fprintf(&b, "p%d write(%s) v(%d,%d) [%d, %d]\n", op.Proc, op.Arg, op.VerNum, op.VerProc, op.Invoke, op.Return)
+		case KindRead:
+			fmt.Fprintf(&b, "p%d read()=%s v(%d,%d) [%d, %d]\n", op.Proc, op.Out, op.VerNum, op.VerProc, op.Invoke, op.Return)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package lincheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkOp builds ops compactly for tests.
+func w(id, proc int, arg string, inv, ret int64, vn uint64, vp int) Op {
+	return Op{ID: id, Proc: proc, Kind: KindWrite, Arg: arg, Invoke: inv, Return: ret, VerNum: vn, VerProc: vp}
+}
+
+func r(id, proc int, out string, inv, ret int64, vn uint64, vp int) Op {
+	return Op{ID: id, Proc: proc, Kind: KindRead, Out: out, Invoke: inv, Return: ret, VerNum: vn, VerProc: vp}
+}
+
+func TestCheckRegisterSequential(t *testing.T) {
+	ops := []Op{
+		w(0, 0, "x", 0, 10, 1, 0),
+		r(1, 1, "x", 20, 30, 1, 0),
+	}
+	ok, err := CheckRegister(ops)
+	if err != nil || !ok {
+		t.Fatalf("sequential history rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCheckRegisterStaleReadRejected(t *testing.T) {
+	ops := []Op{
+		w(0, 0, "x", 0, 10, 1, 0),
+		r(1, 1, "", 20, 30, 0, 0), // stale: returns initial value after write completed
+	}
+	ok, err := CheckRegister(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale read accepted by search checker")
+	}
+	if err := CheckVersioned(ops); err == nil {
+		t.Fatal("stale read accepted by versioned checker")
+	}
+}
+
+func TestCheckRegisterConcurrentEitherOrder(t *testing.T) {
+	// Two overlapping writes and an overlapping read can return either
+	// value. (The read must overlap the writes for the version tags to be
+	// producible by the protocol: a read invoked after both writes complete
+	// always returns the maximal version.)
+	for _, out := range []struct {
+		val string
+		vn  uint64
+		vp  int
+	}{{"x", 1, 0}, {"y", 1, 1}} {
+		ops := []Op{
+			w(0, 0, "x", 0, 100, 1, 0),
+			w(1, 1, "y", 0, 100, 1, 1),
+			r(2, 2, out.val, 50, 300, out.vn, out.vp),
+		}
+		ok, err := CheckRegister(ops)
+		if err != nil || !ok {
+			t.Fatalf("concurrent-write history with read=%q rejected: %v %v", out.val, ok, err)
+		}
+		if err := CheckVersioned(ops); err != nil {
+			t.Fatalf("versioned checker rejected read=%q: %v", out.val, err)
+		}
+	}
+}
+
+func TestCheckRegisterNewOldInversionRejected(t *testing.T) {
+	// Classic atomicity violation: two sequential reads see new then old.
+	ops := []Op{
+		w(0, 0, "a", 0, 10, 1, 0),
+		w(1, 0, "b", 20, 30, 2, 0),
+		r(2, 1, "b", 40, 50, 2, 0),
+		r(3, 1, "a", 60, 70, 1, 0), // old value after new was read
+	}
+	ok, err := CheckRegister(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("new-old inversion accepted by search checker")
+	}
+	if err := CheckVersioned(ops); err == nil {
+		t.Fatal("new-old inversion accepted by versioned checker")
+	}
+}
+
+func TestCheckRegisterReadOverlappingWrite(t *testing.T) {
+	// A read overlapping a write may return old or new value.
+	for _, out := range []struct {
+		val string
+		vn  uint64
+	}{{"", 0}, {"x", 1}} {
+		ops := []Op{
+			w(0, 0, "x", 10, 50, 1, 0),
+			r(1, 1, out.val, 20, 40, out.vn, 0),
+		}
+		ok, err := CheckRegister(ops)
+		if err != nil || !ok {
+			t.Fatalf("read-overlapping-write with out=%q rejected", out.val)
+		}
+		if err := CheckVersioned(ops); err != nil {
+			t.Fatalf("versioned checker rejected out=%q: %v", out.val, err)
+		}
+	}
+}
+
+func TestCheckRegisterEmptyAndSingle(t *testing.T) {
+	if ok, err := CheckRegister(nil); err != nil || !ok {
+		t.Fatal("empty history must be linearizable")
+	}
+	if err := CheckVersioned(nil); err != nil {
+		t.Fatal("empty history must pass the versioned check")
+	}
+	ops := []Op{r(0, 0, "", 0, 1, 0, 0)}
+	if ok, err := CheckRegister(ops); err != nil || !ok {
+		t.Fatal("single initial read rejected")
+	}
+}
+
+func TestCheckRegisterTooLong(t *testing.T) {
+	ops := make([]Op, 64)
+	for i := range ops {
+		ops[i] = r(i, 0, "", int64(i*10), int64(i*10+5), 0, 0)
+	}
+	if _, err := CheckRegister(ops); err == nil {
+		t.Fatal("oversized history accepted by search checker")
+	}
+}
+
+func TestCheckVersionedDetectsBadTags(t *testing.T) {
+	// Duplicate write versions.
+	ops := []Op{
+		w(0, 0, "a", 0, 10, 1, 0),
+		w(1, 1, "b", 20, 30, 1, 0),
+	}
+	if err := CheckVersioned(ops); err == nil || !strings.Contains(err.Error(), "share version") {
+		t.Fatalf("duplicate versions not detected: %v", err)
+	}
+	// Read of a version nobody wrote.
+	ops = []Op{r(0, 0, "z", 0, 10, 9, 2)}
+	if err := CheckVersioned(ops); err == nil || !strings.Contains(err.Error(), "no write") {
+		t.Fatalf("phantom version not detected: %v", err)
+	}
+	// Read value mismatching the write of its version.
+	ops = []Op{
+		w(0, 0, "a", 0, 10, 1, 0),
+		r(1, 1, "b", 20, 30, 1, 0),
+	}
+	if err := CheckVersioned(ops); err == nil || !strings.Contains(err.Error(), "wrote") {
+		t.Fatalf("value mismatch not detected: %v", err)
+	}
+	// Write with zero version.
+	ops = []Op{w(0, 0, "a", 0, 10, 0, 0)}
+	if err := CheckVersioned(ops); err == nil {
+		t.Fatal("zero-version write not detected")
+	}
+	// Read returning non-initial value with zero version.
+	ops = []Op{r(0, 0, "x", 0, 10, 0, 0)}
+	if err := CheckVersioned(ops); err == nil {
+		t.Fatal("non-empty initial read not detected")
+	}
+}
+
+func TestCheckVersionedRtVersionConflict(t *testing.T) {
+	// Version order contradicts real-time order: op with the higher version
+	// completes strictly before the lower-versioned write begins.
+	ops := []Op{
+		w(0, 0, "late", 0, 10, 2, 0),
+		w(1, 1, "early", 20, 30, 1, 0),
+	}
+	if err := CheckVersioned(ops); err == nil {
+		t.Fatal("rt/ww conflict not detected")
+	}
+}
+
+func TestHistoryRecorder(t *testing.T) {
+	h := NewHistory()
+	id1 := h.Begin(0, KindWrite, "x")
+	id2 := h.Begin(1, KindRead, "")
+	h.End(id1, "", 1, 0)
+	h.End(id2, "x", 1, 0)
+	// Unfinished op excluded.
+	_ = h.Begin(2, KindRead, "")
+	// Discarded op excluded.
+	id4 := h.Begin(3, KindRead, "")
+	h.Discard(id4)
+	// Double end / discard of unknown ids are no-ops.
+	h.End(99, "", 0, 0)
+	h.Discard(99)
+
+	ops := h.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("Ops len = %d, want 2", len(ops))
+	}
+	if ops[0].Invoke > ops[1].Invoke {
+		t.Fatal("Ops not sorted by invocation")
+	}
+	if ops[0].Kind != KindWrite || ops[0].Arg != "x" {
+		t.Fatalf("first op corrupted: %+v", ops[0])
+	}
+	if ops[1].Out != "x" || ops[1].VerNum != 1 {
+		t.Fatalf("second op corrupted: %+v", ops[1])
+	}
+	if FormatOps(ops) == "" {
+		t.Fatal("FormatOps empty")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindWrite.String() != "write" || KindRead.String() != "read" || Kind(0).String() != "unknown" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+// TestAgreementBetweenCheckers cross-validates the two checkers on a batch
+// of generated histories where version tags are consistent.
+func TestAgreementBetweenCheckers(t *testing.T) {
+	histories := [][]Op{
+		{w(0, 0, "a", 0, 10, 1, 0), r(1, 1, "a", 5, 20, 1, 0), w(2, 2, "b", 15, 40, 2, 2), r(3, 1, "b", 50, 60, 2, 2)},
+		{w(0, 0, "a", 0, 100, 1, 0), w(1, 1, "b", 0, 100, 1, 1), r(2, 2, "a", 0, 100, 1, 0), r(3, 3, "b", 0, 100, 1, 1)},
+	}
+	for i, ops := range histories {
+		ok, err := CheckRegister(ops)
+		if err != nil {
+			t.Fatalf("history %d: %v", i, err)
+		}
+		verr := CheckVersioned(ops)
+		if ok != (verr == nil) {
+			t.Fatalf("history %d: checkers disagree: search=%v versioned=%v\n%s", i, ok, verr, FormatOps(ops))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package lincheck
+
+import (
+	"fmt"
+)
+
+// SnapView is a recorded snapshot scan: the view it returned plus its
+// real-time interval.
+type SnapView struct {
+	ID     int
+	Proc   int
+	View   []string
+	Invoke int64
+	Return int64
+}
+
+// SnapUpdate is a recorded snapshot update: the segment written, the value,
+// and the real-time interval.
+type SnapUpdate struct {
+	ID      int
+	Proc    int
+	Segment int
+	Val     string
+	Invoke  int64
+	Return  int64
+}
+
+// CheckSnapshotChain verifies the characteristic footprint of atomic
+// snapshots on histories where each writer's segment values are
+// comparable under the supplied per-segment order (e.g. increasing
+// counters): all views must form a chain under the induced component-wise
+// order. leq(seg, a, b) reports whether value a precedes-or-equals value b
+// in segment seg's order; it must be a total order on the values actually
+// written to that segment (the zero value "" is bottom).
+func CheckSnapshotChain(views []SnapView, leq func(seg int, a, b string) (bool, error)) error {
+	viewLeq := func(a, b []string) (bool, error) {
+		if len(a) != len(b) {
+			return false, fmt.Errorf("views of different widths: %d vs %d", len(a), len(b))
+		}
+		for seg := range a {
+			ok, err := leq(seg, a[seg], b[seg])
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for i := 0; i < len(views); i++ {
+		for j := i + 1; j < len(views); j++ {
+			ij, err := viewLeq(views[i].View, views[j].View)
+			if err != nil {
+				return err
+			}
+			ji, err := viewLeq(views[j].View, views[i].View)
+			if err != nil {
+				return err
+			}
+			if !ij && !ji {
+				return fmt.Errorf("incomparable views from scans %d and %d: %v vs %v",
+					views[i].ID, views[j].ID, views[i].View, views[j].View)
+			}
+			// Real-time ordering: a scan that starts after another returns
+			// must dominate it.
+			if views[i].Return < views[j].Invoke && !ij {
+				return fmt.Errorf("scan %d precedes scan %d in real time but its view is not dominated", views[i].ID, views[j].ID)
+			}
+			if views[j].Return < views[i].Invoke && !ji {
+				return fmt.Errorf("scan %d precedes scan %d in real time but its view is not dominated", views[j].ID, views[i].ID)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSnapshotRegularity verifies that every scan reflects all updates that
+// completed before it started and no update that started after it returned.
+func CheckSnapshotRegularity(views []SnapView, updates []SnapUpdate, leq func(seg int, a, b string) (bool, error)) error {
+	for _, v := range views {
+		for _, u := range updates {
+			if u.Segment < 0 || u.Segment >= len(v.View) {
+				return fmt.Errorf("update %d targets segment %d outside view width %d", u.ID, u.Segment, len(v.View))
+			}
+			got := v.View[u.Segment]
+			if u.Return < v.Invoke {
+				// Completed before the scan started: the scanned value must
+				// be at least u's value.
+				ok, err := leq(u.Segment, u.Val, got)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("scan %d missed update %d (segment %d: scanned %q < written %q)",
+						v.ID, u.ID, u.Segment, got, u.Val)
+				}
+			}
+			if u.Invoke > v.Return {
+				// Started after the scan returned: the scanned value must be
+				// strictly below u's value (u cannot have been observed).
+				ok, err := leq(u.Segment, u.Val, got)
+				if err != nil {
+					return err
+				}
+				if ok && got == u.Val {
+					return fmt.Errorf("scan %d observed future update %d", v.ID, u.ID)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package lincheck
+
+import (
+	"strconv"
+	"testing"
+)
+
+// numLeq orders segment values as integers with "" as bottom.
+func numLeq(_ int, a, b string) (bool, error) {
+	pa, pb := 0, 0
+	var err error
+	if a != "" {
+		if pa, err = strconv.Atoi(a); err != nil {
+			return false, err
+		}
+	}
+	if b != "" {
+		if pb, err = strconv.Atoi(b); err != nil {
+			return false, err
+		}
+	}
+	return pa <= pb, nil
+}
+
+func TestCheckSnapshotChainAccepts(t *testing.T) {
+	views := []SnapView{
+		{ID: 0, View: []string{"1", ""}, Invoke: 0, Return: 10},
+		{ID: 1, View: []string{"1", "2"}, Invoke: 20, Return: 30},
+		{ID: 2, View: []string{"3", "2"}, Invoke: 40, Return: 50},
+	}
+	if err := CheckSnapshotChain(views, numLeq); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+}
+
+func TestCheckSnapshotChainRejectsIncomparable(t *testing.T) {
+	views := []SnapView{
+		{ID: 0, View: []string{"1", ""}, Invoke: 0, Return: 100},
+		{ID: 1, View: []string{"", "1"}, Invoke: 0, Return: 100},
+	}
+	if err := CheckSnapshotChain(views, numLeq); err == nil {
+		t.Fatal("incomparable views accepted")
+	}
+}
+
+func TestCheckSnapshotChainRejectsRealTimeRegression(t *testing.T) {
+	// Scan 1 starts after scan 0 returns but sees strictly less.
+	views := []SnapView{
+		{ID: 0, View: []string{"2", "1"}, Invoke: 0, Return: 10},
+		{ID: 1, View: []string{"1", "1"}, Invoke: 20, Return: 30},
+	}
+	if err := CheckSnapshotChain(views, numLeq); err == nil {
+		t.Fatal("real-time regression accepted")
+	}
+}
+
+func TestCheckSnapshotChainWidthMismatch(t *testing.T) {
+	views := []SnapView{
+		{ID: 0, View: []string{"1"}},
+		{ID: 1, View: []string{"1", "2"}},
+	}
+	if err := CheckSnapshotChain(views, numLeq); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestCheckSnapshotRegularity(t *testing.T) {
+	updates := []SnapUpdate{
+		{ID: 10, Segment: 0, Val: "1", Invoke: 0, Return: 5},
+		{ID: 11, Segment: 1, Val: "7", Invoke: 100, Return: 110},
+	}
+	// Scan after update 10 and before update 11.
+	good := []SnapView{{ID: 0, View: []string{"1", ""}, Invoke: 10, Return: 20}}
+	if err := CheckSnapshotRegularity(good, updates, numLeq); err != nil {
+		t.Fatalf("valid scan rejected: %v", err)
+	}
+	// Scan misses a completed update.
+	stale := []SnapView{{ID: 1, View: []string{"", ""}, Invoke: 10, Return: 20}}
+	if err := CheckSnapshotRegularity(stale, updates, numLeq); err == nil {
+		t.Fatal("stale scan accepted")
+	}
+	// Scan observes a future update.
+	future := []SnapView{{ID: 2, View: []string{"1", "7"}, Invoke: 10, Return: 20}}
+	if err := CheckSnapshotRegularity(future, updates, numLeq); err == nil {
+		t.Fatal("future-reading scan accepted")
+	}
+	// Update with out-of-range segment.
+	bad := []SnapUpdate{{ID: 12, Segment: 9, Val: "1", Invoke: 0, Return: 5}}
+	if err := CheckSnapshotRegularity(good, bad, numLeq); err == nil {
+		t.Fatal("segment out of range accepted")
+	}
+}
+
+func TestCheckSnapshotBadValues(t *testing.T) {
+	views := []SnapView{
+		{ID: 0, View: []string{"notanum"}},
+		{ID: 1, View: []string{"1"}},
+	}
+	if err := CheckSnapshotChain(views, numLeq); err == nil {
+		t.Fatal("unparseable values accepted")
+	}
+}

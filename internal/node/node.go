@@ -1,0 +1,264 @@
+// Package node provides the actor-style process runtime that hosts every
+// protocol in this library. A Node owns a single event loop goroutine;
+// incoming messages, periodic ticks and externally submitted closures all
+// execute on that loop, so protocol state needs no further synchronization.
+package node
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Handler processes a protocol message on the node's event loop.
+type Handler func(from failure.Proc, m wire.Message)
+
+// Node is a single process: an unbounded mailbox drained by one event-loop
+// goroutine, a topic-based handler registry, and tracked periodic tasks.
+type Node struct {
+	id  failure.Proc
+	n   int
+	net transport.Network
+
+	mu       sync.Mutex
+	queue    []func()
+	cond     *sync.Cond
+	handlers map[string]Handler
+	prefixes []prefixHandler
+	stopped  bool
+
+	done    chan struct{}
+	tickers sync.WaitGroup
+	stopCh  chan struct{}
+}
+
+// New creates a node for process id on the given network and starts its
+// event loop. Callers must install handlers (Handle) before messages for the
+// corresponding topics arrive; unknown topics are dropped with a log line.
+func New(id failure.Proc, net transport.Network) *Node {
+	n := &Node{
+		id:       id,
+		n:        net.N(),
+		net:      net,
+		handlers: make(map[string]Handler),
+		done:     make(chan struct{}),
+		stopCh:   make(chan struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	net.Register(id, n.onMessage)
+	go n.loop()
+	return n
+}
+
+// ID returns the node's process identifier.
+func (n *Node) ID() failure.Proc { return n.id }
+
+// ClusterSize returns the number of processes in the network.
+func (n *Node) ClusterSize() int { return n.n }
+
+// Handle installs the handler for a message topic. It may be called at any
+// time, including from the event loop.
+func (n *Node) Handle(topic string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[topic] = h
+}
+
+type prefixHandler struct {
+	prefix string
+	h      Handler
+}
+
+// HandlePrefix installs a fallback handler for every topic beginning with
+// prefix that has no exact handler. It enables components that create
+// sub-handlers on demand (e.g. a replicated log creating one consensus
+// instance per slot when the first message for that slot arrives). The
+// longest matching prefix wins.
+func (n *Node) HandlePrefix(prefix string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.prefixes = append(n.prefixes, prefixHandler{prefix: prefix, h: h})
+	sort.SliceStable(n.prefixes, func(i, j int) bool {
+		return len(n.prefixes[i].prefix) > len(n.prefixes[j].prefix)
+	})
+}
+
+// Redeliver dispatches a message to the exact handler for its topic, if one
+// is now installed. It must be called from the event loop (typically by a
+// prefix handler after creating the exact handler).
+func (n *Node) Redeliver(from failure.Proc, m wire.Message) {
+	n.mu.Lock()
+	h := n.handlers[m.Topic]
+	n.mu.Unlock()
+	if h != nil {
+		h(from, m)
+	}
+}
+
+// onMessage is the transport callback: enqueue dispatch work, never block.
+func (n *Node) onMessage(from failure.Proc, payload []byte) {
+	n.enqueue(func() {
+		m, err := wire.Unmarshal(payload)
+		if err != nil {
+			log.Printf("node %d: dropping malformed message from %d: %v", n.id, from, err)
+			return
+		}
+		n.mu.Lock()
+		h := n.handlers[m.Topic]
+		if h == nil {
+			for _, ph := range n.prefixes {
+				if strings.HasPrefix(m.Topic, ph.prefix) {
+					h = ph.h
+					break
+				}
+			}
+		}
+		n.mu.Unlock()
+		if h == nil {
+			return
+		}
+		h(from, m)
+	})
+}
+
+// enqueue appends work to the mailbox.
+func (n *Node) enqueue(fn func()) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.queue = append(n.queue, fn)
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// Do runs fn on the event loop asynchronously.
+func (n *Node) Do(fn func()) { n.enqueue(fn) }
+
+// Call runs fn on the event loop and waits for it to complete. It must not
+// be invoked from the event loop itself (it would deadlock); protocol
+// handlers already run on the loop and can touch state directly.
+func (n *Node) Call(fn func()) {
+	doneCh := make(chan struct{})
+	n.enqueue(func() {
+		fn()
+		close(doneCh)
+	})
+	select {
+	case <-doneCh:
+	case <-n.done:
+	}
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.stopped {
+			n.cond.Wait()
+		}
+		if n.stopped && len(n.queue) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		fn := n.queue[0]
+		n.queue = n.queue[1:]
+		n.mu.Unlock()
+		fn()
+	}
+}
+
+// Send transmits a protocol message to process `to` (possibly self).
+func (n *Node) Send(to failure.Proc, topic string, body any) {
+	payload, err := wire.Marshal(topic, body)
+	if err != nil {
+		log.Printf("node %d: %v", n.id, err)
+		return
+	}
+	n.net.Send(n.id, to, payload)
+}
+
+// Broadcast transmits a protocol message to every process including self.
+// The paper's pseudocode "send ... to all" has this semantics: a process is
+// always a potential member of its own quorums.
+func (n *Node) Broadcast(topic string, body any) {
+	payload, err := wire.Marshal(topic, body)
+	if err != nil {
+		log.Printf("node %d: %v", n.id, err)
+		return
+	}
+	n.net.SendAll(n.id, payload)
+}
+
+// Every schedules fn to run on the event loop every interval until the node
+// stops or the returned cancel function is called.
+func (n *Node) Every(interval time.Duration, fn func()) (cancel func()) {
+	stop := make(chan struct{})
+	var once sync.Once
+	n.tickers.Add(1)
+	go func() {
+		defer n.tickers.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				n.enqueue(fn)
+			case <-stop:
+				return
+			case <-n.stopCh:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(stop) }) }
+}
+
+// After schedules fn to run on the event loop once after d, unless cancelled
+// or the node stops first.
+func (n *Node) After(d time.Duration, fn func()) (cancel func()) {
+	stop := make(chan struct{})
+	var once sync.Once
+	n.tickers.Add(1)
+	go func() {
+		defer n.tickers.Done()
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			n.enqueue(fn)
+		case <-stop:
+		case <-n.stopCh:
+		}
+	}()
+	return func() { once.Do(func() { close(stop) }) }
+}
+
+// Stop shuts the node down: periodic tasks are cancelled, queued work is
+// drained, and the event loop exits. Stop is idempotent and safe to call
+// from any goroutine except the node's own event loop.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		<-n.done
+		return
+	}
+	n.stopped = true
+	close(n.stopCh)
+	n.mu.Unlock()
+	n.cond.Signal()
+	n.tickers.Wait()
+	<-n.done
+}
+
+// String identifies the node in logs.
+func (n *Node) String() string { return fmt.Sprintf("node-%d", n.id) }

@@ -1,0 +1,244 @@
+package qaf
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Wire bodies for the classical protocol (Figure 2).
+type (
+	classicalGetReq struct {
+		Seq int64 `json:"seq"`
+	}
+	classicalGetResp struct {
+		Seq   int64  `json:"seq"`
+		State []byte `json:"state"`
+	}
+	classicalSetReq struct {
+		Seq    int64  `json:"seq"`
+		Update []byte `json:"update"`
+	}
+	classicalSetResp struct {
+		Seq int64 `json:"seq"`
+	}
+)
+
+type classicalPendingGet struct {
+	states map[failure.Proc][]byte
+	done   chan []([]byte)
+}
+
+type classicalPendingSet struct {
+	acks graph.BitSet
+	done chan struct{}
+}
+
+// Classical implements the quorum access functions of Figure 2 on a
+// classical quorum system. Get broadcasts GET_REQ and waits for GET_RESP
+// from all members of some read quorum; Set broadcasts SET_REQ and waits for
+// SET_RESP from all members of some write quorum. It is live only when the
+// caller can exchange request/response pairs with correct quorums — i.e. on
+// fail-prone systems without channel failures (Definition 1).
+type Classical struct {
+	n      *node.Node
+	sm     StateMachine
+	reads  []graph.BitSet
+	writes []graph.BitSet
+
+	// Loop-confined state.
+	seq     int64
+	gets    map[int64]*classicalPendingGet
+	sets    map[int64]*classicalPendingSet
+	stopped bool
+
+	topicGetReq  string
+	topicGetResp string
+	topicSetReq  string
+	topicSetResp string
+
+	metrics Metrics
+}
+
+var _ Accessor = (*Classical)(nil)
+
+// NewClassical installs a classical accessor named name on the node. The
+// name scopes the wire topics so several accessors can share a node.
+func NewClassical(n *node.Node, name string, sm StateMachine, reads, writes []graph.BitSet) *Classical {
+	c := &Classical{
+		n:            n,
+		sm:           sm,
+		reads:        reads,
+		writes:       writes,
+		gets:         make(map[int64]*classicalPendingGet),
+		sets:         make(map[int64]*classicalPendingSet),
+		topicGetReq:  name + "/cget_req",
+		topicGetResp: name + "/cget_resp",
+		topicSetReq:  name + "/cset_req",
+		topicSetResp: name + "/cset_resp",
+	}
+	n.Handle(c.topicGetReq, c.onGetReq)
+	n.Handle(c.topicGetResp, c.onGetResp)
+	n.Handle(c.topicSetReq, c.onSetReq)
+	n.Handle(c.topicSetResp, c.onSetResp)
+	return c
+}
+
+// Get implements Accessor (Figure 2, lines 3-7).
+func (c *Classical) Get(ctx context.Context) ([][]byte, error) {
+	atomic.AddInt64(&c.metrics.Gets, 1)
+	var pg *classicalPendingGet
+	var seq int64
+	c.n.Call(func() {
+		if c.stopped {
+			return
+		}
+		c.seq++
+		seq = c.seq
+		pg = &classicalPendingGet{
+			states: make(map[failure.Proc][]byte),
+			done:   make(chan [][]byte, 1),
+		}
+		c.gets[seq] = pg
+		c.n.Broadcast(c.topicGetReq, classicalGetReq{Seq: seq})
+	})
+	if pg == nil {
+		return nil, ErrStopped
+	}
+	select {
+	case states, ok := <-pg.done:
+		if !ok {
+			return nil, ErrStopped
+		}
+		return states, nil
+	case <-ctx.Done():
+		c.n.Do(func() { delete(c.gets, seq) })
+		return nil, ctx.Err()
+	}
+}
+
+// Set implements Accessor (Figure 2, lines 10-13).
+func (c *Classical) Set(ctx context.Context, update []byte) error {
+	atomic.AddInt64(&c.metrics.Sets, 1)
+	var ps *classicalPendingSet
+	var seq int64
+	c.n.Call(func() {
+		if c.stopped {
+			return
+		}
+		c.seq++
+		seq = c.seq
+		ps = &classicalPendingSet{
+			acks: graph.NewBitSet(c.n.ClusterSize()),
+			done: make(chan struct{}, 1),
+		}
+		c.sets[seq] = ps
+		c.n.Broadcast(c.topicSetReq, classicalSetReq{Seq: seq, Update: update})
+	})
+	if ps == nil {
+		return ErrStopped
+	}
+	select {
+	case _, ok := <-ps.done:
+		if !ok {
+			return ErrStopped
+		}
+		return nil
+	case <-ctx.Done():
+		c.n.Do(func() { delete(c.sets, seq) })
+		return ctx.Err()
+	}
+}
+
+// Stop implements Accessor.
+func (c *Classical) Stop() {
+	c.n.Do(func() {
+		c.stopped = true
+		for seq, pg := range c.gets {
+			close(pg.done)
+			delete(c.gets, seq)
+		}
+		for seq, ps := range c.sets {
+			close(ps.done)
+			delete(c.sets, seq)
+		}
+	})
+}
+
+// Metrics returns operation counters.
+func (c *Classical) Metrics() Metrics {
+	return Metrics{
+		Gets: atomic.LoadInt64(&c.metrics.Gets),
+		Sets: atomic.LoadInt64(&c.metrics.Sets),
+	}
+}
+
+// onGetReq handles GET_REQ (Figure 2, lines 8-9).
+func (c *Classical) onGetReq(from failure.Proc, m wire.Message) {
+	var req classicalGetReq
+	if wire.Decode(m, &req) != nil {
+		return
+	}
+	c.n.Send(from, c.topicGetResp, classicalGetResp{Seq: req.Seq, State: c.sm.Snapshot()})
+}
+
+// onGetResp accumulates GET_RESP (Figure 2, line 6).
+func (c *Classical) onGetResp(from failure.Proc, m wire.Message) {
+	var resp classicalGetResp
+	if wire.Decode(m, &resp) != nil {
+		return
+	}
+	pg, ok := c.gets[resp.Seq]
+	if !ok {
+		return
+	}
+	pg.states[from] = resp.State
+	responders := graph.NewBitSet(c.n.ClusterSize())
+	for p := range pg.states {
+		responders.Add(int(p))
+	}
+	ri := quorumContaining(c.reads, responders)
+	if ri < 0 {
+		return
+	}
+	var states [][]byte
+	c.reads[ri].ForEach(func(p int) {
+		states = append(states, pg.states[failure.Proc(p)])
+	})
+	delete(c.gets, resp.Seq)
+	pg.done <- states
+}
+
+// onSetReq handles SET_REQ (Figure 2, lines 14-16).
+func (c *Classical) onSetReq(from failure.Proc, m wire.Message) {
+	var req classicalSetReq
+	if wire.Decode(m, &req) != nil {
+		return
+	}
+	if err := c.sm.Apply(req.Update); err != nil {
+		return
+	}
+	c.n.Send(from, c.topicSetResp, classicalSetResp{Seq: req.Seq})
+}
+
+// onSetResp accumulates SET_RESP (Figure 2, line 13).
+func (c *Classical) onSetResp(from failure.Proc, m wire.Message) {
+	var resp classicalSetResp
+	if wire.Decode(m, &resp) != nil {
+		return
+	}
+	ps, ok := c.sets[resp.Seq]
+	if !ok {
+		return
+	}
+	ps.acks.Add(int(from))
+	if quorumContaining(c.writes, ps.acks) < 0 {
+		return
+	}
+	delete(c.sets, resp.Seq)
+	ps.done <- struct{}{}
+}

@@ -1,0 +1,420 @@
+package qaf
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/wire"
+)
+
+// Wire bodies for the generalized protocol (Figure 3).
+type (
+	genClockReq struct {
+		Seq int64 `json:"seq"`
+	}
+	genClockResp struct {
+		Seq   int64 `json:"seq"`
+		Clock int64 `json:"clock"`
+	}
+	// genGetResp is pushed both periodically (line 12) and in response to
+	// nothing at all — it is unsolicited, which is the whole point: members
+	// of a read quorum may be unable to receive requests.
+	genGetResp struct {
+		State []byte `json:"state"`
+		Clock int64  `json:"clock"`
+	}
+	genSetReq struct {
+		Seq    int64  `json:"seq"`
+		Update []byte `json:"update"`
+	}
+	genSetResp struct {
+		Seq   int64 `json:"seq"`
+		Clock int64 `json:"clock"`
+	}
+)
+
+// genPendingGet tracks a quorum_get invocation (Figure 3, lines 3-9).
+type genPendingGet struct {
+	clockResps map[failure.Proc]int64
+	cGet       int64 // clock cutoff; valid once phase == 2
+	phase      int   // 1: collecting CLOCK_RESP; 2: waiting for fresh GET_RESP
+	done       chan [][]byte
+}
+
+// genPendingSet tracks a quorum_set invocation (Figure 3, lines 15-20).
+type genPendingSet struct {
+	setResps map[failure.Proc]int64
+	cSet     int64
+	phase    int // 1: collecting SET_RESP; 2: waiting for read-quorum clocks
+	done     chan struct{}
+}
+
+// observed is the freshest unsolicited state report received from a process.
+type observed struct {
+	state []byte
+	clock int64
+}
+
+// Generalized implements the quorum access functions of Figure 3 on a
+// generalized quorum system. Each process maintains a logical clock;
+// unsolicited periodic GET_RESP pushes let downstream processes assemble
+// read-quorum snapshots, and the clock cutoffs computed from write quorums
+// guarantee Real-time ordering despite the absence of request/response
+// connectivity to read quorums.
+type Generalized struct {
+	n      *node.Node
+	sm     StateMachine
+	reads  []graph.BitSet
+	writes []graph.BitSet
+
+	// Loop-confined state.
+	clock    int64
+	seq      int64
+	gets     map[int64]*genPendingGet
+	sets     map[int64]*genPendingSet
+	latest   map[failure.Proc]observed
+	stopped  bool
+	cancelFn func()
+	prop     *Propagator
+	name     string
+
+	topicClockReq  string
+	topicClockResp string
+	topicGetResp   string
+	topicSetReq    string
+	topicSetResp   string
+
+	metrics Metrics
+}
+
+var _ Accessor = (*Generalized)(nil)
+
+// GeneralizedConfig configures a Generalized accessor.
+type GeneralizedConfig struct {
+	// Name scopes the wire topics so several accessors can share a node.
+	Name string
+	// SM is the top-level protocol state.
+	SM StateMachine
+	// Reads and Writes are the quorum families of the GQS.
+	Reads, Writes []graph.BitSet
+	// Tick is the interval of the periodic state propagation (Figure 3,
+	// line 12). Defaults to 5ms. Ignored when Propagator is set.
+	Tick time.Duration
+	// Propagator, when set, batches this accessor's periodic propagation
+	// with every other accessor on the node (one wire message per tick for
+	// all of them) instead of running a private ticker.
+	Propagator *Propagator
+}
+
+// NewGeneralized installs a generalized accessor on the node and starts its
+// periodic state propagation.
+func NewGeneralized(n *node.Node, cfg GeneralizedConfig) *Generalized {
+	if cfg.Tick <= 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	g := &Generalized{
+		n:              n,
+		sm:             cfg.SM,
+		name:           cfg.Name,
+		reads:          cfg.Reads,
+		writes:         cfg.Writes,
+		gets:           make(map[int64]*genPendingGet),
+		sets:           make(map[int64]*genPendingSet),
+		latest:         make(map[failure.Proc]observed),
+		topicClockReq:  cfg.Name + "/clock_req",
+		topicClockResp: cfg.Name + "/clock_resp",
+		topicGetResp:   cfg.Name + "/get_resp",
+		topicSetReq:    cfg.Name + "/set_req",
+		topicSetResp:   cfg.Name + "/set_resp",
+	}
+	n.Handle(g.topicClockReq, g.onClockReq)
+	n.Handle(g.topicClockResp, g.onClockResp)
+	n.Handle(g.topicGetResp, g.onGetResp)
+	n.Handle(g.topicSetReq, g.onSetReq)
+	n.Handle(g.topicSetResp, g.onSetResp)
+	if cfg.Propagator != nil {
+		// Batched propagation: the node-level propagator ticks for us.
+		prop := cfg.Propagator
+		name := cfg.Name
+		g.prop = prop
+		n.Do(func() { prop.attach(name, g) })
+		return g
+	}
+	// Periodic state propagation (Figure 3, lines 12-14): advance the clock
+	// and push state downstream without waiting for requests.
+	g.cancelFn = n.Every(cfg.Tick, func() {
+		if g.stopped {
+			return
+		}
+		g.clock++
+		g.n.Broadcast(g.topicGetResp, genGetResp{State: g.sm.Snapshot(), Clock: g.clock})
+	})
+	return g
+}
+
+// Get implements Accessor (Figure 3, lines 3-9).
+func (g *Generalized) Get(ctx context.Context) ([][]byte, error) {
+	atomic.AddInt64(&g.metrics.Gets, 1)
+	var pg *genPendingGet
+	var seq int64
+	g.n.Call(func() {
+		if g.stopped {
+			return
+		}
+		g.seq++
+		seq = g.seq
+		pg = &genPendingGet{
+			clockResps: make(map[failure.Proc]int64),
+			phase:      1,
+			done:       make(chan [][]byte, 1),
+		}
+		g.gets[seq] = pg
+		// Line 5: establish the clock cutoff from a write quorum.
+		g.n.Broadcast(g.topicClockReq, genClockReq{Seq: seq})
+	})
+	if pg == nil {
+		return nil, ErrStopped
+	}
+	select {
+	case states, ok := <-pg.done:
+		if !ok {
+			return nil, ErrStopped
+		}
+		return states, nil
+	case <-ctx.Done():
+		g.n.Do(func() { delete(g.gets, seq) })
+		return nil, ctx.Err()
+	}
+}
+
+// Set implements Accessor (Figure 3, lines 15-20).
+func (g *Generalized) Set(ctx context.Context, update []byte) error {
+	atomic.AddInt64(&g.metrics.Sets, 1)
+	var ps *genPendingSet
+	var seq int64
+	g.n.Call(func() {
+		if g.stopped {
+			return
+		}
+		g.seq++
+		seq = g.seq
+		ps = &genPendingSet{
+			setResps: make(map[failure.Proc]int64),
+			phase:    1,
+			done:     make(chan struct{}, 1),
+		}
+		g.sets[seq] = ps
+		// Line 17: ship the update to a write quorum.
+		g.n.Broadcast(g.topicSetReq, genSetReq{Seq: seq, Update: update})
+	})
+	if ps == nil {
+		return ErrStopped
+	}
+	select {
+	case _, ok := <-ps.done:
+		if !ok {
+			return ErrStopped
+		}
+		return nil
+	case <-ctx.Done():
+		g.n.Do(func() { delete(g.sets, seq) })
+		return ctx.Err()
+	}
+}
+
+// Stop implements Accessor.
+func (g *Generalized) Stop() {
+	if g.cancelFn != nil {
+		g.cancelFn()
+	}
+	g.n.Do(func() {
+		if g.prop != nil {
+			g.prop.detach(g.name)
+		}
+		g.stopped = true
+		for seq, pg := range g.gets {
+			close(pg.done)
+			delete(g.gets, seq)
+		}
+		for seq, ps := range g.sets {
+			close(ps.done)
+			delete(g.sets, seq)
+		}
+	})
+}
+
+// Metrics returns operation counters.
+func (g *Generalized) Metrics() Metrics {
+	return Metrics{
+		Gets: atomic.LoadInt64(&g.metrics.Gets),
+		Sets: atomic.LoadInt64(&g.metrics.Sets),
+	}
+}
+
+// Clock returns the process's current logical clock (loop-safe snapshot).
+func (g *Generalized) Clock() int64 {
+	var c int64
+	g.n.Call(func() { c = g.clock })
+	return c
+}
+
+// onClockReq handles CLOCK_REQ (Figure 3, lines 10-11).
+func (g *Generalized) onClockReq(from failure.Proc, m wire.Message) {
+	var req genClockReq
+	if wire.Decode(m, &req) != nil {
+		return
+	}
+	g.n.Send(from, g.topicClockResp, genClockResp{Seq: req.Seq, Clock: g.clock})
+}
+
+// onClockResp accumulates CLOCK_RESP for phase-1 gets (Figure 3, lines 6-7).
+func (g *Generalized) onClockResp(from failure.Proc, m wire.Message) {
+	var resp genClockResp
+	if wire.Decode(m, &resp) != nil {
+		return
+	}
+	pg, ok := g.gets[resp.Seq]
+	if !ok || pg.phase != 1 {
+		return
+	}
+	if c, seen := pg.clockResps[from]; !seen || resp.Clock > c {
+		pg.clockResps[from] = resp.Clock
+	}
+	responders := graph.NewBitSet(g.n.ClusterSize())
+	for p := range pg.clockResps {
+		responders.Add(int(p))
+	}
+	wi := quorumContaining(g.writes, responders)
+	if wi < 0 {
+		return
+	}
+	// Line 7: c_get = max clock among the write quorum's responses.
+	var cGet int64
+	g.writes[wi].ForEach(func(p int) {
+		if c := pg.clockResps[failure.Proc(p)]; c > cGet {
+			cGet = c
+		}
+	})
+	pg.cGet = cGet
+	pg.phase = 2
+	g.checkGetPhase2(resp.Seq, pg)
+}
+
+// onGetResp decodes an unsolicited state push (Figure 3, lines 8 and 20).
+func (g *Generalized) onGetResp(from failure.Proc, m wire.Message) {
+	var resp genGetResp
+	if wire.Decode(m, &resp) != nil {
+		return
+	}
+	g.handleStatePush(from, resp.State, resp.Clock)
+}
+
+// handleStatePush records a state push and re-evaluates all waiting
+// invocations. Runs on the node loop (called from onGetResp or from the
+// batched Propagator).
+func (g *Generalized) handleStatePush(from failure.Proc, state []byte, clock int64) {
+	// Keep only the freshest report per sender; per-sender clocks are
+	// monotone but the network may reorder messages.
+	if cur, ok := g.latest[from]; !ok || clock > cur.clock {
+		g.latest[from] = observed{state: state, clock: clock}
+	}
+	for seq, pg := range g.gets {
+		if pg.phase == 2 {
+			g.checkGetPhase2(seq, pg)
+		}
+	}
+	for seq, ps := range g.sets {
+		if ps.phase == 2 {
+			g.checkSetPhase2(seq, ps)
+		}
+	}
+}
+
+// checkGetPhase2 completes a get once some read quorum's fresh states are
+// all at or beyond the cutoff (Figure 3, lines 8-9).
+func (g *Generalized) checkGetPhase2(seq int64, pg *genPendingGet) {
+	fresh := graph.NewBitSet(g.n.ClusterSize())
+	for p, ob := range g.latest {
+		if ob.clock >= pg.cGet {
+			fresh.Add(int(p))
+		}
+	}
+	ri := quorumContaining(g.reads, fresh)
+	if ri < 0 {
+		return
+	}
+	var states [][]byte
+	g.reads[ri].ForEach(func(p int) {
+		states = append(states, g.latest[failure.Proc(p)].state)
+	})
+	delete(g.gets, seq)
+	pg.done <- states
+}
+
+// onSetReq handles SET_REQ (Figure 3, lines 21-24): apply the update,
+// advance the clock, and acknowledge with the new clock value.
+func (g *Generalized) onSetReq(from failure.Proc, m wire.Message) {
+	var req genSetReq
+	if wire.Decode(m, &req) != nil {
+		return
+	}
+	if err := g.sm.Apply(req.Update); err != nil {
+		return
+	}
+	g.clock++
+	g.n.Send(from, g.topicSetResp, genSetResp{Seq: req.Seq, Clock: g.clock})
+}
+
+// onSetResp accumulates SET_RESP for phase-1 sets (Figure 3, lines 18-19).
+func (g *Generalized) onSetResp(from failure.Proc, m wire.Message) {
+	var resp genSetResp
+	if wire.Decode(m, &resp) != nil {
+		return
+	}
+	ps, ok := g.sets[resp.Seq]
+	if !ok || ps.phase != 1 {
+		return
+	}
+	if c, seen := ps.setResps[from]; !seen || resp.Clock > c {
+		ps.setResps[from] = resp.Clock
+	}
+	responders := graph.NewBitSet(g.n.ClusterSize())
+	for p := range ps.setResps {
+		responders.Add(int(p))
+	}
+	wi := quorumContaining(g.writes, responders)
+	if wi < 0 {
+		return
+	}
+	// Line 19: c_set = max clock among the write quorum's responses.
+	var cSet int64
+	g.writes[wi].ForEach(func(p int) {
+		if c := ps.setResps[failure.Proc(p)]; c > cSet {
+			cSet = c
+		}
+	})
+	ps.cSet = cSet
+	ps.phase = 2
+	g.checkSetPhase2(resp.Seq, ps)
+}
+
+// checkSetPhase2 completes a set once some read quorum reports clocks at or
+// beyond c_set (Figure 3, line 20). This wait is what makes the update
+// visible to every later quorum_get (Theorem 3).
+func (g *Generalized) checkSetPhase2(seq int64, ps *genPendingSet) {
+	fresh := graph.NewBitSet(g.n.ClusterSize())
+	for p, ob := range g.latest {
+		if ob.clock >= ps.cSet {
+			fresh.Add(int(p))
+		}
+	}
+	if quorumContaining(g.reads, fresh) < 0 {
+		return
+	}
+	delete(g.sets, seq)
+	ps.done <- struct{}{}
+}

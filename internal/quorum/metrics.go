@@ -1,0 +1,107 @@
+package quorum
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Metrics summarizes structural quality measures of a quorum system, in the
+// spirit of the load/availability analysis of Naor and Wool [34] (cited by
+// the paper as part of the classical quorum-system theory GQS generalizes).
+type Metrics struct {
+	// MinReadQuorum / MinWriteQuorum are the smallest quorum cardinalities:
+	// lower bounds on per-operation message cost.
+	MinReadQuorum, MinWriteQuorum int
+	// MaxReadQuorum / MaxWriteQuorum are the largest cardinalities.
+	MaxReadQuorum, MaxWriteQuorum int
+	// ReadLoad / WriteLoad are the loads induced by the uniform strategy
+	// (pick each quorum with equal probability): the maximum, over
+	// processes, of the fraction of quorums containing that process. Lower
+	// is better (1/|quorums| <= load <= 1).
+	ReadLoad, WriteLoad float64
+	// BusiestProc is a process attaining the maximum combined load.
+	BusiestProc int
+	// PatternsCovered is the number of failure patterns with at least one
+	// validating (available + reachable) write quorum — |F| for a valid GQS.
+	PatternsCovered int
+	// MinUf / MaxUf are the smallest and largest termination components
+	// across patterns: how many processes are guaranteed wait-freedom in the
+	// worst and best failure case.
+	MinUf, MaxUf int
+}
+
+// ComputeMetrics evaluates the metrics of qs on the complete network graph.
+func ComputeMetrics(qs System) (Metrics, error) {
+	if len(qs.Reads) == 0 || len(qs.Writes) == 0 {
+		return Metrics{}, fmt.Errorf("quorum system has no quorums")
+	}
+	n := qs.F.N
+	m := Metrics{
+		MinReadQuorum:  n + 1,
+		MinWriteQuorum: n + 1,
+		MinUf:          n + 1,
+	}
+	loadCount := func(family []graph.BitSet) ([]float64, int, int) {
+		counts := make([]float64, n)
+		minSz, maxSz := n+1, 0
+		for _, q := range family {
+			sz := q.Len()
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			q.ForEach(func(p int) { counts[p] += 1 })
+		}
+		for i := range counts {
+			counts[i] /= float64(len(family))
+		}
+		return counts, minSz, maxSz
+	}
+	readLoads, minR, maxR := loadCount(qs.Reads)
+	writeLoads, minW, maxW := loadCount(qs.Writes)
+	m.MinReadQuorum, m.MaxReadQuorum = minR, maxR
+	m.MinWriteQuorum, m.MaxWriteQuorum = minW, maxW
+	best := -1.0
+	for p := 0; p < n; p++ {
+		if readLoads[p] > m.ReadLoad {
+			m.ReadLoad = readLoads[p]
+		}
+		if writeLoads[p] > m.WriteLoad {
+			m.WriteLoad = writeLoads[p]
+		}
+		if combined := readLoads[p] + writeLoads[p]; combined > best {
+			best = combined
+			m.BusiestProc = p
+		}
+	}
+
+	g := Network(n)
+	for _, f := range qs.F.Patterns {
+		if _, _, ok := qs.availableWitness(g, f); ok {
+			m.PatternsCovered++
+		}
+		u := qs.Uf(g, f).Len()
+		if u < m.MinUf {
+			m.MinUf = u
+		}
+		if u > m.MaxUf {
+			m.MaxUf = u
+		}
+	}
+	if len(qs.F.Patterns) == 0 {
+		m.MinUf = 0
+	}
+	return m, nil
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"reads %d-%d (load %.2f), writes %d-%d (load %.2f), busiest p%d, covered %d patterns, U_f %d-%d",
+		m.MinReadQuorum, m.MaxReadQuorum, m.ReadLoad,
+		m.MinWriteQuorum, m.MaxWriteQuorum, m.WriteLoad,
+		m.BusiestProc, m.PatternsCovered, m.MinUf, m.MaxUf)
+}

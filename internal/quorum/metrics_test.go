@@ -1,0 +1,136 @@
+package quorum
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/failure"
+)
+
+func TestMetricsFigure1(t *testing.T) {
+	qs := Figure1()
+	m, err := ComputeMetrics(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All quorums have size 2.
+	if m.MinReadQuorum != 2 || m.MaxReadQuorum != 2 || m.MinWriteQuorum != 2 || m.MaxWriteQuorum != 2 {
+		t.Fatalf("quorum sizes: %+v", m)
+	}
+	// Each process appears in exactly 2 of the 4 read quorums and 2 of the 4
+	// write quorums: load 0.5.
+	if math.Abs(m.ReadLoad-0.5) > 1e-9 || math.Abs(m.WriteLoad-0.5) > 1e-9 {
+		t.Fatalf("loads: %+v", m)
+	}
+	if m.PatternsCovered != 4 {
+		t.Fatalf("covered %d patterns, want 4", m.PatternsCovered)
+	}
+	if m.MinUf != 2 || m.MaxUf != 2 {
+		t.Fatalf("U_f sizes: %+v", m)
+	}
+	if !strings.Contains(m.String(), "covered 4 patterns") {
+		t.Fatalf("String: %s", m)
+	}
+}
+
+func TestMetricsMajority(t *testing.T) {
+	// Majority(5, 1): reads of size 4 (5 of them), writes of size 2 (10).
+	qs := Majority(5, 1)
+	m, err := ComputeMetrics(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MinReadQuorum != 4 || m.MinWriteQuorum != 2 {
+		t.Fatalf("sizes: %+v", m)
+	}
+	// Read load: each process in C(4,3)=4 of the C(5,4)=5 reads: 0.8.
+	if math.Abs(m.ReadLoad-0.8) > 1e-9 {
+		t.Fatalf("read load = %f, want 0.8", m.ReadLoad)
+	}
+	// Write load: each process in C(4,1)=4 of the C(5,2)=10 writes: 0.4.
+	if math.Abs(m.WriteLoad-0.4) > 1e-9 {
+		t.Fatalf("write load = %f, want 0.4", m.WriteLoad)
+	}
+	if m.PatternsCovered != len(qs.F.Patterns) {
+		t.Fatalf("covered %d of %d", m.PatternsCovered, len(qs.F.Patterns))
+	}
+	// Crash-free pattern leaves everyone in U_f.
+	if m.MaxUf != 5 {
+		t.Fatalf("MaxUf = %d", m.MaxUf)
+	}
+}
+
+func TestMetricsRejectsEmpty(t *testing.T) {
+	if _, err := ComputeMetrics(System{F: failure.NewSystem(3)}); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}
+
+// TestGeneratorSystemsAdmitGQS ties the failure generators to the decision
+// procedure: each generated scenario is implementable, and the derived
+// metrics are coherent.
+func TestGeneratorSystemsAdmitGQS(t *testing.T) {
+	cases := []struct {
+		name string
+		sys  failure.System
+	}{
+		{"IngressLoss(6)", failure.IngressLoss(6)},
+		{"OneWayRing(5)", failure.OneWayRing(5)},
+	}
+	if p, err := failure.Partition(5, 3); err == nil {
+		cases = append(cases, struct {
+			name string
+			sys  failure.System
+		}{"Partition(5,3)", p})
+	}
+	if sp, err := failure.SoftPartition(5, 3); err == nil {
+		cases = append(cases, struct {
+			name string
+			sys  failure.System
+		}{"SoftPartition(5,3)", sp})
+	}
+	for _, c := range cases {
+		qs, ok := Find(Network(c.sys.N), c.sys)
+		if !ok {
+			t.Errorf("%s: no GQS found", c.name)
+			continue
+		}
+		if err := qs.Validate(); err != nil {
+			t.Errorf("%s: witness invalid: %v", c.name, err)
+			continue
+		}
+		m, err := ComputeMetrics(qs)
+		if err != nil {
+			t.Errorf("%s: metrics: %v", c.name, err)
+			continue
+		}
+		if m.PatternsCovered != len(c.sys.Patterns) {
+			t.Errorf("%s: covered %d of %d patterns", c.name, m.PatternsCovered, len(c.sys.Patterns))
+		}
+		if m.MinUf < 1 {
+			t.Errorf("%s: MinUf = %d", c.name, m.MinUf)
+		}
+	}
+}
+
+// TestEgressLossUfExcludesReceiveOnly: in the egress-loss scenario the
+// receive-only process is correct but outside U_f — the situation the
+// paper's termination mapping captures.
+func TestEgressLossUfExcludesReceiveOnly(t *testing.T) {
+	sys := failure.EgressLoss(6)
+	g := Network(6)
+	qs, ok := Find(g, sys)
+	if !ok {
+		t.Fatal("EgressLoss(6) should admit a GQS")
+	}
+	for i, f := range sys.Patterns {
+		u := qs.Uf(g, f)
+		if u.Contains(i) {
+			t.Errorf("pattern %d: receive-only process %d inside U_f=%v", i, i, u)
+		}
+		if u.Contains(int(f.Procs.Elems()[0])) {
+			t.Errorf("pattern %d: crashed process inside U_f", i)
+		}
+	}
+}

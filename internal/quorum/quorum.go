@@ -1,0 +1,212 @@
+// Package quorum implements classical read-write quorum systems
+// (Definition 1), generalized quorum systems (Definition 2), the
+// f-availability / f-reachability predicates, the strongly connected
+// termination component U_f (Proposition 1), and a sound-and-complete
+// decision procedure for GQS existence derived from the lower-bound proof of
+// Theorem 2.
+package quorum
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+)
+
+// ErrNoQuorum is returned when a fail-prone system admits no generalized
+// quorum system.
+var ErrNoQuorum = errors.New("fail-prone system admits no generalized quorum system")
+
+// System is a (possibly generalized) read-write quorum system (F, R, W).
+type System struct {
+	// F is the fail-prone system.
+	F failure.System
+	// Reads is the family of read quorums R.
+	Reads []graph.BitSet
+	// Writes is the family of write quorums W.
+	Writes []graph.BitSet
+}
+
+// Network returns the network graph G = (P, C) used by this library: the
+// complete directed graph, matching the paper's system model in which there
+// is a channel for every ordered pair of processes.
+func Network(n int) *graph.Graph { return graph.Complete(n) }
+
+// FAvailable reports whether the set q is f-available in g: it contains only
+// processes correct under f and is strongly connected in the residual graph
+// G \ f (§3).
+func FAvailable(g *graph.Graph, f failure.Pattern, q graph.BitSet) bool {
+	if !q.SubsetOf(f.Correct(g.N())) {
+		return false
+	}
+	res := f.Residual(g)
+	return res.StronglyConnectedSubset(q)
+}
+
+// FReachable reports whether w is f-reachable from r in g: both sets contain
+// only correct processes and every member of w is reachable from every
+// member of r via a directed path in G \ f (§3).
+func FReachable(g *graph.Graph, f failure.Pattern, w, r graph.BitSet) bool {
+	correct := f.Correct(g.N())
+	if !w.SubsetOf(correct) || !r.SubsetOf(correct) {
+		return false
+	}
+	res := f.Residual(g)
+	return r.SubsetOf(res.CanReachAll(w))
+}
+
+// CheckConsistency verifies the Consistency condition of Definitions 1 and 2:
+// every read quorum intersects every write quorum.
+func (s System) CheckConsistency() error {
+	if len(s.Reads) == 0 || len(s.Writes) == 0 {
+		return errors.New("quorum system must have at least one read and one write quorum")
+	}
+	for i, r := range s.Reads {
+		for j, w := range s.Writes {
+			if !r.Intersects(w) {
+				return fmt.Errorf("consistency violated: R[%d]=%v does not intersect W[%d]=%v", i, r, j, w)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAvailability verifies the Availability condition of Definition 2 on
+// the network graph g: for every failure pattern there is some f-available
+// write quorum that is f-reachable from some read quorum.
+func (s System) CheckAvailability(g *graph.Graph) error {
+	for _, f := range s.F.Patterns {
+		if _, _, ok := s.availableWitness(g, f); !ok {
+			return fmt.Errorf("availability violated for pattern %s", f.String())
+		}
+	}
+	return nil
+}
+
+// availableWitness returns indices (ri, wi) of a read/write quorum pair
+// validating Availability under f, if one exists.
+func (s System) availableWitness(g *graph.Graph, f failure.Pattern) (ri, wi int, ok bool) {
+	res := f.Residual(g)
+	correct := f.Correct(g.N())
+	for wj, w := range s.Writes {
+		if !w.SubsetOf(correct) || !res.StronglyConnectedSubset(w) {
+			continue
+		}
+		reachers := res.CanReachAll(w)
+		for rj, r := range s.Reads {
+			if r.SubsetOf(correct) && r.SubsetOf(reachers) {
+				return rj, wj, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Validate checks that (F, R, W) is a generalized quorum system on the
+// complete network graph: the fail-prone system is well formed, and both
+// Consistency and Availability hold.
+func (s System) Validate() error {
+	if err := s.F.Validate(); err != nil {
+		return fmt.Errorf("fail-prone system: %w", err)
+	}
+	for i, r := range s.Reads {
+		if r.Empty() {
+			return fmt.Errorf("read quorum %d is empty", i)
+		}
+	}
+	for i, w := range s.Writes {
+		if w.Empty() {
+			return fmt.Errorf("write quorum %d is empty", i)
+		}
+	}
+	if err := s.CheckConsistency(); err != nil {
+		return err
+	}
+	return s.CheckAvailability(Network(s.F.N))
+}
+
+// IsClassical reports whether the fail-prone system disallows channel
+// failures between correct processes, i.e. Definition 2 degenerates to
+// Definition 1.
+func (s System) IsClassical() bool {
+	for _, f := range s.F.Patterns {
+		if len(f.Chans) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Uf computes the termination component U_f of Proposition 1 for pattern f:
+// the strongly connected component of G \ f containing the union of all
+// write quorums that validate Availability with respect to f. It returns the
+// empty set if no write quorum validates Availability (which cannot happen
+// for a valid GQS).
+func (s System) Uf(g *graph.Graph, f failure.Pattern) graph.BitSet {
+	res := f.Residual(g)
+	correct := f.Correct(g.N())
+	u := graph.NewBitSet(g.N())
+	for _, w := range s.Writes {
+		if !w.SubsetOf(correct) || !res.StronglyConnectedSubset(w) {
+			continue
+		}
+		reachers := res.CanReachAll(w)
+		validated := false
+		for _, r := range s.Reads {
+			if r.SubsetOf(correct) && r.SubsetOf(reachers) {
+				validated = true
+				break
+			}
+		}
+		if validated {
+			u = u.Union(w)
+		}
+	}
+	if u.Empty() {
+		return u
+	}
+	// Proposition 1: U is strongly connected in G \ f; return the full SCC
+	// of G \ f that contains it.
+	anchor := u.Elems()[0]
+	return res.SCCContaining(anchor)
+}
+
+// TerminationMap returns the termination mapping τ with τ(f) = U_f for every
+// pattern of the fail-prone system, in pattern order.
+func (s System) TerminationMap(g *graph.Graph) []graph.BitSet {
+	out := make([]graph.BitSet, len(s.F.Patterns))
+	for i, f := range s.F.Patterns {
+		out[i] = s.Uf(g, f)
+	}
+	return out
+}
+
+// Majority returns the classical threshold quorum system of Example 6 over n
+// processes tolerating k crashes: read quorums of size >= n-k and write
+// quorums of size >= k+1. Only the minimal quorums are materialized (size
+// exactly n-k and k+1); supersets are implied.
+func Majority(n, k int) System {
+	sys := System{F: failure.Threshold(n, k)}
+	sys.Reads = subsetsOfSize(n, n-k)
+	sys.Writes = subsetsOfSize(n, k+1)
+	return sys
+}
+
+func subsetsOfSize(n, size int) []graph.BitSet {
+	var out []graph.BitSet
+	graph.SortedSubsets(n, size, func(s graph.BitSet) bool {
+		if s.Len() == size {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// Figure1 returns the paper's running-example generalized quorum system
+// (F, R, W) from Figure 1 / Example 8.
+func Figure1() System {
+	reads, writes := failure.Figure1Quorums()
+	return System{F: failure.Figure1(), Reads: reads, Writes: writes}
+}

@@ -1,0 +1,273 @@
+package quorum
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+)
+
+// TestFigure1IsGQS reproduces Example 8: the Figure-1 triple (F, R, W) is a
+// valid generalized quorum system.
+func TestFigure1IsGQS(t *testing.T) {
+	qs := Figure1()
+	if err := qs.Validate(); err != nil {
+		t.Fatalf("Figure 1 GQS invalid: %v", err)
+	}
+}
+
+// TestFigure1Example7 reproduces Example 7: each W_i is f_i-available and
+// f_i-reachable from R_i.
+func TestFigure1Example7(t *testing.T) {
+	qs := Figure1()
+	g := Network(qs.F.N)
+	for i, f := range qs.F.Patterns {
+		if !FAvailable(g, f, qs.Writes[i]) {
+			t.Errorf("W%d not %s-available", i+1, f.Name)
+		}
+		if !FReachable(g, f, qs.Writes[i], qs.Reads[i]) {
+			t.Errorf("W%d not %s-reachable from R%d", i+1, f.Name, i+1)
+		}
+	}
+}
+
+// TestFigure1ReadQuorumsNotStronglyConnected verifies the remark after
+// Example 8: none of the read quorums is strongly connected via correct
+// channels (the relaxation that distinguishes GQS from QS+).
+func TestFigure1ReadQuorumsNotStronglyConnected(t *testing.T) {
+	qs := Figure1()
+	g := Network(qs.F.N)
+	for i, f := range qs.F.Patterns {
+		res := f.Residual(g)
+		if res.StronglyConnectedSubset(qs.Reads[i]) {
+			t.Errorf("R%d is strongly connected under %s; the example requires it not to be", i+1, f.Name)
+		}
+	}
+}
+
+// TestFigure1Uf reproduces Example 9's first part: U_f1 = {a,b},
+// U_f2 = {b,c}, U_f3 = {c,d}, U_f4 = {d,a}.
+func TestFigure1Uf(t *testing.T) {
+	qs := Figure1()
+	g := Network(qs.F.N)
+	want := []graph.BitSet{
+		graph.BitSetOf(4, int(failure.A), int(failure.B)),
+		graph.BitSetOf(4, int(failure.B), int(failure.C)),
+		graph.BitSetOf(4, int(failure.C), int(failure.D)),
+		graph.BitSetOf(4, int(failure.D), int(failure.A)),
+	}
+	for i, f := range qs.F.Patterns {
+		got := qs.Uf(g, f)
+		if !got.Equal(want[i]) {
+			t.Errorf("U_%s = %v, want %v", f.Name, got, want[i])
+		}
+	}
+	tm := qs.TerminationMap(g)
+	for i := range tm {
+		if !tm[i].Equal(want[i]) {
+			t.Errorf("TerminationMap[%d] = %v, want %v", i, tm[i], want[i])
+		}
+	}
+}
+
+// TestExample9NoGQS reproduces Example 9's second part: failing channel
+// (a, b) in addition under f1 leaves no generalized quorum system.
+func TestExample9NoGQS(t *testing.T) {
+	sys := failure.Figure1()
+	f1 := sys.Patterns[0].Clone()
+	f1.Chans[failure.Channel{From: failure.A, To: failure.B}] = true
+	fPrime := failure.NewSystem(sys.N, f1.WithName("f1'"), sys.Patterns[1], sys.Patterns[2], sys.Patterns[3])
+	if err := fPrime.Validate(); err != nil {
+		t.Fatalf("F' should be well formed: %v", err)
+	}
+	if Exists(fPrime) {
+		t.Fatal("F' admits a GQS; Example 9 says it must not")
+	}
+}
+
+// TestFindRecoversFigure1 checks the decision procedure returns a valid
+// witness for the Figure-1 fail-prone system.
+func TestFindRecoversFigure1(t *testing.T) {
+	sys := failure.Figure1()
+	qs, ok := Find(Network(sys.N), sys)
+	if !ok {
+		t.Fatal("Find failed on Figure 1 system, which admits a GQS")
+	}
+	if err := qs.Validate(); err != nil {
+		t.Fatalf("Find returned an invalid GQS: %v", err)
+	}
+}
+
+// TestMajorityIsGQS reproduces Example 6: the threshold quorum system is a
+// valid (classical, hence generalized) quorum system for k <= (n-1)/2.
+func TestMajorityIsGQS(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{3, 1}, {4, 1}, {5, 2}} {
+		qs := Majority(c.n, c.k)
+		if !qs.IsClassical() {
+			t.Errorf("Majority(%d,%d) should be classical", c.n, c.k)
+		}
+		if err := qs.Validate(); err != nil {
+			t.Errorf("Majority(%d,%d) invalid: %v", c.n, c.k, err)
+		}
+	}
+}
+
+// TestMajorityTooManyFailures: with k > (n-1)/2, read quorums of size n-k and
+// write quorums of size k+1 still intersect, but e.g. k = n fails; more to
+// the point, Find must reject a threshold system where a majority can crash
+// AND consistency-compatible SCC choices cannot exist. For n=2, k=1 the two
+// singleton patterns give disjoint residual components, so no GQS exists.
+func TestNoGQSWhenMajorityCanCrash(t *testing.T) {
+	// n = 2, each process may crash individually: under f_a only {b} is
+	// available, under f_b only {a}; the canonical write quorums are disjoint
+	// and reads cannot bridge them.
+	sys := failure.Threshold(2, 1)
+	if Exists(sys) {
+		t.Fatal("Threshold(2,1) should not admit a GQS (split brain)")
+	}
+	// n = 3 with k = 2 likewise.
+	if Exists(failure.Threshold(3, 2)) {
+		t.Fatal("Threshold(3,2) should not admit a GQS")
+	}
+	// Sanity: k within minority bound does admit one.
+	if !Exists(failure.Threshold(3, 1)) {
+		t.Fatal("Threshold(3,1) should admit a GQS")
+	}
+}
+
+func TestCheckConsistencyFailure(t *testing.T) {
+	qs := System{
+		F:      failure.NewSystem(4, failure.NewPattern(4, nil, nil).WithName("f")),
+		Reads:  []graph.BitSet{graph.BitSetOf(4, 0)},
+		Writes: []graph.BitSet{graph.BitSetOf(4, 1)},
+	}
+	if err := qs.CheckConsistency(); err == nil {
+		t.Fatal("disjoint read/write quorums passed consistency")
+	}
+}
+
+func TestCheckAvailabilityFailure(t *testing.T) {
+	// Write quorum {0,1} cannot be available when 1 may crash and there is
+	// no other quorum.
+	qs := System{
+		F:      failure.NewSystem(3, failure.NewPattern(3, []failure.Proc{1}, nil).WithName("f")),
+		Reads:  []graph.BitSet{graph.BitSetOf(3, 0, 1)},
+		Writes: []graph.BitSet{graph.BitSetOf(3, 0, 1)},
+	}
+	if err := qs.CheckAvailability(Network(3)); err == nil {
+		t.Fatal("unavailable quorum system passed availability")
+	}
+}
+
+func TestValidateRejectsEmptyQuorum(t *testing.T) {
+	qs := Figure1()
+	qs.Reads = append(qs.Reads, graph.NewBitSet(4))
+	if err := qs.Validate(); err == nil {
+		t.Fatal("empty read quorum accepted")
+	}
+}
+
+// TestClassicalDegeneration checks the remark after Definition 2: when F
+// disallows channel failures, Definition 2 is equivalent to Definition 1 —
+// i.e. availability reduces to "all quorum members correct".
+func TestClassicalDegeneration(t *testing.T) {
+	g := Network(3)
+	f := failure.NewPattern(3, []failure.Proc{2}, nil)
+	w := graph.BitSetOf(3, 0, 1)
+	r := graph.BitSetOf(3, 0, 1)
+	if !FAvailable(g, f, w) {
+		t.Error("correct write quorum should be f-available in a crash-only pattern")
+	}
+	if !FReachable(g, f, w, r) {
+		t.Error("correct quorums should be mutually reachable in a crash-only pattern")
+	}
+	// A quorum containing the crashed process is neither.
+	bad := graph.BitSetOf(3, 1, 2)
+	if FAvailable(g, f, bad) || FReachable(g, f, bad, r) {
+		t.Error("quorum containing crashed process misclassified")
+	}
+}
+
+// TestFReachableUnidirectional checks that f-reachability does not require
+// the reverse direction: in Figure 1 under f1, W1 is reachable from R1 but
+// R1 is NOT reachable from W1 (c has no incoming channels).
+func TestFReachableUnidirectional(t *testing.T) {
+	qs := Figure1()
+	g := Network(qs.F.N)
+	f1 := qs.F.Patterns[0]
+	if !FReachable(g, f1, qs.Writes[0], qs.Reads[0]) {
+		t.Fatal("W1 should be f1-reachable from R1")
+	}
+	if FReachable(g, f1, qs.Reads[0], qs.Writes[0]) {
+		t.Fatal("R1 should NOT be f1-reachable from W1 (c unreachable)")
+	}
+}
+
+// TestUfEmptyWhenNoValidatingQuorum documents the degenerate behaviour.
+func TestUfEmptyWhenNoValidatingQuorum(t *testing.T) {
+	qs := System{
+		F:      failure.NewSystem(3, failure.NewPattern(3, []failure.Proc{0}, nil).WithName("f")),
+		Reads:  []graph.BitSet{graph.BitSetOf(3, 0)},
+		Writes: []graph.BitSet{graph.BitSetOf(3, 0)},
+	}
+	u := qs.Uf(Network(3), qs.F.Patterns[0])
+	if !u.Empty() {
+		t.Fatalf("Uf = %v, want empty", u)
+	}
+}
+
+// TestFindOnThresholdMatchesMinorityBound sweeps small thresholds and checks
+// GQS existence agrees with the classical n >= 2k+1 bound (channel failures
+// disallowed, so GQS existence coincides with classical QS existence).
+func TestFindOnThresholdMatchesMinorityBound(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		for k := 0; k <= n; k++ {
+			if k > n {
+				continue
+			}
+			got := Exists(failure.Threshold(n, k))
+			want := n >= 2*k+1
+			if got != want {
+				t.Errorf("Threshold(n=%d, k=%d): Exists=%v, want %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestUfIsStronglyConnected property: for every pattern of every valid GQS we
+// construct, U_f is strongly connected in the residual graph (Prop 1).
+func TestUfIsStronglyConnected(t *testing.T) {
+	systems := []System{Figure1(), Majority(3, 1), Majority(5, 2)}
+	for si, qs := range systems {
+		g := Network(qs.F.N)
+		for _, f := range qs.F.Patterns {
+			u := qs.Uf(g, f)
+			if u.Empty() {
+				t.Errorf("system %d pattern %s: U_f empty", si, f.Name)
+				continue
+			}
+			if !f.Residual(g).StronglyConnectedSubset(u) {
+				t.Errorf("system %d pattern %s: U_f=%v not strongly connected", si, f.Name, u)
+			}
+		}
+	}
+}
+
+func TestMajorityQuorumSizes(t *testing.T) {
+	qs := Majority(5, 2)
+	for _, r := range qs.Reads {
+		if r.Len() != 3 {
+			t.Fatalf("read quorum size %d, want 3", r.Len())
+		}
+	}
+	for _, w := range qs.Writes {
+		if w.Len() != 3 {
+			t.Fatalf("write quorum size %d, want 3", w.Len())
+		}
+	}
+	// Asymmetric case of Example 6: n=5, k=1 -> reads of 4, writes of 2.
+	qs = Majority(5, 1)
+	if qs.Reads[0].Len() != 4 || qs.Writes[0].Len() != 2 {
+		t.Fatalf("Majority(5,1) sizes = %d/%d, want 4/2", qs.Reads[0].Len(), qs.Writes[0].Len())
+	}
+}

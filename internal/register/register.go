@@ -1,0 +1,217 @@
+// Package register implements the paper's multi-writer multi-reader atomic
+// register (Figure 4) on top of quorum access functions. The protocol is an
+// ABD-style two-phase algorithm: both read and write first collect a read
+// quorum's states (Get phase), then store back through a write quorum (Set
+// phase). The novelty is entirely inside the quorum access functions, which
+// make the protocol live on generalized quorum systems (Theorem 1).
+package register
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/qaf"
+)
+
+// Version tags a written value: a monotonically increasing number paired
+// with the writer's process id, ordered lexicographically (§5).
+type Version struct {
+	Num  uint64 `json:"num"`
+	Proc int    `json:"proc"`
+}
+
+// Less reports whether v precedes w in the lexicographic version order.
+func (v Version) Less(w Version) bool {
+	if v.Num != w.Num {
+		return v.Num < w.Num
+	}
+	return v.Proc < w.Proc
+}
+
+// String renders the version as "(num, proc)".
+func (v Version) String() string { return fmt.Sprintf("(%d, %d)", v.Num, v.Proc) }
+
+// State is the register state stored at each process: the most recent value
+// written at this process and its version. It doubles as the update
+// descriptor shipped through quorum_set: the update function of Figure 4
+// (lines 6 and 11) is "overwrite if the incoming version is higher", which
+// is fully described by the (value, version) pair itself.
+type State struct {
+	Val string  `json:"val"`
+	Ver Version `json:"ver"`
+}
+
+// stateMachine adapts State to qaf.StateMachine. It lives on the node event
+// loop and needs no locking.
+type stateMachine struct {
+	cur State
+}
+
+var _ qaf.StateMachine = (*stateMachine)(nil)
+
+func (s *stateMachine) Snapshot() []byte {
+	b, err := json.Marshal(s.cur)
+	if err != nil {
+		// State is a plain struct; this cannot fail. Return the zero state
+		// encoding to keep the protocol progressing.
+		return []byte(`{"val":"","ver":{"num":0,"proc":0}}`)
+	}
+	return b
+}
+
+func (s *stateMachine) Apply(update []byte) error {
+	var u State
+	if err := json.Unmarshal(update, &u); err != nil {
+		return fmt.Errorf("register update: %w", err)
+	}
+	// Figure 4, line 6/11: if t > s.ver then (x, t) else s.
+	if s.cur.Ver.Less(u.Ver) {
+		s.cur = u
+	}
+	return nil
+}
+
+// Register is one process's endpoint of the replicated MWMR atomic register.
+type Register struct {
+	id  int
+	acc qaf.Accessor
+	sm  *stateMachine
+}
+
+// Options configures a register endpoint.
+type Options struct {
+	// Name scopes wire topics; endpoints of the same register across
+	// processes must use the same name. Defaults to "reg".
+	Name string
+	// Reads and Writes are the quorum families of the generalized quorum
+	// system.
+	Reads, Writes []graph.BitSet
+	// Tick is the periodic propagation interval of the underlying quorum
+	// access functions.
+	Tick time.Duration
+	// Classical selects the Figure-2 access functions instead of the
+	// generalized ones — the baseline that requires bidirectional quorum
+	// connectivity.
+	Classical bool
+	// Propagator optionally batches periodic state propagation with other
+	// accessors on the node (ignored for the classical baseline).
+	Propagator *qaf.Propagator
+}
+
+// New installs a register endpoint on the node.
+func New(n *node.Node, opts Options) *Register {
+	if opts.Name == "" {
+		opts.Name = "reg"
+	}
+	sm := &stateMachine{}
+	var acc qaf.Accessor
+	if opts.Classical {
+		acc = qaf.NewClassical(n, opts.Name, sm, opts.Reads, opts.Writes)
+	} else {
+		acc = qaf.NewGeneralized(n, qaf.GeneralizedConfig{
+			Name:       opts.Name,
+			SM:         sm,
+			Reads:      opts.Reads,
+			Writes:     opts.Writes,
+			Tick:       opts.Tick,
+			Propagator: opts.Propagator,
+		})
+	}
+	return &Register{id: int(n.ID()), acc: acc, sm: sm}
+}
+
+// decodeStates parses the opaque states returned by quorum_get.
+func decodeStates(raw [][]byte) ([]State, error) {
+	out := make([]State, 0, len(raw))
+	for _, b := range raw {
+		var s State
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("register state: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func maxVersion(states []State) State {
+	var best State
+	for _, s := range states {
+		if best.Ver.Less(s.Ver) {
+			best = s
+		}
+	}
+	return best
+}
+
+// Write implements write(x) (Figure 4, lines 2-7): collect versions from a
+// read quorum, pick a unique higher version, and store (x, t) at a write
+// quorum. It returns the version assigned to the write.
+func (r *Register) Write(ctx context.Context, val string) (Version, error) {
+	// Get phase.
+	raw, err := r.acc.Get(ctx)
+	if err != nil {
+		return Version{}, fmt.Errorf("write get phase: %w", err)
+	}
+	states, err := decodeStates(raw)
+	if err != nil {
+		return Version{}, err
+	}
+	// Lines 4-5: t = (k+1, i) with k the largest version number seen.
+	top := maxVersion(states)
+	t := Version{Num: top.Ver.Num + 1, Proc: r.id}
+	update, err := json.Marshal(State{Val: val, Ver: t})
+	if err != nil {
+		return Version{}, fmt.Errorf("encode write update: %w", err)
+	}
+	// Set phase (line 7).
+	if err := r.acc.Set(ctx, update); err != nil {
+		return Version{}, fmt.Errorf("write set phase: %w", err)
+	}
+	return t, nil
+}
+
+// Read implements read() (Figure 4, lines 8-13): collect states from a read
+// quorum, pick the one with the largest version, write it back so any later
+// operation observes it, and return its value. It also returns the version
+// of the value read (useful for white-box linearizability checking).
+func (r *Register) Read(ctx context.Context) (string, Version, error) {
+	// Get phase.
+	raw, err := r.acc.Get(ctx)
+	if err != nil {
+		return "", Version{}, fmt.Errorf("read get phase: %w", err)
+	}
+	states, err := decodeStates(raw)
+	if err != nil {
+		return "", Version{}, err
+	}
+	// Line 10: s' = state with the largest version.
+	best := maxVersion(states)
+	update, err := json.Marshal(best)
+	if err != nil {
+		return "", Version{}, fmt.Errorf("encode read-back update: %w", err)
+	}
+	// Set phase (line 12): write back before returning.
+	if err := r.acc.Set(ctx, update); err != nil {
+		return "", Version{}, fmt.Errorf("read set phase: %w", err)
+	}
+	return best.Val, best.Ver, nil
+}
+
+// Stop releases the underlying quorum accessor.
+func (r *Register) Stop() { r.acc.Stop() }
+
+// Metrics exposes the underlying accessor's counters when available.
+func (r *Register) Metrics() (qaf.Metrics, bool) {
+	switch a := r.acc.(type) {
+	case *qaf.Generalized:
+		return a.Metrics(), true
+	case *qaf.Classical:
+		return a.Metrics(), true
+	default:
+		return qaf.Metrics{}, false
+	}
+}

@@ -1,0 +1,90 @@
+package smr
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/node"
+)
+
+// kvCommand is the log entry format of the replicated KV store.
+type kvCommand struct {
+	// ID makes commands unique across clients (Append requires uniqueness).
+	ID string `json:"id"`
+	// Key and Val describe a set operation.
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// KV is a linearizable replicated key-value store built on the replicated
+// log: every Set is a log append; Get replays the locally decided prefix.
+// Gets are linearizable with respect to Sets observed at this process
+// (serving the decided prefix); a reader needing freshness across processes
+// calls Sync first, which commits a no-op barrier.
+type KV struct {
+	log    *Log
+	nodeID int
+	seq    atomic.Int64
+}
+
+// NewKV installs a replicated KV endpoint on the node. All processes of one
+// store must use the same options.
+func NewKV(n *node.Node, opts Options) *KV {
+	if opts.Name == "" {
+		opts.Name = "kv"
+	}
+	return &KV{
+		log:    New(n, opts),
+		nodeID: int(n.ID()),
+	}
+}
+
+func (kv *KV) nextID() string {
+	return fmt.Sprintf("p%d-%d", kv.nodeID, kv.seq.Add(1))
+}
+
+// Set commits key=val and returns the log slot it occupies.
+func (kv *KV) Set(ctx context.Context, key, val string) (int64, error) {
+	cmd, err := json.Marshal(kvCommand{ID: kv.nextID(), Key: key, Val: val})
+	if err != nil {
+		return 0, fmt.Errorf("encode kv command: %w", err)
+	}
+	return kv.log.Append(ctx, string(cmd))
+}
+
+// Get returns the value of key in the decided prefix at this process, and
+// whether it was present.
+func (kv *KV) Get(key string) (string, bool, error) {
+	var (
+		val   string
+		found bool
+	)
+	for _, raw := range kv.log.DecidedPrefix() {
+		var cmd kvCommand
+		if err := json.Unmarshal([]byte(raw), &cmd); err != nil {
+			return "", false, fmt.Errorf("corrupt log entry: %w", err)
+		}
+		if cmd.Key == key {
+			val = cmd.Val
+			found = true
+		}
+	}
+	return val, found, nil
+}
+
+// Sync commits a barrier no-op: after it returns, this process's decided
+// prefix includes every Set that completed before Sync was invoked, making a
+// following Get linearizable.
+func (kv *KV) Sync(ctx context.Context) error {
+	cmd, err := json.Marshal(kvCommand{ID: kv.nextID(), Key: "", Val: ""})
+	if err != nil {
+		return err
+	}
+	_, err = kv.log.Append(ctx, string(cmd))
+	return err
+}
+
+// Stop releases the underlying log.
+func (kv *KV) Stop() { kv.log.Stop() }

@@ -1,0 +1,230 @@
+// Package smr implements state machine replication on top of the paper's
+// generalized-quorum-system consensus: a replicated log in which each slot
+// is decided by one Figure-6 consensus instance. It is the standard
+// application layer above single-shot consensus and demonstrates that the
+// paper's weak-connectivity bound carries to full replicated services:
+// commands submitted at U_f members commit despite asymmetric channel
+// failures.
+//
+// Slot instances are created for the whole (bounded) log upfront, at every
+// process, when the log endpoint starts. This is not an implementation
+// convenience but a requirement of the paper's model: under a pattern like
+// Figure 1's f1, a read-quorum member (process c) may have NO incoming
+// connectivity at all, so it can never learn about lazily created protocol
+// instances — it can only participate in protocols it starts spontaneously.
+// The paper's algorithms assume every correct process runs the algorithm
+// from startup; the pre-created window realizes exactly that per slot. (An
+// unbounded log would need slot-generic 1B messages — a protocol extension
+// beyond the paper.)
+//
+// The log is intentionally simple — no batching, no leader leases, no log
+// compaction — because its purpose here is to exercise the consensus
+// substrate, not to compete with production SMR systems.
+package smr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/graph"
+	"repro/internal/node"
+)
+
+// ErrStopped is returned after the log has been stopped.
+var ErrStopped = errors.New("replicated log stopped")
+
+// ErrLogFull is returned when every slot of the bounded log is decided.
+var ErrLogFull = errors.New("replicated log full (all slots decided)")
+
+// DefaultSlots is the default log capacity.
+const DefaultSlots = 32
+
+// Options configures a log endpoint.
+type Options struct {
+	// Name scopes wire topics. Defaults to "smr".
+	Name string
+	// Slots is the log capacity (number of pre-created consensus
+	// instances). Defaults to DefaultSlots. All processes of one log must
+	// agree on it.
+	Slots int
+	// Reads and Writes are the GQS quorum families.
+	Reads, Writes []graph.BitSet
+	// ViewC is the per-slot consensus view-duration constant.
+	ViewC time.Duration
+}
+
+// Log is one process's endpoint of the replicated command log.
+type Log struct {
+	n     *node.Node
+	slots []*consensus.Consensus
+
+	// Loop-confined state.
+	decided map[int64]string
+	next    int64 // lowest slot this process has not observed decided
+	waiters map[int64][]chan string
+	stopped bool
+}
+
+// New installs a replicated log endpoint on the node, starting one consensus
+// instance per slot (see the package comment for why instances must exist
+// from startup at every process).
+func New(n *node.Node, opts Options) *Log {
+	if opts.Name == "" {
+		opts.Name = "smr"
+	}
+	if opts.Slots <= 0 {
+		opts.Slots = DefaultSlots
+	}
+	if opts.ViewC <= 0 {
+		opts.ViewC = 25 * time.Millisecond
+	}
+	l := &Log{
+		n:       n,
+		decided: make(map[int64]string),
+		waiters: make(map[int64][]chan string),
+	}
+	for s := 0; s < opts.Slots; s++ {
+		slot := int64(s)
+		l.slots = append(l.slots, consensus.New(n, consensus.Options{
+			Name:  fmt.Sprintf("%s/slot%d", opts.Name, slot),
+			Reads: opts.Reads, Writes: opts.Writes, C: opts.ViewC,
+			// Runs on the node loop as soon as this process learns the
+			// slot's decision.
+			OnDecide: func(v string) { l.recordDecision(slot, v) },
+		}))
+	}
+	return l
+}
+
+// Capacity returns the number of slots.
+func (l *Log) Capacity() int { return len(l.slots) }
+
+// recordDecision stores a decision and wakes waiters. Runs on the loop.
+func (l *Log) recordDecision(slot int64, v string) {
+	if _, ok := l.decided[slot]; ok {
+		return
+	}
+	l.decided[slot] = v
+	for {
+		if _, ok := l.decided[l.next]; !ok {
+			break
+		}
+		l.next++
+	}
+	for _, ch := range l.waiters[slot] {
+		ch <- v
+	}
+	delete(l.waiters, slot)
+}
+
+// Append commits cmd to the log and returns the slot it occupies: it tries
+// successive slots until cmd itself is decided. Commands must be unique
+// (callers tag them with client ids); duplicates would be committed twice.
+func (l *Log) Append(ctx context.Context, cmd string) (int64, error) {
+	if cmd == "" {
+		return 0, errors.New("empty command")
+	}
+	for {
+		var (
+			slot    int64
+			stopped bool
+		)
+		l.n.Call(func() {
+			stopped = l.stopped
+			slot = l.next
+		})
+		if stopped {
+			return 0, ErrStopped
+		}
+		if slot >= int64(len(l.slots)) {
+			return 0, ErrLogFull
+		}
+		v, err := l.slots[slot].Propose(ctx, cmd)
+		if err != nil {
+			return 0, fmt.Errorf("append at slot %d: %w", slot, err)
+		}
+		l.n.Call(func() {
+			l.recordDecision(slot, v)
+			if l.next <= slot {
+				l.next = slot + 1
+			}
+		})
+		if v == cmd {
+			return slot, nil
+		}
+		// Slot was taken by a competing command; retry on the next one.
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		default:
+		}
+	}
+}
+
+// Get returns the decision of a slot, blocking until it is decided at this
+// process.
+func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
+	if slot < 0 || slot >= int64(len(l.slots)) {
+		return "", fmt.Errorf("slot %d out of range [0,%d)", slot, len(l.slots))
+	}
+	ch := make(chan string, 1)
+	registered := false
+	l.n.Call(func() {
+		if l.stopped {
+			return
+		}
+		registered = true
+		if v, ok := l.decided[slot]; ok {
+			ch <- v
+			return
+		}
+		l.waiters[slot] = append(l.waiters[slot], ch)
+	})
+	if !registered {
+		return "", ErrStopped
+	}
+	select {
+	case v, ok := <-ch:
+		if !ok {
+			return "", ErrStopped
+		}
+		return v, nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// DecidedPrefix returns the decided commands of slots [0, k) where k is the
+// first undecided slot at this process.
+func (l *Log) DecidedPrefix() []string {
+	var out []string
+	l.n.Call(func() {
+		for s := int64(0); s < int64(len(l.slots)); s++ {
+			v, ok := l.decided[s]
+			if !ok {
+				break
+			}
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// Stop terminates every slot instance and releases blocked calls.
+func (l *Log) Stop() {
+	l.n.Call(func() {
+		l.stopped = true
+		for slot, ws := range l.waiters {
+			for _, ch := range ws {
+				close(ch)
+			}
+			delete(l.waiters, slot)
+		}
+	})
+	for _, c := range l.slots {
+		c.Stop()
+	}
+}

@@ -1,0 +1,264 @@
+package smr
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/node"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+type smrCluster struct {
+	net   *transport.MemNetwork
+	nodes []*node.Node
+	logs  []*Log
+	kvs   []*KV
+}
+
+func (c *smrCluster) stop() {
+	for _, l := range c.logs {
+		l.Stop()
+	}
+	for _, kv := range c.kvs {
+		kv.Stop()
+	}
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.net.Close()
+}
+
+func newSMRCluster(t *testing.T, kv bool) *smrCluster {
+	t.Helper()
+	qs := quorum.Figure1()
+	c := &smrCluster{net: transport.NewMem(4,
+		transport.WithDelay(transport.UniformDelay{Min: 10 * time.Microsecond, Max: 300 * time.Microsecond}),
+		transport.WithSeed(63))}
+	for i := 0; i < 4; i++ {
+		nd := node.New(failure.Proc(i), c.net)
+		c.nodes = append(c.nodes, nd)
+		if kv {
+			c.kvs = append(c.kvs, NewKV(nd, Options{
+				Slots: 8, Reads: qs.Reads, Writes: qs.Writes, ViewC: 15 * time.Millisecond,
+			}))
+		} else {
+			c.logs = append(c.logs, New(nd, Options{
+				Slots: 8, Reads: qs.Reads, Writes: qs.Writes, ViewC: 15 * time.Millisecond,
+			}))
+		}
+	}
+	return c
+}
+
+func ctxSec(t *testing.T, s int) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(s)*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestLogAppendSequential(t *testing.T) {
+	c := newSMRCluster(t, false)
+	defer c.stop()
+	ctx := ctxSec(t, 60)
+
+	for i := 0; i < 3; i++ {
+		cmd := fmt.Sprintf("cmd-%d", i)
+		slot, err := c.logs[0].Append(ctx, cmd)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if slot != int64(i) {
+			t.Fatalf("cmd %d landed in slot %d", i, slot)
+		}
+	}
+	prefix := c.logs[0].DecidedPrefix()
+	if len(prefix) != 3 || prefix[0] != "cmd-0" || prefix[2] != "cmd-2" {
+		t.Fatalf("prefix = %v", prefix)
+	}
+}
+
+func TestLogAgreementAcrossProcesses(t *testing.T) {
+	c := newSMRCluster(t, false)
+	defer c.stop()
+	ctx := ctxSec(t, 120)
+
+	// Concurrent appends from all four processes: all commands must land in
+	// distinct slots and every process must observe the same sequence.
+	var wg sync.WaitGroup
+	slots := make([]int64, 4)
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			s, err := c.logs[p].Append(ctx, fmt.Sprintf("from-p%d", p))
+			if err != nil {
+				t.Errorf("append p%d: %v", p, err)
+				return
+			}
+			slots[p] = s
+		}(p)
+	}
+	wg.Wait()
+	seen := map[int64]bool{}
+	for p, s := range slots {
+		if seen[s] {
+			t.Fatalf("slot %d double-assigned (p%d): %v", s, p, slots)
+		}
+		seen[s] = true
+	}
+	// Every process reads back the same decided values per slot.
+	for s := range seen {
+		var first string
+		for p := 0; p < 4; p++ {
+			v, err := c.logs[p].Get(ctx, s)
+			if err != nil {
+				t.Fatalf("get slot %d at p%d: %v", s, p, err)
+			}
+			if p == 0 {
+				first = v
+			} else if v != first {
+				t.Fatalf("slot %d disagreement: %q vs %q", s, v, first)
+			}
+		}
+	}
+}
+
+func TestLogUnderF1(t *testing.T) {
+	qs := quorum.Figure1()
+	c := newSMRCluster(t, false)
+	defer c.stop()
+	c.net.ApplyPattern(qs.F.Patterns[0]) // U_f1 = {a, b}
+	ctx := ctxSec(t, 120)
+
+	for i := 0; i < 3; i++ {
+		p := i % 2
+		cmd := fmt.Sprintf("f1-cmd-%d", i)
+		if _, err := c.logs[p].Append(ctx, cmd); err != nil {
+			t.Fatalf("append %d at p%d under f1: %v", i, p, err)
+		}
+	}
+	// Both U_f members converge on the same prefix.
+	a, err := c.logs[0].Get(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.logs[1].Get(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("slot 2: %q vs %q", a, b)
+	}
+}
+
+func TestLogRejectsEmptyCommand(t *testing.T) {
+	c := newSMRCluster(t, false)
+	defer c.stop()
+	if _, err := c.logs[0].Append(context.Background(), ""); err == nil {
+		t.Fatal("empty command accepted")
+	}
+}
+
+func TestLogStopReleasesWaiters(t *testing.T) {
+	c := newSMRCluster(t, false)
+	defer c.stop()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.logs[0].Get(context.Background(), 7)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	c.logs[0].Stop()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Get returned nil after Stop")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Get not released by Stop")
+	}
+	if _, err := c.logs[0].Append(context.Background(), "x"); err == nil {
+		t.Fatal("Append after Stop succeeded")
+	}
+}
+
+func TestKVSetGet(t *testing.T) {
+	c := newSMRCluster(t, true)
+	defer c.stop()
+	ctx := ctxSec(t, 120)
+
+	if _, err := c.kvs[0].Set(ctx, "color", "red"); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	if _, err := c.kvs[0].Set(ctx, "color", "blue"); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	v, ok, err := c.kvs[0].Get("color")
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	if v != "blue" {
+		t.Fatalf("get = %q, want blue (last write wins)", v)
+	}
+	_, ok, err = c.kvs[0].Get("missing")
+	if err != nil || ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+func TestKVSyncMakesRemoteWritesVisible(t *testing.T) {
+	c := newSMRCluster(t, true)
+	defer c.stop()
+	ctx := ctxSec(t, 120)
+
+	if _, err := c.kvs[2].Set(ctx, "leader", "p2"); err != nil {
+		t.Fatalf("set at p2: %v", err)
+	}
+	// Reader at p0: barrier then read.
+	if err := c.kvs[0].Sync(ctx); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	v, ok, err := c.kvs[0].Get("leader")
+	if err != nil || !ok || v != "p2" {
+		t.Fatalf("get after sync = %q/%v/%v, want p2", v, ok, err)
+	}
+}
+
+func TestKVUnderF1(t *testing.T) {
+	qs := quorum.Figure1()
+	c := newSMRCluster(t, true)
+	defer c.stop()
+	c.net.ApplyPattern(qs.F.Patterns[0])
+	ctx := ctxSec(t, 120)
+
+	if _, err := c.kvs[0].Set(ctx, "epoch", "7"); err != nil {
+		t.Fatalf("set under f1: %v", err)
+	}
+	if err := c.kvs[1].Sync(ctx); err != nil {
+		t.Fatalf("sync under f1: %v", err)
+	}
+	v, ok, err := c.kvs[1].Get("epoch")
+	if err != nil || !ok || v != "7" {
+		t.Fatalf("get = %q/%v/%v", v, ok, err)
+	}
+}
+
+func TestLogCapacityAndRangeChecks(t *testing.T) {
+	c := newSMRCluster(t, false)
+	defer c.stop()
+	if got := c.logs[0].Capacity(); got != 8 {
+		t.Fatalf("Capacity = %d, want 8", got)
+	}
+	if _, err := c.logs[0].Get(context.Background(), 99); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := c.logs[0].Get(context.Background(), -1); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+}

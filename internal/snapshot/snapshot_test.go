@@ -1,0 +1,254 @@
+package snapshot
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/node"
+	"repro/internal/qaf"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+func fastDelay() transport.MemOption {
+	return transport.WithDelay(transport.UniformDelay{
+		Min: 5 * time.Microsecond, Max: 100 * time.Microsecond,
+	})
+}
+
+type snapCluster struct {
+	net   *transport.MemNetwork
+	nodes []*node.Node
+	snaps []*Snapshot
+	props []*qaf.Propagator
+}
+
+func (c *snapCluster) stop() {
+	for _, s := range c.snaps {
+		s.Stop()
+	}
+	for _, p := range c.props {
+		p.Stop()
+	}
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.net.Close()
+}
+
+func newSnapCluster(t *testing.T, n int) *snapCluster {
+	t.Helper()
+	qs := quorum.Figure1()
+	c := &snapCluster{net: transport.NewMem(n, fastDelay(), transport.WithSeed(23))}
+	for i := 0; i < n; i++ {
+		nd := node.New(failure.Proc(i), c.net)
+		c.nodes = append(c.nodes, nd)
+		// One segment register per process is created under the hood; share
+		// a batched propagator so the per-node tick traffic stays constant
+		// (the -race detector otherwise saturates on the JSON hot path).
+		prop := qaf.NewPropagator(nd, 2*time.Millisecond)
+		c.props = append(c.props, prop)
+		c.snaps = append(c.snaps, New(nd, Options{
+			Reads: qs.Reads, Writes: qs.Writes, Tick: 2 * time.Millisecond, Propagator: prop,
+		}))
+	}
+	return c
+}
+
+func ctxSec(t *testing.T, s int) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(s)*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestCellCodec(t *testing.T) {
+	c := cell{Val: "v", Seq: 3, View: []string{"a", "b"}}
+	enc, err := encodeCell(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decodeCell(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Val != "v" || dec.Seq != 3 || len(dec.View) != 2 {
+		t.Fatalf("round trip corrupted: %+v", dec)
+	}
+	// Initial segment decodes to zero cell.
+	z, err := decodeCell("")
+	if err != nil || z.Seq != 0 || z.Val != "" {
+		t.Fatalf("initial cell = %+v, %v", z, err)
+	}
+	if _, err := decodeCell("{bad"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestUpdateScanSequential(t *testing.T) {
+	c := newSnapCluster(t, 4)
+	defer c.stop()
+	ctx := ctxSec(t, 60)
+
+	if err := c.snaps[0].Update(ctx, "u0"); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := c.snaps[1].Update(ctx, "u1"); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	view, err := c.snaps[2].Scan(ctx)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(view) != 4 {
+		t.Fatalf("view has %d segments, want 4", len(view))
+	}
+	if view[0] != "u0" || view[1] != "u1" || view[2] != "" || view[3] != "" {
+		t.Fatalf("view = %v", view)
+	}
+}
+
+// TestScanRealTimeOrdering: a scan started after an update completes must
+// reflect it.
+func TestScanRealTimeOrdering(t *testing.T) {
+	c := newSnapCluster(t, 4)
+	defer c.stop()
+	ctx := ctxSec(t, 60)
+	for i := 1; i <= 3; i++ {
+		val := strconv.Itoa(i)
+		if err := c.snaps[3].Update(ctx, val); err != nil {
+			t.Fatalf("Update %d: %v", i, err)
+		}
+		view, err := c.snaps[0].Scan(ctx)
+		if err != nil {
+			t.Fatalf("Scan %d: %v", i, err)
+		}
+		if view[3] != val {
+			t.Fatalf("scan %d: segment 3 = %q, want %q", i, view[3], val)
+		}
+	}
+}
+
+// TestConcurrentScansComparable: writers publish increasing counters; any
+// two views must be component-wise comparable (the linearizability footprint
+// of atomic snapshots — views form a chain).
+func TestConcurrentScansComparable(t *testing.T) {
+	c := newSnapCluster(t, 4)
+	defer c.stop()
+	ctx := ctxSec(t, 120)
+
+	var mu sync.Mutex
+	var views [][]string
+	var wg sync.WaitGroup
+
+	// Two writers bump their segments; two scanners snapshot concurrently.
+	for _, p := range []int{0, 1} {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 1; i <= 3; i++ {
+				if err := c.snaps[p].Update(ctx, strconv.Itoa(i)); err != nil {
+					t.Errorf("update p%d: %v", p, err)
+					return
+				}
+			}
+		}(p)
+	}
+	for _, p := range []int{2, 3} {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				v, err := c.snaps[p].Scan(ctx)
+				if err != nil {
+					t.Errorf("scan p%d: %v", p, err)
+					return
+				}
+				mu.Lock()
+				views = append(views, v)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	num := func(s string) int {
+		if s == "" {
+			return 0
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("segment value %q not numeric", s)
+		}
+		return n
+	}
+	leq := func(a, b []string) bool {
+		for i := range a {
+			if num(a[i]) > num(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < len(views); i++ {
+		for j := i + 1; j < len(views); j++ {
+			if !leq(views[i], views[j]) && !leq(views[j], views[i]) {
+				t.Fatalf("incomparable views:\n%v\n%v", views[i], views[j])
+			}
+		}
+	}
+}
+
+// TestSnapshotUnderF1 validates Theorem 1 for snapshots: under pattern f1,
+// updates and scans at U_f1 = {a, b} terminate and are consistent.
+func TestSnapshotUnderF1(t *testing.T) {
+	qs := quorum.Figure1()
+	c := newSnapCluster(t, 4)
+	defer c.stop()
+	c.net.ApplyPattern(qs.F.Patterns[0])
+
+	ctx := ctxSec(t, 120)
+	if err := c.snaps[0].Update(ctx, "a-val"); err != nil {
+		t.Fatalf("Update at a under f1: %v", err)
+	}
+	if err := c.snaps[1].Update(ctx, "b-val"); err != nil {
+		t.Fatalf("Update at b under f1: %v", err)
+	}
+	view, err := c.snaps[1].Scan(ctx)
+	if err != nil {
+		t.Fatalf("Scan at b under f1: %v", err)
+	}
+	if view[0] != "a-val" || view[1] != "b-val" {
+		t.Fatalf("view = %v", view)
+	}
+}
+
+func TestSegments(t *testing.T) {
+	c := newSnapCluster(t, 4)
+	defer c.stop()
+	if got := c.snaps[0].Segments(); got != 4 {
+		t.Fatalf("Segments = %d, want 4", got)
+	}
+}
+
+// TestScanRespectsContext: with everything except one process crashed, Scan
+// must fail with the context error instead of hanging.
+func TestScanRespectsContext(t *testing.T) {
+	c := newSnapCluster(t, 4)
+	defer c.stop()
+	c.net.Crash(1)
+	c.net.Crash(2)
+	c.net.Crash(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := c.snaps[0].Scan(ctx); err == nil {
+		t.Fatal("Scan completed without quorums")
+	}
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,474 @@
+package transport
+
+import (
+	"container/heap"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+)
+
+// Mode selects how the in-memory network realizes the paper's WLOG
+// assumption that residual connectivity is transitive ("all processes
+// forward every received message", §5).
+type Mode int
+
+// Delivery modes.
+const (
+	// ModeRoute (default) delivers a message iff the destination is
+	// reachable from the sender in the current residual graph, with a delay
+	// equal to the sum of per-hop delays along a shortest path. This is
+	// semantically equivalent to flooding (same reachability, same post-GST
+	// timing bound of hops*delta) at a fraction of the event cost.
+	ModeRoute Mode = iota + 1
+	// ModeFlood literally forwards every message over every surviving
+	// channel with per-process duplicate suppression — the paper's
+	// simulation, useful for fidelity tests.
+	ModeFlood
+	// ModeDirect uses only the direct channel between sender and receiver:
+	// no transitivity. Used to demonstrate why classical protocols need
+	// request/response connectivity.
+	ModeDirect
+)
+
+// MemNetwork is an in-memory simulated network implementing the system model
+// of §2: asynchronous unidirectional channels between n processes, with
+// injectable process crashes and permanent channel disconnections, pluggable
+// delay models (including partial synchrony, §7), and three transitivity
+// modes.
+type MemNetwork struct {
+	n     int
+	mode  Mode
+	delay DelayModel
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	handlers []Handler
+	crashed  []bool
+	down     map[failure.Channel]bool
+	residual *graph.Graph // current surviving channels (route mode)
+	seen     []map[uint64]bool
+	queue    eventQueue
+	nextID   uint64
+	nextSeq  uint64
+	closed   bool
+	wake     chan struct{}
+	done     chan struct{}
+	start    time.Time
+
+	stats Stats
+}
+
+var (
+	_ Network       = (*MemNetwork)(nil)
+	_ FaultInjector = (*MemNetwork)(nil)
+)
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithDelay sets the delay model (default: uniform 0.1ms-1ms per hop).
+func WithDelay(d DelayModel) MemOption {
+	return func(m *MemNetwork) { m.delay = d }
+}
+
+// WithSeed seeds the internal RNG for reproducible delay sequences.
+func WithSeed(seed int64) MemOption {
+	return func(m *MemNetwork) { m.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithMode selects the delivery mode (default ModeRoute).
+func WithMode(mode Mode) MemOption {
+	return func(m *MemNetwork) { m.mode = mode }
+}
+
+// WithoutForwarding disables transitivity: messages travel only on the
+// direct channel from sender to destination (ModeDirect).
+func WithoutForwarding() MemOption { return WithMode(ModeDirect) }
+
+// NewMem returns a running in-memory network for n processes.
+func NewMem(n int, opts ...MemOption) *MemNetwork {
+	m := &MemNetwork{
+		n:        n,
+		mode:     ModeRoute,
+		delay:    UniformDelay{Min: 100 * time.Microsecond, Max: time.Millisecond},
+		rng:      rand.New(rand.NewSource(1)),
+		handlers: make([]Handler, n),
+		crashed:  make([]bool, n),
+		down:     make(map[failure.Channel]bool),
+		residual: graph.Complete(n),
+		seen:     make([]map[uint64]bool, n),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		start:    time.Now(),
+	}
+	for i := range m.seen {
+		m.seen[i] = make(map[uint64]bool)
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	go m.dispatch()
+	return m
+}
+
+// envelope is a message copy in flight.
+type envelope struct {
+	id      uint64
+	origin  failure.Proc // original sender
+	dest    failure.Proc // final destination (ignored when all is set)
+	all     bool         // broadcast: deliver at every process
+	from    failure.Proc // hop sender (flood mode)
+	to      failure.Proc // receiver of this event
+	payload []byte
+	at      time.Time // delivery time of this event
+	seq     uint64    // tiebreaker for deterministic ordering
+	routed  bool      // route mode: skip channel-liveness re-check on arrival
+}
+
+type eventQueue []*envelope
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)   { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)     { *q = append(*q, x.(*envelope)) }
+func (q *eventQueue) Pop() any       { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) peek() *envelope { return q[0] }
+
+// N implements Network.
+func (m *MemNetwork) N() int { return m.n }
+
+// Register implements Network.
+func (m *MemNetwork) Register(p failure.Proc, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(p) >= 0 && int(p) < m.n {
+		m.handlers[p] = h
+	}
+}
+
+// Send implements Network. Self-sends are delivered immediately and
+// reliably (a process can always talk to itself).
+func (m *MemNetwork) Send(from, to failure.Proc, payload []byte) {
+	if int(from) < 0 || int(from) >= m.n || int(to) < 0 || int(to) >= m.n {
+		return
+	}
+	m.mu.Lock()
+	if m.closed || m.crashed[from] {
+		m.mu.Unlock()
+		return
+	}
+	atomic.AddInt64(&m.stats.Sent, 1)
+	if from == to {
+		h := m.handlers[to]
+		atomic.AddInt64(&m.stats.Delivered, 1)
+		m.mu.Unlock()
+		if h != nil {
+			h(from, payload)
+		}
+		return
+	}
+	m.nextID++
+	e := &envelope{id: m.nextID, origin: from, dest: to, payload: payload}
+	switch m.mode {
+	case ModeFlood:
+		m.seen[from][e.id] = true
+		m.floodFrom(from, e)
+	default:
+		m.routeTo(from, to, e)
+	}
+	m.kick()
+	m.mu.Unlock()
+}
+
+// SendAll implements Network: deliver to every process including self.
+func (m *MemNetwork) SendAll(from failure.Proc, payload []byte) {
+	if int(from) < 0 || int(from) >= m.n {
+		return
+	}
+	m.mu.Lock()
+	if m.closed || m.crashed[from] {
+		m.mu.Unlock()
+		return
+	}
+	atomic.AddInt64(&m.stats.Sent, 1)
+	m.nextID++
+	e := &envelope{id: m.nextID, origin: from, all: true, payload: payload}
+	switch m.mode {
+	case ModeFlood:
+		m.seen[from][e.id] = true
+		m.floodFrom(from, e)
+	default:
+		for q := 0; q < m.n; q++ {
+			if failure.Proc(q) != from {
+				m.routeTo(from, failure.Proc(q), e)
+			}
+		}
+	}
+	m.kick()
+	h := m.handlers[from]
+	atomic.AddInt64(&m.stats.Delivered, 1)
+	m.mu.Unlock()
+	// Self-delivery is local and reliable.
+	if h != nil {
+		h(from, payload)
+	}
+}
+
+// routeTo schedules a single delivery event if `to` is reachable from `from`
+// in the residual graph (ModeRoute) or over the direct channel (ModeDirect).
+// The delay is the sum of per-hop delays along a shortest path, preserving
+// the timing semantics of hop-by-hop forwarding. Caller holds m.mu.
+func (m *MemNetwork) routeTo(from, to failure.Proc, e *envelope) {
+	hops := 0
+	switch m.mode {
+	case ModeDirect:
+		if m.crashed[to] || m.down[failure.Channel{From: from, To: to}] {
+			atomic.AddInt64(&m.stats.Dropped, 1)
+			return
+		}
+		hops = 1
+	default: // ModeRoute
+		if m.crashed[to] {
+			atomic.AddInt64(&m.stats.Dropped, 1)
+			return
+		}
+		hops = m.hopDistanceLocked(from, to)
+		if hops < 0 {
+			atomic.AddInt64(&m.stats.Dropped, 1)
+			return
+		}
+		if hops > 1 {
+			atomic.AddInt64(&m.stats.Forwarded, int64(hops-1))
+		}
+	}
+	elapsed := time.Since(m.start)
+	var d time.Duration
+	for h := 0; h < hops; h++ {
+		d += m.delay.Delay(m.rng, elapsed)
+	}
+	m.nextSeq++
+	heap.Push(&m.queue, &envelope{
+		id: e.id, origin: e.origin, dest: to, all: e.all,
+		from: from, to: to, payload: e.payload,
+		at: time.Now().Add(d), seq: m.nextSeq, routed: true,
+	})
+}
+
+// hopDistanceLocked returns the BFS hop count from u to v over surviving
+// channels and processes, or -1 if unreachable.
+func (m *MemNetwork) hopDistanceLocked(u, v failure.Proc) int {
+	if u == v {
+		return 0
+	}
+	dist := make([]int, m.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int{int(u)}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		var found bool
+		m.residual.Successors(x).ForEach(func(y int) {
+			if found || dist[y] != -1 || m.crashed[y] {
+				return
+			}
+			dist[y] = dist[x] + 1
+			if y == int(v) {
+				found = true
+				return
+			}
+			queue = append(queue, y)
+		})
+		if found || dist[v] != -1 {
+			return dist[v]
+		}
+	}
+	return -1
+}
+
+// floodFrom fans an envelope out from hop sender p over all surviving
+// outgoing channels. Caller holds m.mu.
+func (m *MemNetwork) floodFrom(p failure.Proc, e *envelope) {
+	elapsed := time.Since(m.start)
+	for q := 0; q < m.n; q++ {
+		qp := failure.Proc(q)
+		if qp == p {
+			continue
+		}
+		if m.crashed[q] || m.down[failure.Channel{From: p, To: qp}] {
+			atomic.AddInt64(&m.stats.Dropped, 1)
+			continue
+		}
+		if m.seen[q][e.id] {
+			continue // q already processed this message
+		}
+		d := m.delay.Delay(m.rng, elapsed)
+		m.nextSeq++
+		heap.Push(&m.queue, &envelope{
+			id: e.id, origin: e.origin, dest: e.dest, all: e.all,
+			from: p, to: qp, payload: e.payload,
+			at: time.Now().Add(d), seq: m.nextSeq,
+		})
+	}
+}
+
+func (m *MemNetwork) kick() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the delivery loop: it sleeps until the earliest queued event
+// is due, then delivers it (possibly forwarding further in flood mode).
+func (m *MemNetwork) dispatch() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		if m.queue.Len() == 0 {
+			m.mu.Unlock()
+			select {
+			case <-m.wake:
+			case <-m.done:
+				return
+			}
+			continue
+		}
+		head := m.queue.peek()
+		wait := time.Until(head.at)
+		if wait > 0 {
+			m.mu.Unlock()
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-m.wake:
+			case <-m.done:
+				return
+			}
+			continue
+		}
+		e := heap.Pop(&m.queue).(*envelope)
+		m.deliverLocked(e)
+		m.mu.Unlock()
+	}
+}
+
+// deliverLocked processes the arrival of an event at e.to. Caller holds
+// m.mu; the handler is invoked without the lock.
+func (m *MemNetwork) deliverLocked(e *envelope) {
+	q := e.to
+	if m.crashed[q] {
+		atomic.AddInt64(&m.stats.Dropped, 1)
+		return
+	}
+	if !e.routed && m.down[failure.Channel{From: e.from, To: q}] {
+		// Flood mode: the hop channel disconnected while the copy was in
+		// flight. The paper's disconnection semantics permits dropping
+		// in-flight messages; we drop them (the harsher behaviour).
+		atomic.AddInt64(&m.stats.Dropped, 1)
+		return
+	}
+	if e.routed {
+		m.deliverTo(q, e)
+		return
+	}
+	// Flood mode bookkeeping.
+	if m.seen[q][e.id] {
+		return
+	}
+	m.seen[q][e.id] = true
+	if e.all || q == e.dest {
+		m.deliverTo(q, e)
+		if !e.all {
+			return
+		}
+	}
+	m.floodFrom(q, e)
+	atomic.AddInt64(&m.stats.Forwarded, 1)
+}
+
+// deliverTo hands the payload to q's handler, releasing the lock around the
+// call. Caller holds m.mu.
+func (m *MemNetwork) deliverTo(q failure.Proc, e *envelope) {
+	h := m.handlers[q]
+	atomic.AddInt64(&m.stats.Delivered, 1)
+	if h != nil {
+		origin, payload := e.origin, e.payload
+		m.mu.Unlock()
+		h(origin, payload)
+		m.mu.Lock()
+	}
+}
+
+// Crash implements FaultInjector.
+func (m *MemNetwork) Crash(p failure.Proc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(p) >= 0 && int(p) < m.n {
+		m.crashed[p] = true
+	}
+}
+
+// Disconnect implements FaultInjector.
+func (m *MemNetwork) Disconnect(c failure.Channel) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[c] = true
+	m.residual.RemoveEdge(int(c.From), int(c.To))
+}
+
+// ApplyPattern implements FaultInjector.
+func (m *MemNetwork) ApplyPattern(f failure.Pattern) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f.Procs.ForEach(func(p int) { m.crashed[p] = true })
+	for c := range f.Chans {
+		m.down[c] = true
+		m.residual.RemoveEdge(int(c.From), int(c.To))
+	}
+}
+
+// Stats returns a snapshot of the message counters.
+func (m *MemNetwork) Stats() Stats {
+	return Stats{
+		Sent:      atomic.LoadInt64(&m.stats.Sent),
+		Forwarded: atomic.LoadInt64(&m.stats.Forwarded),
+		Delivered: atomic.LoadInt64(&m.stats.Delivered),
+		Dropped:   atomic.LoadInt64(&m.stats.Dropped),
+	}
+}
+
+// Close implements Network.
+func (m *MemNetwork) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.done)
+	m.queue = nil
+	m.mu.Unlock()
+}

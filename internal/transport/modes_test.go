@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+)
+
+// TestRouteFloodEquivalence is the property underpinning the default
+// transport mode: for random failure patterns and random messages, routed
+// delivery and literal flooding deliver exactly the same set of messages
+// (reachability equivalence of §5's transitivity assumption).
+func TestRouteFloodEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	const n = 5
+	for trial := 0; trial < 10; trial++ {
+		// Random pattern: one random crash, random channel failures.
+		crash := failure.Proc(rng.Intn(n))
+		var chans []failure.Channel
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v || failure.Proc(u) == crash || failure.Proc(v) == crash {
+					continue
+				}
+				if rng.Float64() < 0.4 {
+					chans = append(chans, failure.Channel{From: failure.Proc(u), To: failure.Proc(v)})
+				}
+			}
+		}
+		pattern := failure.NewPattern(n, []failure.Proc{crash}, chans)
+
+		deliveredSet := func(mode Mode) map[string]bool {
+			net := NewMem(n,
+				WithMode(mode),
+				WithSeed(int64(trial)),
+				WithDelay(UniformDelay{Min: time.Microsecond, Max: 50 * time.Microsecond}))
+			defer net.Close()
+			var mu sync.Mutex
+			got := map[string]bool{}
+			for p := 0; p < n; p++ {
+				p := p
+				net.Register(failure.Proc(p), func(from failure.Proc, payload []byte) {
+					mu.Lock()
+					got[fmt.Sprintf("%d<-%d:%s", p, from, payload)] = true
+					mu.Unlock()
+				})
+			}
+			net.ApplyPattern(pattern)
+			// Every correct process sends one message to every process.
+			for u := 0; u < n; u++ {
+				if pattern.FaultyProc(failure.Proc(u)) {
+					continue
+				}
+				for v := 0; v < n; v++ {
+					if u != v {
+						net.Send(failure.Proc(u), failure.Proc(v), []byte(fmt.Sprintf("m%d-%d", u, v)))
+					}
+				}
+			}
+			time.Sleep(60 * time.Millisecond) // generous settle time
+			mu.Lock()
+			defer mu.Unlock()
+			out := make(map[string]bool, len(got))
+			for k := range got {
+				out[k] = true
+			}
+			return out
+		}
+
+		routed := deliveredSet(ModeRoute)
+		flooded := deliveredSet(ModeFlood)
+		if len(routed) != len(flooded) {
+			t.Fatalf("trial %d: routed delivered %d, flooded %d", trial, len(routed), len(flooded))
+		}
+		for k := range routed {
+			if !flooded[k] {
+				t.Fatalf("trial %d: routed delivered %q, flooding did not", trial, k)
+			}
+		}
+	}
+}
+
+// TestRouteMatchesResidualReachability: a message is delivered iff the
+// destination is reachable in the residual graph — the exact semantics the
+// quorum layer assumes.
+func TestRouteMatchesResidualReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	const n = 5
+	for trial := 0; trial < 10; trial++ {
+		var chans []failure.Channel
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.5 {
+					chans = append(chans, failure.Channel{From: failure.Proc(u), To: failure.Proc(v)})
+				}
+			}
+		}
+		pattern := failure.NewPattern(n, nil, chans)
+		res := pattern.Residual(graph.Complete(n))
+
+		net := NewMem(n,
+			WithSeed(int64(trial)),
+			WithDelay(UniformDelay{Min: time.Microsecond, Max: 30 * time.Microsecond}))
+		var mu sync.Mutex
+		got := map[[2]int]bool{}
+		for p := 0; p < n; p++ {
+			p := p
+			net.Register(failure.Proc(p), func(from failure.Proc, payload []byte) {
+				mu.Lock()
+				got[[2]int{int(from), p}] = true
+				mu.Unlock()
+			})
+		}
+		net.ApplyPattern(pattern)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					net.Send(failure.Proc(u), failure.Proc(v), []byte("probe"))
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+		net.Close()
+
+		mu.Lock()
+		defer mu.Unlock()
+		for u := 0; u < n; u++ {
+			reach := res.ReachableFrom(u)
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				want := reach.Contains(v)
+				if got[[2]int{u, v}] != want {
+					t.Fatalf("trial %d: delivery (%d->%d)=%v, residual reachability=%v",
+						trial, u, v, got[[2]int{u, v}], want)
+				}
+			}
+		}
+	}
+}
+
+// TestFloodModeSendAll exercises the broadcast path in flood mode.
+func TestFloodModeSendAll(t *testing.T) {
+	net := NewMem(4, WithMode(ModeFlood), WithSeed(4),
+		WithDelay(UniformDelay{Min: time.Microsecond, Max: 50 * time.Microsecond}))
+	defer net.Close()
+	var mu sync.Mutex
+	count := map[int]int{}
+	for p := 0; p < 4; p++ {
+		p := p
+		net.Register(failure.Proc(p), func(failure.Proc, []byte) {
+			mu.Lock()
+			count[p]++
+			mu.Unlock()
+		})
+	}
+	net.SendAll(0, []byte("flood-bcast"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := len(count) == 4
+		mu.Unlock()
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for p := 0; p < 4; p++ {
+		if count[p] != 1 {
+			t.Fatalf("process %d received broadcast %d times: %v", p, count[p], count)
+		}
+	}
+}

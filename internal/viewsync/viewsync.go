@@ -1,0 +1,154 @@
+// Package viewsync implements the view synchronizer of §7: views advance via
+// growing timeouts. A process spends time v*C in view v; even without any
+// synchronization messages, all correct processes eventually overlap in
+// every sufficiently high view for an arbitrarily long duration
+// (Proposition 2).
+package viewsync
+
+import (
+	"sync"
+	"time"
+)
+
+// View numbers views, starting from 1.
+type View int64
+
+// Synchronizer drives a process through the succession of views. It owns a
+// single timer goroutine; the OnView callback is invoked for every view
+// entered, from that goroutine.
+type Synchronizer struct {
+	c      time.Duration
+	onView func(View)
+
+	mu      sync.Mutex
+	view    View
+	started bool
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+	bump chan struct{}
+}
+
+// New creates a synchronizer with view-duration constant C: view v lasts
+// v*C. The callback is invoked on view entry (including the initial view 1
+// at Start).
+func New(c time.Duration, onView func(View)) *Synchronizer {
+	if c <= 0 {
+		c = 10 * time.Millisecond
+	}
+	return &Synchronizer{
+		c:      c,
+		onView: onView,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		bump:   make(chan struct{}, 1),
+	}
+}
+
+// Start enters view 1 and begins the timer loop ("on startup", Figure 6
+// line 27). Start is idempotent.
+func (s *Synchronizer) Start() {
+	s.mu.Lock()
+	if s.started || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.run()
+}
+
+func (s *Synchronizer) run() {
+	defer close(s.done)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		s.view++
+		v := s.view
+		s.mu.Unlock()
+		if s.onView != nil {
+			s.onView(v)
+		}
+		// Figure 6, line 29: start_timer(view_timer, view * C).
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(time.Duration(v) * s.c)
+		select {
+		case <-timer.C:
+		case <-s.bump:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Current returns the current view (0 before Start).
+func (s *Synchronizer) Current() View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view
+}
+
+// Advance forces an immediate transition to the next view (not part of the
+// paper's protocol; used by tests and experiments to fast-forward).
+func (s *Synchronizer) Advance() {
+	select {
+	case s.bump <- struct{}{}:
+	default:
+	}
+}
+
+// Stop terminates the timer loop. Stop is idempotent.
+func (s *Synchronizer) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		if s.started {
+			<-s.done
+		}
+		return
+	}
+	s.stopped = true
+	started := s.started
+	s.mu.Unlock()
+	close(s.stop)
+	if started {
+		<-s.done
+	}
+}
+
+// Leader returns the round-robin leader of view v among n processes
+// (Figure 6: leader(v) = p_((v-1) mod n)+1, i.e. index (v-1) mod n).
+func Leader(v View, n int) int {
+	if n <= 0 || v <= 0 {
+		return 0
+	}
+	return int((int64(v) - 1) % int64(n))
+}
+
+// EntryTime returns the time (relative to a common start, ignoring clock
+// drift) at which a process enters view v: sum_{i=1}^{v-1} i*C. It is used
+// by experiments to compute the overlap guarantee of Proposition 2
+// analytically.
+func EntryTime(v View, c time.Duration) time.Duration {
+	k := int64(v) - 1
+	return time.Duration(k*(k+1)/2) * c
+}
+
+// Overlap returns the guaranteed overlap duration of view v when two correct
+// processes' entry into the view-sequence differs by at most skew: a process
+// stays in view v for v*C, so overlap >= v*C - skew (Proposition 2: grows
+// without bound).
+func Overlap(v View, c time.Duration, skew time.Duration) time.Duration {
+	d := time.Duration(int64(v))*c - skew
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,172 @@
+package viewsync
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLeaderRotation(t *testing.T) {
+	// Figure 6: leader(v) = p_((v-1) mod n)+1; zero-indexed that is (v-1) mod n.
+	cases := []struct {
+		v    View
+		n    int
+		want int
+	}{
+		{1, 4, 0}, {2, 4, 1}, {3, 4, 2}, {4, 4, 3}, {5, 4, 0},
+		{1, 1, 0}, {7, 3, 0},
+	}
+	for _, c := range cases {
+		if got := Leader(c.v, c.n); got != c.want {
+			t.Errorf("Leader(%d, %d) = %d, want %d", c.v, c.n, got, c.want)
+		}
+	}
+	if Leader(0, 4) != 0 || Leader(3, 0) != 0 {
+		t.Error("degenerate Leader inputs should return 0")
+	}
+}
+
+func TestSynchronizerAdvancesViews(t *testing.T) {
+	var mu sync.Mutex
+	var views []View
+	s := New(2*time.Millisecond, func(v View) {
+		mu.Lock()
+		views = append(views, v)
+		mu.Unlock()
+	})
+	s.Start()
+	s.Start() // idempotent
+	defer s.Stop()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(views)
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d views entered", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range views[:3] {
+		if v != View(i+1) {
+			t.Fatalf("views = %v, want 1,2,3,...", views)
+		}
+	}
+}
+
+func TestSynchronizerViewDurationsGrow(t *testing.T) {
+	const c = 10 * time.Millisecond
+	var mu sync.Mutex
+	entries := map[View]time.Time{}
+	s := New(c, func(v View) {
+		mu.Lock()
+		entries[v] = time.Now()
+		mu.Unlock()
+	})
+	s.Start()
+	defer s.Stop()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		mu.Lock()
+		_, ok := entries[4]
+		mu.Unlock()
+		if ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("view 4 never entered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Duration of view v must be >= v*C (timers may overshoot, never undershoot).
+	for v := View(1); v <= 3; v++ {
+		d := entries[v+1].Sub(entries[v])
+		if d < time.Duration(v)*c {
+			t.Errorf("view %d lasted %v, want >= %v", v, d, time.Duration(v)*c)
+		}
+	}
+}
+
+func TestSynchronizerAdvance(t *testing.T) {
+	views := make(chan View, 16)
+	s := New(time.Hour, func(v View) { views <- v }) // huge C: only Advance moves it
+	s.Start()
+	defer s.Stop()
+	select {
+	case v := <-views:
+		if v != 1 {
+			t.Fatalf("first view = %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("view 1 not entered")
+	}
+	s.Advance()
+	select {
+	case v := <-views:
+		if v != 2 {
+			t.Fatalf("after Advance view = %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Advance did not move the view")
+	}
+	if got := s.Current(); got != 2 {
+		t.Fatalf("Current = %d", got)
+	}
+}
+
+func TestSynchronizerStopIdempotent(t *testing.T) {
+	s := New(time.Millisecond, nil)
+	s.Start()
+	s.Stop()
+	s.Stop()
+	// Stop before start must not hang.
+	s2 := New(time.Millisecond, nil)
+	s2.Stop()
+	s2.Start() // no-op after stop
+	s2.Stop()
+}
+
+func TestEntryTimeAndOverlap(t *testing.T) {
+	const c = 10 * time.Millisecond
+	// EntryTime(v) = C * (v-1)v/2.
+	if got := EntryTime(1, c); got != 0 {
+		t.Errorf("EntryTime(1) = %v", got)
+	}
+	if got := EntryTime(4, c); got != 60*time.Millisecond {
+		t.Errorf("EntryTime(4) = %v, want 60ms", got)
+	}
+	// Proposition 2: for any overlap target d there is a view V beyond which
+	// all views overlap at least d.
+	const skew = 35 * time.Millisecond
+	target := 100 * time.Millisecond
+	found := View(0)
+	for v := View(1); v < 1000; v++ {
+		if Overlap(v, c, skew) >= target {
+			found = v
+			break
+		}
+	}
+	if found == 0 {
+		t.Fatal("no view achieves the target overlap")
+	}
+	// And overlaps are monotone from there on.
+	for v := found; v < found+10; v++ {
+		if Overlap(v+1, c, skew) < Overlap(v, c, skew) {
+			t.Fatal("overlap not monotone")
+		}
+	}
+	if Overlap(1, c, time.Hour) != 0 {
+		t.Error("negative overlap must clamp to 0")
+	}
+}

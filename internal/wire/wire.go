@@ -1,0 +1,49 @@
+// Package wire defines the JSON envelope used by all protocol messages. A
+// message is a topic string (which selects the handler at the destination)
+// plus a JSON-encoded body.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Message is the on-the-wire envelope.
+type Message struct {
+	Topic string          `json:"t"`
+	Body  json.RawMessage `json:"b,omitempty"`
+}
+
+// Marshal encodes a topic and body into a payload.
+func Marshal(topic string, body any) ([]byte, error) {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("marshal body for topic %q: %w", topic, err)
+		}
+		raw = b
+	}
+	out, err := json.Marshal(Message{Topic: topic, Body: raw})
+	if err != nil {
+		return nil, fmt.Errorf("marshal envelope for topic %q: %w", topic, err)
+	}
+	return out, nil
+}
+
+// Unmarshal decodes a payload into its envelope.
+func Unmarshal(payload []byte) (Message, error) {
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Message{}, fmt.Errorf("unmarshal envelope: %w", err)
+	}
+	return m, nil
+}
+
+// Decode decodes a message body into v.
+func Decode(m Message, v any) error {
+	if err := json.Unmarshal(m.Body, v); err != nil {
+		return fmt.Errorf("decode body of topic %q: %w", m.Topic, err)
+	}
+	return nil
+}

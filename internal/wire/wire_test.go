@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type body struct {
+	A string `json:"a"`
+	B int    `json:"b"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	payload, err := Marshal("t1", body{A: "x", B: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Topic != "t1" {
+		t.Fatalf("topic %q", m.Topic)
+	}
+	var got body
+	if err := Decode(m, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.A != "x" || got.B != 3 {
+		t.Fatalf("body %+v", got)
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	payload, err := Marshal("empty", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Unmarshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Body) != 0 {
+		t.Fatalf("body = %q, want empty", m.Body)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Marshal("t", make(chan int)); err == nil {
+		t.Error("unmarshalable body accepted")
+	}
+	if _, err := Unmarshal([]byte("{nope")); err == nil {
+		t.Error("garbage envelope accepted")
+	}
+	m := Message{Topic: "t", Body: []byte("{bad")}
+	var v body
+	if err := Decode(m, &v); err == nil {
+		t.Error("garbage body accepted")
+	}
+}
+
+// Property: arbitrary topics and string bodies round-trip exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(topic, a string, b int) bool {
+		payload, err := Marshal(topic, body{A: a, B: b})
+		if err != nil {
+			return false
+		}
+		m, err := Unmarshal(payload)
+		if err != nil || m.Topic != topic {
+			return false
+		}
+		var got body
+		if err := Decode(m, &got); err != nil {
+			return false
+		}
+		return got.A == a && got.B == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
