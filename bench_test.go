@@ -19,6 +19,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/quorum"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // benchConfig is tuned for fast iterations: small delays and ticks.
@@ -190,6 +191,83 @@ func BenchmarkE16_ReplicatedKV(b *testing.B) {
 		t, err := harness.E16ReplicatedKV(benchConfig())
 		requireTable(b, t, err)
 	}
+}
+
+// BenchmarkE17_Workload — the workload engine's scenario table (sustained
+// load, tail latency, U_f cliff).
+func BenchmarkE17_Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E17Workload(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// --- Workload engine benchmarks (go test -bench BenchmarkWorkload) ---
+//
+// Each drives the load-generation engine for a short fixed window, so one
+// iteration is one complete workload run; ops/sec and tail latency land in
+// the emitted report rather than the ns/op column.
+
+func benchWorkload(b *testing.B, cfg workload.Config) {
+	b.Helper()
+	cfg.Seed = 1
+	cfg.MinDelay = 5 * time.Microsecond
+	cfg.MaxDelay = 50 * time.Microsecond
+	cfg.Tick = 500 * time.Microsecond
+	if cfg.Duration == 0 {
+		cfg.Duration = 300 * time.Millisecond
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := workload.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.TotalOps == 0 {
+			b.Fatal("workload completed no operations")
+		}
+		b.ReportMetric(r.OpsPerSec, "ops/sec")
+		b.ReportMetric(r.Latency.P99Ms, "p99-ms")
+	}
+}
+
+// BenchmarkWorkloadRegisterClosed — closed-loop register traffic on the
+// Figure-1 MemNetwork cluster.
+func BenchmarkWorkloadRegisterClosed(b *testing.B) {
+	benchWorkload(b, workload.Config{Protocol: workload.ProtocolRegister, Clients: 8, Keys: 8})
+}
+
+// BenchmarkWorkloadRegisterOpen — open-loop (paced) register traffic.
+func BenchmarkWorkloadRegisterOpen(b *testing.B) {
+	benchWorkload(b, workload.Config{Protocol: workload.ProtocolRegister, Clients: 8, Keys: 8, Rate: 400})
+}
+
+// BenchmarkWorkloadRegisterZipf — closed-loop register traffic with a
+// Zipfian hot-key distribution.
+func BenchmarkWorkloadRegisterZipf(b *testing.B) {
+	benchWorkload(b, workload.Config{Protocol: workload.ProtocolRegister, Clients: 8, Keys: 8, Dist: workload.DistZipf})
+}
+
+// BenchmarkWorkloadSnapshot — closed-loop snapshot update/scan traffic.
+func BenchmarkWorkloadSnapshot(b *testing.B) {
+	benchWorkload(b, workload.Config{Protocol: workload.ProtocolSnapshot, Clients: 4, Keys: 4})
+}
+
+// BenchmarkWorkloadKV — the SMR KV layer under concurrent clients (each
+// write is a consensus slot decision).
+func BenchmarkWorkloadKV(b *testing.B) {
+	benchWorkload(b, workload.Config{
+		Protocol: workload.ProtocolKV, Clients: 4, Slots: 64,
+		ViewC: 3 * time.Millisecond, Duration: 400 * time.Millisecond,
+	})
+}
+
+// BenchmarkWorkloadRegisterUnderF1 — register traffic with Figure 1's f1
+// injected mid-run, callers restricted to U_f1 (stays wait-free).
+func BenchmarkWorkloadRegisterUnderF1(b *testing.B) {
+	benchWorkload(b, workload.Config{
+		Protocol: workload.ProtocolRegister, Clients: 8, Keys: 8,
+		Pattern: 1, RestrictToUf: true,
+	})
 }
 
 // --- Micro-benchmarks for the substrates ---

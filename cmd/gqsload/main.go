@@ -1,0 +1,126 @@
+// Command gqsload generates sustained client load against the paper's
+// protocol endpoints and reports tail-latency percentiles, a per-second
+// throughput series and error counts. It is the measurement harness for
+// every performance-facing change: runs emit JSON suitable for recording
+// benchmark trajectories.
+//
+// Usage:
+//
+//	gqsload -protocol register|snapshot|lattice|kv -net mem|tcp
+//	        [-clients N] [-rate OPS] [-duration D] [-warmup D]
+//	        [-keys N] [-dist uniform|zipf] [-zipf-s S] [-readfrac F]
+//	        [-pattern 0..4] [-fault-at F] [-uf] [-nodes N] [-slots N]
+//	        [-sync-reads] [-seed N] [-json]
+//
+// Examples:
+//
+//	gqsload -protocol kv -net mem -clients 16 -dist zipf -duration 5s -json
+//	gqsload -protocol register -net tcp -clients 8 -rate 500 -duration 10s
+//	gqsload -protocol register -pattern 1 -fault-at 0.5 -duration 10s
+//
+// A -pattern run injects the chosen Figure-1 failure pattern mid-run
+// (-fault-at is the fraction of the measured window). Without -uf, clients
+// on nodes outside the pattern's termination component keep issuing and
+// their stalled operations surface as timeouts in the error counts — the
+// latency cliff the paper's U_f characterizes. With -uf, clients restrict
+// to U_f and the run stays wait-free.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gqsload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gqsload", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	protocol := fs.String("protocol", "register", "protocol to load: register, snapshot, lattice or kv")
+	netKind := fs.String("net", "mem", "transport: mem (simulated) or tcp (loopback sockets)")
+	nodes := fs.Int("nodes", 4, "cluster size (4 = Figure-1 GQS; otherwise crash-minority threshold)")
+	clients := fs.Int("clients", 8, "number of concurrent client loops")
+	rate := fs.Float64("rate", 0, "open-loop target ops/sec across all clients (0 = closed loop)")
+	duration := fs.Duration("duration", 5*time.Second, "measured run length")
+	warmup := fs.Duration("warmup", 0, "unmeasured warmup before the run")
+	keys := fs.Int("keys", 0, "key-space size (0 = protocol default: 16 registers, 8 snapshots, 64 kv keys)")
+	dist := fs.String("dist", "uniform", "key distribution: uniform or zipf")
+	zipfS := fs.Float64("zipf-s", 0, "zipf skew exponent (default 1.1)")
+	zipfV := fs.Float64("zipf-v", 0, "zipf rank offset (default 1)")
+	readfrac := fs.Float64("readfrac", 0.5, "fraction of operations taking the read path (0 = write-only)")
+	pattern := fs.Int("pattern", 0, "failure pattern to inject mid-run: 0 = none, 1..4 = f1..f4 of Figure 1")
+	faultAt := fs.Float64("fault-at", 0.5, "fraction of the run after which the pattern is injected (0 = at start)")
+	uf := fs.Bool("uf", false, "restrict clients to the pattern's termination component U_f")
+	slots := fs.Int("slots", 0, "SMR log capacity (kv protocol; 0 = default 256)")
+	latticePool := fs.Int("lattice-pool", 0, "single-shot lattice object pool size (lattice protocol; 0 = default 8)")
+	syncReads := fs.Bool("sync-reads", false, "kv reads commit a Sync barrier before Get")
+	seed := fs.Int64("seed", 1, "RNG seed (keys, op mix, simulated delays)")
+	opTimeout := fs.Duration("op-timeout", 0, "per-operation timeout (0 = protocol default: 2s register, 5s others)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := workload.Config{
+		Protocol:     workload.Protocol(*protocol),
+		Net:          workload.NetKind(*netKind),
+		Nodes:        *nodes,
+		Clients:      *clients,
+		Rate:         *rate,
+		Duration:     *duration,
+		Warmup:       *warmup,
+		Keys:         *keys,
+		Dist:         workload.DistKind(*dist),
+		ZipfS:        *zipfS,
+		ZipfV:        *zipfV,
+		ReadFraction: *readfrac,
+		Seed:         *seed,
+		Pattern:      *pattern,
+		FaultFrac:    *faultAt,
+		RestrictToUf: *uf,
+		Slots:        *slots,
+		LatticePool:  *latticePool,
+		SyncReads:    *syncReads,
+		OpTimeout:    *opTimeout,
+	}
+
+	// The engine's Config treats zero ReadFraction/FaultFrac as "use the
+	// default"; an explicit 0 on the command line means write-only reads
+	// and inject-at-start respectively.
+	if *readfrac == 0 {
+		cfg.ReadFraction = -1
+	}
+	if *faultAt == 0 {
+		cfg.FaultFrac = -1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	report, err := workload.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		raw, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, string(raw))
+		return nil
+	}
+	report.Text(w)
+	return nil
+}

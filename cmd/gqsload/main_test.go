@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunJSON drives a tiny closed-loop register workload and checks the
+// JSON report carries throughput, percentiles and error counts.
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "register", "-net", "mem",
+		"-clients", "2", "-duration", "200ms", "-keys", "4",
+		"-seed", "7", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		TotalOps  uint64            `json:"total_ops"`
+		OpsPerSec float64           `json:"ops_per_sec"`
+		Latency   map[string]any    `json:"latency"`
+		Errors    map[string]uint64 `json:"errors"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if report.TotalOps == 0 || report.OpsPerSec <= 0 {
+		t.Errorf("no throughput in report: %s", out.String())
+	}
+	for _, k := range []string{"p50_ms", "p99_ms"} {
+		if _, ok := report.Latency[k]; !ok {
+			t.Errorf("latency summary missing %q", k)
+		}
+	}
+	if _, ok := report.Errors["write"]; !ok {
+		t.Error("error counts missing")
+	}
+}
+
+// TestRunText checks the human-readable rendering mentions throughput and
+// percentiles.
+func TestRunText(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "snapshot", "-clients", "2", "-duration", "200ms", "-keys", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ops/sec", "p50", "p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunBadFlags checks invalid configurations are rejected.
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-protocol", "paxos", "-duration", "10ms"},
+		{"-pattern", "1", "-net", "tcp", "-duration", "10ms"},
+		{"-dist", "pareto", "-duration", "10ms"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -21,7 +21,13 @@
 //     runtime (NewNode);
 //   - protocol endpoints: NewRegister (Figure 4 over the Figure 3 quorum
 //     access functions), NewSnapshot, NewLatticeAgreement, NewConsensus
-//     (Figure 6).
+//     (Figure 6), and the replicated log / KV layer (NewReplicatedLog,
+//     NewReplicatedKV);
+//   - the workload engine (RunWorkload, WorkloadConfig, WorkloadReport):
+//     open- and closed-loop load generation over any endpoint and either
+//     transport, with Zipfian or uniform key distributions, mid-run fault
+//     injection, log-bucketed latency histograms (p50/p90/p99/p99.9) and
+//     JSON reports — also available as the gqsload command.
 //
 // See README.md for a quickstart, DESIGN.md for the architecture and the
 // per-experiment index, and EXPERIMENTS.md for the reproduction results.

@@ -1,0 +1,28 @@
+// Command loadtest shows the workload engine through the library surface:
+// a short paced register run followed by a programmatic look at the report.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	gqs "repro"
+)
+
+func main() {
+	report, err := gqs.RunWorkload(context.Background(), gqs.WorkloadConfig{
+		Protocol: gqs.WorkloadRegister,
+		Net:      gqs.WorkloadNetMem,
+		Clients:  4,
+		Rate:     200, // open loop: 200 ops/sec across all clients
+		Duration: 2 * time.Second,
+		Dist:     gqs.WorkloadDistZipf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("completed %d ops at %.0f ops/sec (target 200)\n", report.TotalOps, report.OpsPerSec)
+	fmt.Printf("p50 %.2fms  p99 %.2fms  errors %v\n", report.Latency.P50Ms, report.Latency.P99Ms, report.Errors)
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/smr"
 	"repro/internal/snapshot"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // Core model types.
@@ -166,6 +167,47 @@ var (
 	// ErrNoGQS reports that the fail-prone system is unimplementable
 	// (Theorem 2).
 	ErrNoGQS = core.ErrNoGQS
+)
+
+// Workload engine: sustained load generation with tail-latency metrics over
+// any protocol endpoint and either transport. See internal/workload and the
+// gqsload command.
+type (
+	// WorkloadConfig describes one load-generation run (protocol, transport,
+	// open/closed loop, key distribution, fault injection, ...).
+	WorkloadConfig = workload.Config
+	// WorkloadReport is the JSON-serializable result of a run: throughput,
+	// latency percentiles, a 1s throughput series and error counts.
+	WorkloadReport = workload.Report
+	// WorkloadProtocol selects the endpoint under load.
+	WorkloadProtocol = workload.Protocol
+	// WorkloadNet selects the transport under load.
+	WorkloadNet = workload.NetKind
+	// WorkloadDist names a key-selection distribution.
+	WorkloadDist = workload.DistKind
+	// LatencyHistogram is the lock-cheap log-bucketed histogram the engine
+	// records into.
+	LatencyHistogram = workload.Histogram
+	// LatencySummary is a histogram's serializable percentile digest.
+	LatencySummary = workload.LatencySummary
+)
+
+// Workload constructors and constants.
+var (
+	// RunWorkload executes a workload and returns its report.
+	RunWorkload = workload.Run
+	// NewLatencyHistogram creates an empty latency histogram.
+	NewLatencyHistogram = workload.NewHistogram
+	// Workload protocols and transports.
+	WorkloadRegister = workload.ProtocolRegister
+	WorkloadSnapshot = workload.ProtocolSnapshot
+	WorkloadLattice  = workload.ProtocolLattice
+	WorkloadKV       = workload.ProtocolKV
+	WorkloadNetMem   = workload.NetMem
+	WorkloadNetTCP   = workload.NetTCP
+	// Workload key distributions.
+	WorkloadDistUniform = workload.DistUniform
+	WorkloadDistZipf    = workload.DistZipf
 )
 
 // Protocol constructors.

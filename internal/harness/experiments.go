@@ -11,6 +11,7 @@ import (
 	"repro/internal/quorum"
 	"repro/internal/transport"
 	"repro/internal/viewsync"
+	"repro/internal/workload"
 )
 
 // opTimeout bounds a single protocol operation in the experiments.
@@ -97,15 +98,23 @@ func E03ClassicalEquivalence() (*Table, error) {
 	return t, nil
 }
 
-// latencyStats runs fn `iters` times and reports mean latency.
-func latencyStats(iters int, fn func() error) (time.Duration, error) {
-	start := time.Now()
+// latencyDist runs fn `iters` times, recording each latency in a workload
+// histogram so experiments report percentiles rather than a bare mean.
+func latencyDist(iters int, fn func() error) (*workload.Histogram, error) {
+	h := workload.NewHistogram()
 	for i := 0; i < iters; i++ {
+		start := time.Now()
 		if err := fn(); err != nil {
-			return 0, err
+			return nil, err
 		}
+		h.Record(time.Since(start))
 	}
-	return time.Since(start) / time.Duration(iters), nil
+	return h, nil
+}
+
+// p5099 formats a histogram as "p50/p99".
+func p5099(h *workload.Histogram) string {
+	return ms(h.Quantile(0.50)) + "/" + ms(h.Quantile(0.99))
 }
 
 // E04ClassicalQAF measures the Figure-2 access functions on a crash-only
@@ -113,7 +122,7 @@ func latencyStats(iters int, fn func() error) (time.Duration, error) {
 func E04ClassicalQAF(cfg Config) (*Table, error) {
 	qs := quorum.Majority(3, 1)
 	t := NewTable("E04", "Figure 2: classical quorum access functions (majority, crash-only)",
-		"scenario", "get mean", "set mean", "terminates")
+		"scenario", "get p50/p99", "set p50/p99", "terminates")
 	for _, sc := range []struct {
 		name  string
 		crash int // process to crash, -1 for none
@@ -123,7 +132,7 @@ func E04ClassicalQAF(cfg Config) (*Table, error) {
 			c.Net.Crash(failure.Proc(sc.crash))
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
-		setMean, err := latencyStats(5, func() error {
+		setDist, err := latencyDist(5, func() error {
 			_, e := c.Registers[0].Write(ctx, "v")
 			return e
 		})
@@ -132,7 +141,7 @@ func E04ClassicalQAF(cfg Config) (*Table, error) {
 			c.Stop()
 			return nil, fmt.Errorf("E04 %s write: %w", sc.name, err)
 		}
-		getMean, err := latencyStats(5, func() error {
+		getDist, err := latencyDist(5, func() error {
 			_, _, e := c.Registers[1].Read(ctx)
 			return e
 		})
@@ -141,7 +150,7 @@ func E04ClassicalQAF(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E04 %s read: %w", sc.name, err)
 		}
-		t.AddRow(sc.name, ms(getMean), ms(setMean), "yes")
+		t.AddRow(sc.name, p5099(getDist), p5099(setDist), "yes")
 	}
 	return t, nil
 }
@@ -152,7 +161,7 @@ func E05GeneralizedQAF(cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	g := quorum.Network(qs.F.N)
 	t := NewTable("E05", "Figure 3: generalized quorum access functions under Figure-1 patterns",
-		"pattern", "caller", "write mean", "read mean", "real-time ordering")
+		"pattern", "caller", "write p50/p99", "read p50/p99", "real-time ordering")
 	for _, f := range qs.F.Patterns {
 		uf := qs.Uf(g, f).Elems()
 		c := NewRegisterCluster(4, qs.Reads, qs.Writes, false, cfg)
@@ -160,7 +169,7 @@ func E05GeneralizedQAF(cfg Config) (*Table, error) {
 		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
 		caller := uf[0]
 		reader := uf[1]
-		writeMean, err := latencyStats(3, func() error {
+		writeDist, err := latencyDist(3, func() error {
 			_, e := c.Registers[caller].Write(ctx, "x-"+f.Name)
 			return e
 		})
@@ -170,7 +179,7 @@ func E05GeneralizedQAF(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E05 %s write: %w", f.Name, err)
 		}
 		var lastRead string
-		readMean, err := latencyStats(3, func() error {
+		readDist, err := latencyDist(3, func() error {
 			v, _, e := c.Registers[reader].Read(ctx)
 			lastRead = v
 			return e
@@ -181,7 +190,7 @@ func E05GeneralizedQAF(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("E05 %s read: %w", f.Name, err)
 		}
 		rto := lastRead == "x-"+f.Name
-		t.AddRow(f.Name, fmt.Sprintf("p%d/p%d", caller, reader), ms(writeMean), ms(readMean), yesNo(rto))
+		t.AddRow(f.Name, fmt.Sprintf("p%d/p%d", caller, reader), p5099(writeDist), p5099(readDist), yesNo(rto))
 		if !rto {
 			return nil, fmt.Errorf("E05 %s: read %q did not observe the completed write", f.Name, lastRead)
 		}
@@ -540,6 +549,7 @@ func runAll(w io.Writer, cfg Config, render func(*Table, io.Writer)) error {
 		{"E14", func() (*Table, error) { return E14TransportModes(cfg) }},
 		{"E15", E15ScenarioCatalog},
 		{"E16", func() (*Table, error) { return E16ReplicatedKV(cfg) }},
+		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
 	}
 	for _, e := range exps {
 		tbl, err := e.run()

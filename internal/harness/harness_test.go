@@ -129,6 +129,7 @@ func TestHeavyClusterExperiments(t *testing.T) {
 		{"E14", func() (*Table, error) { return E14TransportModes(cfg) }},
 		{"E15", E15ScenarioCatalog},
 		{"E16", func() (*Table, error) { return E16ReplicatedKV(cfg) }},
+		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -50,7 +50,10 @@ func E16ReplicatedKV(cfg Config) (*Table, error) {
 			net.ApplyPattern(qs.F.Patterns[0])
 			writers = []int{0, 1, 0} // U_f1 members only
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 2*opTimeout)
+		// Generous budget: commits need U_f-led views, whose real duration
+		// stretches well past v*C when the host is loaded (e.g. parallel
+		// package tests on small CI runners).
+		ctx, cancel := context.WithTimeout(context.Background(), 4*opTimeout)
 		defer cancel()
 
 		start := time.Now()

@@ -39,8 +39,12 @@ var ErrStopped = errors.New("replicated log stopped")
 // ErrLogFull is returned when every slot of the bounded log is decided.
 var ErrLogFull = errors.New("replicated log full (all slots decided)")
 
-// DefaultSlots is the default log capacity.
-const DefaultSlots = 32
+// DefaultSlots is the default log capacity. Sized for sustained workloads
+// (the workload engine's kv driver appends one slot per Set); deployments
+// expecting more traffic set Options.Slots explicitly — each slot is a
+// pre-created consensus instance at every process (see the package comment),
+// so capacity trades memory and idle view-change traffic for log headroom.
+const DefaultSlots = 128
 
 // Options configures a log endpoint.
 type Options struct {

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DistKind names a key-selection distribution.
+type DistKind string
+
+// Supported distributions.
+const (
+	// DistUniform picks keys uniformly at random.
+	DistUniform DistKind = "uniform"
+	// DistZipf picks keys with Zipfian frequency (rank-k key chosen with
+	// probability proportional to (v+k)^-s), concentrating load on a few
+	// hot keys the way skewed production traffic does.
+	DistZipf DistKind = "zipf"
+)
+
+// Dist generates keys in [0, keys). Implementations are not safe for
+// concurrent use; the driver gives each client its own instance.
+type Dist interface {
+	Next() int
+}
+
+type uniformDist struct {
+	rng  *rand.Rand
+	keys int
+}
+
+func (u *uniformDist) Next() int { return u.rng.Intn(u.keys) }
+
+type zipfDist struct {
+	z *rand.Zipf
+}
+
+func (z *zipfDist) Next() int { return int(z.z.Uint64()) }
+
+// NewDist builds a key distribution over [0, keys) backed by rng. For
+// DistZipf, s > 1 is the skew exponent and v >= 1 the offset (rank-k
+// probability ~ (v+k)^-s); both may be zero to accept defaults (s=1.1, v=1).
+func NewDist(kind DistKind, keys int, s, v float64, rng *rand.Rand) (Dist, error) {
+	if keys <= 0 {
+		return nil, fmt.Errorf("key space must be positive, got %d", keys)
+	}
+	switch kind {
+	case DistUniform, "":
+		return &uniformDist{rng: rng, keys: keys}, nil
+	case DistZipf:
+		if s == 0 {
+			s = 1.1
+		}
+		if v == 0 {
+			v = 1
+		}
+		if s <= 1 || v < 1 {
+			return nil, fmt.Errorf("zipf requires s > 1 and v >= 1 (got s=%v v=%v)", s, v)
+		}
+		z := rand.NewZipf(rng, s, v, uint64(keys-1))
+		if z == nil {
+			return nil, fmt.Errorf("invalid zipf parameters s=%v v=%v", s, v)
+		}
+		return &zipfDist{z: z}, nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q (want %q or %q)", kind, DistUniform, DistZipf)
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfShape checks the Zipfian generator's head against the analytic
+// rank-1 frequency: P(rank k) = (v+k)^-s / Z. The empirical rank-0
+// frequency of 200k draws must land within 20% of theory, and the head must
+// dominate the tail.
+func TestZipfShape(t *testing.T) {
+	const keys, draws = 1000, 200000
+	const s, v = 1.1, 1.0
+	rng := rand.New(rand.NewSource(11))
+	d, err := NewDist(DistZipf, keys, s, v, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make([]int, keys)
+	for i := 0; i < draws; i++ {
+		k := d.Next()
+		if k < 0 || k >= keys {
+			t.Fatalf("key %d out of range [0,%d)", k, keys)
+		}
+		freq[k]++
+	}
+	var z float64
+	for k := 0; k < keys; k++ {
+		z += math.Pow(v+float64(k), -s)
+	}
+	want0 := math.Pow(v, -s) / z
+	got0 := float64(freq[0]) / draws
+	if got0 < want0*0.8 || got0 > want0*1.2 {
+		t.Errorf("rank-0 frequency %.4f outside 20%% of analytic %.4f", got0, want0)
+	}
+	if freq[0] <= 5*freq[99] {
+		t.Errorf("head does not dominate: freq[0]=%d, freq[99]=%d", freq[0], freq[99])
+	}
+}
+
+// TestUniformCoverage checks the uniform distribution hits the whole key
+// space roughly evenly.
+func TestUniformCoverage(t *testing.T) {
+	const keys, draws = 64, 64000
+	rng := rand.New(rand.NewSource(3))
+	d, err := NewDist(DistUniform, keys, 0, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := make([]int, keys)
+	for i := 0; i < draws; i++ {
+		freq[d.Next()]++
+	}
+	mean := draws / keys
+	for k, f := range freq {
+		if f < mean/2 || f > mean*2 {
+			t.Errorf("key %d frequency %d far from mean %d", k, f, mean)
+		}
+	}
+}
+
+// TestDistValidation checks parameter validation.
+func TestDistValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewDist(DistZipf, 100, 0.5, 1, rng); err == nil {
+		t.Error("zipf s<=1 accepted")
+	}
+	if _, err := NewDist("pareto", 100, 0, 0, rng); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := NewDist(DistUniform, 0, 0, 0, rng); err == nil {
+		t.Error("empty key space accepted")
+	}
+}

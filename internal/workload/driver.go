@@ -1,0 +1,372 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+// Config describes one load-generation run.
+type Config struct {
+	// Protocol selects the endpoint under load. Default register.
+	Protocol Protocol
+	// Net selects the transport. Default mem. Fault injection (Pattern)
+	// requires mem.
+	Net NetKind
+	// Nodes is the cluster size. Default 4, deploying the paper's Figure-1
+	// GQS; other sizes derive the canonical GQS of the crash-minority
+	// threshold system.
+	Nodes int
+	// Clients is the number of concurrent client loops. Default 8.
+	Clients int
+	// Rate, when positive, switches to open-loop mode: a token-bucket pacer
+	// schedules operations at this aggregate ops/sec across all clients.
+	// Zero means closed loop (each client issues back to back).
+	Rate float64
+	// Burst is the pacer's token-bucket capacity. Defaults to Clients.
+	Burst int
+	// Duration is the measured run length. Default 5s.
+	Duration time.Duration
+	// Warmup runs the workload for this long before measurement starts
+	// (operations during warmup are not recorded). Default 0.
+	Warmup time.Duration
+	// Keys is the key-space size. For kv it is the number of distinct keys
+	// (cheap — one shared log) and defaults to 64. For register and snapshot
+	// every key is a full endpoint object at every node whose state is
+	// re-propagated each Tick, so large key spaces saturate the node event
+	// loops; defaults are 16 registers and 8 snapshots. Raising Keys is the
+	// intended way to probe that propagation cliff.
+	Keys int
+	// Dist selects the key distribution. Default uniform.
+	Dist DistKind
+	// ZipfS and ZipfV parameterize DistZipf (rank-k probability
+	// ~ (ZipfV+k)^-ZipfS). Zero accepts defaults (1.1, 1).
+	ZipfS, ZipfV float64
+	// ReadFraction is the probability an operation takes the read path.
+	// Zero accepts the default 0.5; any negative value means write-only
+	// (0% reads). Ignored by the lattice protocol (every op proposes).
+	ReadFraction float64
+	// Seed makes key choice, read/write mix and simulated delays
+	// deterministic. Default 1.
+	Seed int64
+	// Pattern injects the Figure-1 failure pattern f_Pattern (1..4) mid-run;
+	// 0 injects nothing. Requires Nodes=4 and Net=mem.
+	Pattern int
+	// FaultFrac is the fraction of Duration after which Pattern is injected.
+	// Zero accepts the default 0.5; any negative value injects at the start
+	// of the measured window.
+	FaultFrac float64
+	// RestrictToUf, with Pattern set, confines clients to the pattern's
+	// termination component U_f, where the paper guarantees wait-freedom.
+	// Otherwise clients on non-U_f nodes keep issuing and their post-fault
+	// operations time out into the error counts (the latency cliff).
+	RestrictToUf bool
+	// Slots is the SMR log capacity for the kv protocol (consensus instances
+	// pre-created per node; see the smr package comment). Every idle slot
+	// instance sends a 1B message at each of its view entries, so oversizing
+	// the log taxes the whole cluster; undersizing surfaces as ErrLogFull
+	// write errors once the log fills. Default 256. Note that commit latency
+	// grows with slot index: an instance idle since startup is already in a
+	// long view when first used (see the E16 experiment note).
+	Slots int
+	// LatticePool is the number of pre-created single-shot lattice objects
+	// per run for the lattice protocol. Each object is a backing snapshot of
+	// Nodes segment registers at every node, all re-propagated each Tick, so
+	// large pools saturate the node event loops (the same cliff as large
+	// register/snapshot key spaces). Default 8.
+	LatticePool int
+	// SyncReads makes kv reads commit a Sync barrier before Get, making them
+	// linearizable across nodes (and as expensive as a write).
+	SyncReads bool
+	// OpTimeout bounds each operation; timed-out operations land in the
+	// error counts. Default 2s for register, 5s for snapshot, lattice and
+	// kv, whose operations cost multiple quorum rounds (or a consensus
+	// decision) and legitimately reach seconds under contention.
+	OpTimeout time.Duration
+	// Tick is the periodic propagation interval of the quorum access
+	// functions. Default 2ms.
+	Tick time.Duration
+	// ViewC is the consensus view-duration constant (kv). Default 5ms.
+	ViewC time.Duration
+	// MinDelay and MaxDelay bound simulated per-hop delays (mem only).
+	// Defaults 10µs and 300µs.
+	MinDelay, MaxDelay time.Duration
+	// Delay overrides the uniform MinDelay/MaxDelay model entirely when
+	// non-nil (mem only) — e.g. transport.PartialSync.
+	Delay transport.DelayModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Protocol == "" {
+		c.Protocol = ProtocolRegister
+	}
+	if c.Net == "" {
+		c.Net = NetMem
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Burst == 0 {
+		c.Burst = c.Clients
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Keys == 0 {
+		switch c.Protocol {
+		case ProtocolRegister:
+			c.Keys = 16
+		case ProtocolSnapshot:
+			c.Keys = 8 // each snapshot object is Nodes segment registers
+		default:
+			c.Keys = 64
+		}
+	}
+	if c.Dist == "" {
+		c.Dist = DistUniform
+	}
+	switch {
+	case c.ReadFraction == 0:
+		c.ReadFraction = 0.5
+	case c.ReadFraction < 0:
+		c.ReadFraction = 0 // explicit write-only
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	switch {
+	case c.FaultFrac == 0 && c.Pattern > 0:
+		c.FaultFrac = 0.5
+	case c.FaultFrac < 0:
+		c.FaultFrac = 0 // explicit inject-at-start
+	}
+	if c.Slots == 0 {
+		c.Slots = 256
+	}
+	if c.LatticePool == 0 {
+		c.LatticePool = 8
+	}
+	if c.OpTimeout == 0 {
+		switch c.Protocol {
+		case ProtocolRegister:
+			c.OpTimeout = 2 * time.Second
+		default:
+			c.OpTimeout = 5 * time.Second
+		}
+	}
+	if c.Tick == 0 {
+		c.Tick = 2 * time.Millisecond
+	}
+	if c.ViewC == 0 {
+		c.ViewC = 5 * time.Millisecond
+	}
+	if c.MinDelay == 0 {
+		c.MinDelay = 10 * time.Microsecond
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 300 * time.Microsecond
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Clients < 1 {
+		return fmt.Errorf("need at least 1 client, got %d", c.Clients)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("duration must be positive, got %v", c.Duration)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("warmup must be non-negative, got %v", c.Warmup)
+	}
+	if c.ReadFraction < 0 || c.ReadFraction > 1 {
+		return fmt.Errorf("read fraction must be in [0,1], got %v", c.ReadFraction)
+	}
+	if c.Pattern < 0 || c.Pattern > 4 {
+		return fmt.Errorf("pattern must be in 0..4, got %d", c.Pattern)
+	}
+	if c.Pattern > 0 {
+		if c.Nodes != failure.Figure1N {
+			return fmt.Errorf("pattern injection needs the %d-process Figure-1 cluster, got %d nodes", failure.Figure1N, c.Nodes)
+		}
+		if c.Net != NetMem {
+			return fmt.Errorf("pattern injection needs the mem network (TCP has no fault injector)")
+		}
+		if c.FaultFrac < 0 || c.FaultFrac >= 1 {
+			return fmt.Errorf("fault fraction must be in [0,1), got %v", c.FaultFrac)
+		}
+	} else if c.RestrictToUf {
+		return fmt.Errorf("restricting to U_f requires a pattern")
+	}
+	return nil
+}
+
+// opMetrics aggregates one operation class (reads or writes).
+type opMetrics struct {
+	hist *Histogram
+	errs atomic.Uint64
+}
+
+// Run executes the workload described by cfg and returns its report. The
+// context bounds the whole run (cancel it to stop early; operations in
+// flight finish or time out and the report covers what completed).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("workload config: %w", err)
+	}
+	// Pre-flight the distribution so bad parameters surface as an error
+	// rather than silently idle clients.
+	if _, derr := NewDist(cfg.Dist, cfg.Keys, cfg.ZipfS, cfg.ZipfV, rand.New(rand.NewSource(1))); derr != nil {
+		return nil, derr
+	}
+	tgt, err := newTarget(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("deploy workload target: %w", err)
+	}
+	defer tgt.close()
+
+	// Determine which nodes clients call.
+	qs, callers := callerNodes(cfg)
+
+	reads := &opMetrics{hist: NewHistogram()}
+	writes := &opMetrics{hist: NewHistogram()}
+	seconds := int(cfg.Duration/time.Second) + 1
+	series := make([]atomic.Uint64, seconds)
+
+	var pacer *Pacer
+	if cfg.Rate > 0 {
+		pacer = NewPacer(cfg.Rate, cfg.Burst)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	measureFrom := start.Add(cfg.Warmup)
+	end := measureFrom.Add(cfg.Duration)
+	// Bound pacer waits by the end of the run: at low rates a client could
+	// otherwise block up to a full token interval past the deadline.
+	paceCtx, paceCancel := context.WithDeadline(runCtx, end)
+	defer paceCancel()
+
+	// Mid-run fault injection.
+	var faultAt time.Duration
+	if cfg.Pattern > 0 {
+		inj := tgt.injector()
+		if inj == nil {
+			return nil, fmt.Errorf("transport does not support fault injection")
+		}
+		f := qs.F.Patterns[cfg.Pattern-1]
+		faultAt = cfg.Warmup + time.Duration(cfg.FaultFrac*float64(cfg.Duration))
+		timer := time.AfterFunc(faultAt, func() { inj.ApplyPattern(f) })
+		defer timer.Stop()
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(client)*7919))
+			dist, derr := NewDist(cfg.Dist, cfg.Keys, cfg.ZipfS, cfg.ZipfV, rng)
+			if derr != nil {
+				return // unreachable: parameters pre-flighted above
+			}
+			p := callers[client%len(callers)]
+			for op := 0; ; op++ {
+				if runCtx.Err() != nil {
+					return
+				}
+				if pacer != nil {
+					if pacer.Wait(paceCtx) != nil {
+						return
+					}
+				}
+				now := time.Now()
+				if !now.Before(end) {
+					return
+				}
+				key := dist.Next()
+				isRead := rng.Float64() < cfg.ReadFraction
+				var val string
+				if !isRead {
+					val = fmt.Sprintf("c%d-%d", client, op) // before t0: not part of the measured op
+				}
+				opCtx, opCancel := context.WithTimeout(runCtx, cfg.OpTimeout)
+				t0 := time.Now()
+				var oerr error
+				if isRead {
+					oerr = tgt.read(opCtx, p, key)
+				} else {
+					oerr = tgt.write(opCtx, p, key, val)
+				}
+				lat := time.Since(t0)
+				opCancel()
+				if t0.Before(measureFrom) {
+					continue // warmup op
+				}
+				m := writes
+				if isRead {
+					m = reads
+				}
+				if oerr != nil {
+					if runCtx.Err() != nil {
+						return // run canceled, not a protocol failure
+					}
+					m.errs.Add(1)
+					continue
+				}
+				m.hist.Record(lat)
+				idx := int(t0.Sub(measureFrom) / time.Second)
+				if idx >= 0 && idx < len(series) {
+					series[idx].Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// An interrupted run measured less than the configured window; report
+	// rates over the window that actually elapsed. Cancellation during
+	// warmup means nothing was measured at all.
+	measured := cfg.Duration
+	if elapsed := time.Since(measureFrom); elapsed < measured {
+		measured = elapsed
+	}
+	if measured <= 0 {
+		measured = time.Nanosecond
+	}
+	return buildReport(cfg, measured, qs, callers, reads, writes, series, faultAt, tgt), nil
+}
+
+// callerNodes returns the quorum system in force and the nodes clients are
+// assigned to (round robin).
+func callerNodes(cfg Config) (quorum.System, []int) {
+	qs, _ := quorumSystemFor(cfg.Nodes)
+	callers := make([]int, 0, cfg.Nodes)
+	if cfg.RestrictToUf && cfg.Pattern > 0 {
+		f := qs.F.Patterns[cfg.Pattern-1]
+		callers = qs.Uf(quorum.Network(cfg.Nodes), f).Elems()
+		if len(callers) > 0 {
+			return qs, callers
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		callers = append(callers, i)
+	}
+	return qs, callers
+}

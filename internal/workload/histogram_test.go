@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileOracle checks log-bucketed quantiles against a
+// sorted-slice oracle across several orders of magnitude: the bucket scheme
+// guarantees a relative error of 2^-subBits (~3.1%), so 5% is a safe bound.
+func TestHistogramQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	const n = 20000
+	vals := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		// Span ~1µs .. ~1s with a log-uniform spread.
+		exp := 10 + rng.Intn(20) // 2^10ns .. 2^29ns
+		v := time.Duration(uint64(1)<<uint(exp) + uint64(rng.Int63n(1<<uint(exp))))
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		rank := int(q*float64(n)) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		want := vals[rank]
+		got := h.Quantile(q)
+		rel := float64(got-want) / float64(want)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.05 {
+			t.Errorf("q=%v: got %v, oracle %v (relative error %.3f > 0.05)", q, got, want, rel)
+		}
+	}
+	if h.Max() != vals[n-1] {
+		t.Errorf("max = %v, want exact %v", h.Max(), vals[n-1])
+	}
+}
+
+// TestHistogramExactSmallValues checks that sub-subCount values get exact
+// unit buckets.
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for v := time.Duration(0); v < subCount; v++ {
+		h.Record(v)
+	}
+	for i, q := range []float64{0.5, 1.0} {
+		got := h.Quantile(q)
+		want := time.Duration(float64(subCount)*q) - 1
+		if got != want {
+			t.Errorf("case %d q=%v: got %v, want %v", i, q, got, want)
+		}
+	}
+}
+
+// TestHistogramMerge checks that merge preserves counts, sums and the exact
+// max.
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Max() != 100*time.Millisecond {
+		t.Errorf("merged max = %v, want 100ms", a.Max())
+	}
+	if p99 := a.Quantile(0.99); p99 < 90*time.Millisecond {
+		t.Errorf("merged p99 = %v, want >= 90ms", p99)
+	}
+}
+
+// TestHistogramConcurrentRecord exercises the lock-free Record path under
+// the race detector.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const gos, per = 8, 5000
+	for g := 0; g < gos; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*per+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != gos*per {
+		t.Fatalf("count = %d, want %d", h.Count(), gos*per)
+	}
+}
+
+// TestBucketRoundTrip checks that every bucket's representative value maps
+// back to the same bucket (the geometry is self-consistent).
+func TestBucketRoundTrip(t *testing.T) {
+	for idx := 0; idx < numBucket; idx++ {
+		mid := bucketMid(idx)
+		if got := bucketIndex(mid); got != idx {
+			t.Fatalf("bucket %d: mid %d maps to bucket %d", idx, mid, got)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Pacer is a token-bucket rate limiter shared by all clients of an open-loop
+// run: tokens accrue at the target rate with a bounded burst, so the
+// offered load tracks the schedule even when individual operations are slow
+// (the open-loop property — queueing shows up as latency, not as back-off).
+type Pacer struct {
+	mu        sync.Mutex
+	interval  time.Duration // time between tokens
+	next      time.Time     // issue time of the next token
+	maxBehind time.Duration // burst * interval: how far next may lag now
+}
+
+// NewPacer creates a pacer issuing tokens at rate per second with the given
+// burst capacity (tokens that may accumulate while no client is waiting).
+// burst <= 0 defaults to 1.
+func NewPacer(rate float64, burst int) *Pacer {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	return &Pacer{
+		interval:  interval,
+		next:      time.Now(),
+		maxBehind: time.Duration(burst) * interval,
+	}
+}
+
+// Wait blocks until the next token is due (or ctx is done). It is safe for
+// concurrent use; each call consumes exactly one token.
+func (p *Pacer) Wait(ctx context.Context) error {
+	p.mu.Lock()
+	now := time.Now()
+	if floor := now.Add(-p.maxBehind); p.next.Before(floor) {
+		p.next = floor // cap the accumulated burst
+	}
+	due := p.next
+	p.next = p.next.Add(p.interval)
+	p.mu.Unlock()
+
+	d := due.Sub(now)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

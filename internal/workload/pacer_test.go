@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPacerRate checks that concurrent clients draining a pacer observe the
+// configured aggregate rate within a generous CI-safe tolerance.
+func TestPacerRate(t *testing.T) {
+	const rate = 2000.0
+	const window = 500 * time.Millisecond
+	p := NewPacer(rate, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+
+	var tokens atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if p.Wait(ctx) != nil {
+					return
+				}
+				tokens.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	got := float64(tokens.Load())
+	want := rate * window.Seconds()
+	if got < want*0.5 || got > want*1.5 {
+		t.Errorf("issued %v tokens in %v, want about %v (+/-50%%)", got, window, want)
+	}
+}
+
+// TestPacerBurstCap checks the token bucket does not accumulate unbounded
+// credit while idle: after an idle period, at most about burst tokens are
+// issued immediately.
+func TestPacerBurstCap(t *testing.T) {
+	const burst = 8
+	p := NewPacer(100, burst) // 10ms interval
+	time.Sleep(150 * time.Millisecond)
+
+	ctx := context.Background()
+	immediate := 0
+	start := time.Now()
+	for i := 0; i < burst*3; i++ {
+		if err := p.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if time.Since(start) < 5*time.Millisecond {
+			immediate++
+		}
+	}
+	if immediate > burst+1 {
+		t.Errorf("%d tokens issued immediately after idle, burst cap is %d", immediate, burst)
+	}
+}
+
+// TestPacerContextCancel checks Wait unblocks on cancellation.
+func TestPacerContextCancel(t *testing.T) {
+	p := NewPacer(0.5, 1) // 2s interval
+	if err := p.Wait(context.Background()); err != nil {
+		t.Fatal(err) // first token is immediate
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := p.Wait(ctx); err == nil {
+		t.Error("Wait returned nil despite cancellation")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Wait did not unblock promptly on cancellation")
+	}
+}

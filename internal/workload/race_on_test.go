@@ -1,0 +1,10 @@
+//go:build race
+
+package workload
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heaviest end-to-end driver tests skip under it (the 10-20x slowdown
+// starves the lattice protocol's multi-round snapshot construction on small
+// runners). The endpoint packages and the lighter driver tests keep full
+// race coverage.
+const raceEnabled = true

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/quorum"
+)
+
+// LatencySummary is the serializable digest of a histogram.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func msf(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// Summarize digests a histogram into its serializable percentile summary.
+func Summarize(h *Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanMs: msf(h.Mean()),
+		P50Ms:  msf(h.Quantile(0.50)),
+		P90Ms:  msf(h.Quantile(0.90)),
+		P99Ms:  msf(h.Quantile(0.99)),
+		P999Ms: msf(h.Quantile(0.999)),
+		MaxMs:  msf(h.Max()),
+	}
+}
+
+// Report is the result of one workload run. It serializes to JSON so runs
+// can seed benchmark trajectories and be diffed across PRs.
+type Report struct {
+	Protocol     string  `json:"protocol"`
+	Net          string  `json:"net"`
+	Nodes        int     `json:"nodes"`
+	Clients      int     `json:"clients"`
+	Mode         string  `json:"mode"` // "open" (paced) or "closed"
+	TargetRate   float64 `json:"target_ops_per_sec,omitempty"`
+	Dist         string  `json:"dist"`
+	Keys         int     `json:"keys"`
+	ReadFraction float64 `json:"read_fraction"`
+	Seed         int64   `json:"seed"`
+	DurationSec  float64 `json:"duration_sec"`
+	WarmupSec    float64 `json:"warmup_sec,omitempty"`
+
+	TotalOps  uint64  `json:"total_ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	Latency LatencySummary `json:"latency"`
+	Reads   LatencySummary `json:"reads"`
+	Writes  LatencySummary `json:"writes"`
+
+	Errors map[string]uint64 `json:"errors"`
+
+	// ThroughputPerSec is the successful-operation count of each 1s bucket
+	// of the measured window.
+	ThroughputPerSec []uint64 `json:"throughput_per_sec"`
+
+	// Pattern and FaultAtSec record mid-run fault injection ("" when none).
+	Pattern    string  `json:"pattern,omitempty"`
+	FaultAtSec float64 `json:"fault_at_sec,omitempty"`
+	// Callers are the nodes client loops were assigned to.
+	Callers []int `json:"callers"`
+
+	// Message-level counters of the simulated network (mem only).
+	MsgsSent      int64 `json:"msgs_sent,omitempty"`
+	MsgsDelivered int64 `json:"msgs_delivered,omitempty"`
+	MsgsDropped   int64 `json:"msgs_dropped,omitempty"`
+}
+
+// buildReport assembles the report from the run's accumulators.
+func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers []int, reads, writes *opMetrics, series []atomic.Uint64, faultAt time.Duration, tgt target) *Report {
+	all := NewHistogram()
+	all.Merge(reads.hist)
+	all.Merge(writes.hist)
+
+	mode := "closed"
+	if cfg.Rate > 0 {
+		mode = "open"
+	}
+	r := &Report{
+		Protocol:     string(cfg.Protocol),
+		Net:          string(cfg.Net),
+		Nodes:        cfg.Nodes,
+		Clients:      cfg.Clients,
+		Mode:         mode,
+		TargetRate:   cfg.Rate,
+		Dist:         string(cfg.Dist),
+		Keys:         cfg.Keys,
+		ReadFraction: cfg.ReadFraction,
+		Seed:         cfg.Seed,
+		DurationSec:  measured.Seconds(),
+		WarmupSec:    cfg.Warmup.Seconds(),
+		TotalOps:     all.Count(),
+		OpsPerSec:    float64(all.Count()) / measured.Seconds(),
+		Latency:      Summarize(all),
+		Reads:        Summarize(reads.hist),
+		Writes:       Summarize(writes.hist),
+		Errors: map[string]uint64{
+			"read":  reads.errs.Load(),
+			"write": writes.errs.Load(),
+		},
+		Callers: callers,
+	}
+	buckets := int((measured + time.Second - 1) / time.Second)
+	if buckets > len(series) {
+		buckets = len(series)
+	}
+	for i := 0; i < buckets; i++ {
+		r.ThroughputPerSec = append(r.ThroughputPerSec, series[i].Load())
+	}
+	if cfg.Pattern > 0 {
+		r.Pattern = qs.F.Patterns[cfg.Pattern-1].Name
+		r.FaultAtSec = (faultAt - cfg.Warmup).Seconds()
+	}
+	if st, ok := tgt.stats(); ok {
+		r.MsgsSent, r.MsgsDelivered, r.MsgsDropped = st.Sent, st.Delivered, st.Dropped
+	}
+	return r
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Text renders a human-readable summary.
+func (r *Report) Text(w io.Writer) {
+	fmt.Fprintf(w, "workload: %s over %s, %d nodes, %d clients (%s loop), %s keys=%d read=%.0f%%\n",
+		r.Protocol, r.Net, r.Nodes, r.Clients, r.Mode, r.Dist, r.Keys, r.ReadFraction*100)
+	if r.Pattern != "" {
+		fmt.Fprintf(w, "fault: pattern %s injected at t=%.1fs (callers %v)\n", r.Pattern, r.FaultAtSec, r.Callers)
+	}
+	fmt.Fprintf(w, "ops: %d in %.1fs = %.1f ops/sec (errors: read %d, write %d)\n",
+		r.TotalOps, r.DurationSec, r.OpsPerSec, r.Errors["read"], r.Errors["write"])
+	row := func(name string, s LatencySummary) {
+		if s.Count == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%-8s n=%-7d p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms\n",
+			name, s.Count, s.P50Ms, s.P90Ms, s.P99Ms, s.P999Ms, s.MaxMs)
+	}
+	row("all", r.Latency)
+	row("reads", r.Reads)
+	row("writes", r.Writes)
+	if len(r.ThroughputPerSec) > 0 {
+		fmt.Fprintf(w, "throughput/s:")
+		for _, c := range r.ThroughputPerSec {
+			fmt.Fprintf(w, " %d", c)
+		}
+		fmt.Fprintln(w)
+	}
+	if r.MsgsSent > 0 {
+		fmt.Fprintf(w, "network: %d sent, %d delivered, %d dropped\n",
+			r.MsgsSent, r.MsgsDelivered, r.MsgsDropped)
+	}
+}
