@@ -1,7 +1,7 @@
 // Benchmarks regenerating every experiment of the reproduction (see
-// DESIGN.md §5 for the experiment index and EXPERIMENTS.md for recorded
-// results). Each BenchmarkE* target corresponds to a figure, worked example
-// or theorem of the paper; micro-benchmarks for the substrates follow.
+// README.md for the commands that render the experiment tables). Each
+// BenchmarkE* target corresponds to a figure, worked example or theorem of
+// the paper; micro-benchmarks for the substrates follow.
 //
 // Run with: go test -bench=. -benchmem
 package gqs

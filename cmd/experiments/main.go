@@ -1,6 +1,6 @@
 // Command experiments regenerates every experiment table of the
-// reproduction (E01-E16; see DESIGN.md §5 for the index mapping each
-// experiment to a figure, example or theorem of the paper).
+// reproduction (E01-E17; each table's header names the figure, example or
+// theorem of the paper it maps to — see README.md for the overview).
 //
 // Usage:
 //

@@ -12,13 +12,20 @@
 //
 // The package re-exports the library's public surface:
 //
+//   - the Cluster adoption surface (Open, WithQuorums, WithTCP, WithMem,
+//     WithTick, ...): one call derives-or-validates a GQS and provisions a
+//     cluster; named objects of all six kinds (register, snapshot, lattice
+//     agreement, consensus, replicated log, replicated KV) come back as
+//     typed clients with pluggable failure-aware routing (Fixed, RoundRobin,
+//     HealthyUf — the latter routes only to the termination component U_f of
+//     the injected pattern), automatic failover and per-client op metrics;
 //   - failure patterns and fail-prone systems (NewPattern, NewSystem,
 //     Threshold, Figure1);
 //   - quorum systems, validity checking, the termination component U_f, and
 //     the GQS existence decision procedure (FindGQS, GQSExists);
 //   - the simulated network with fault injection and partial synchrony
 //     (NewMemNetwork), a TCP transport (NewTCPNetwork), and the process
-//     runtime (NewNode);
+//     runtime (NewNode) for composing the lower layers directly;
 //   - protocol endpoints: NewRegister (Figure 4 over the Figure 3 quorum
 //     access functions), NewSnapshot, NewLatticeAgreement, NewConsensus
 //     (Figure 6), and the replicated log / KV layer (NewReplicatedLog,
@@ -29,6 +36,7 @@
 //     injection, log-bucketed latency histograms (p50/p90/p99/p99.9) and
 //     JSON reports — also available as the gqsload command.
 //
-// See README.md for a quickstart, DESIGN.md for the architecture and the
-// per-experiment index, and EXPERIMENTS.md for the reproduction results.
+// See README.md for the cluster quickstart, the package map and the
+// experiment commands (cmd/experiments regenerates the reproduction's
+// tables).
 package gqs

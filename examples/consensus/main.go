@@ -1,9 +1,10 @@
 // Consensus under partial synchrony: the Figure-6 protocol on the Figure-1
 // generalized quorum system, with a network that is chaotic before GST and
-// timely afterwards (the DLS model of §7). Proposals are issued from the
-// termination component U_f1 while pattern f1 holds; the round-robin view
-// synchronizer eventually hands leadership to a U_f member after GST, and a
-// decision follows within a few message delays.
+// timely afterwards (the DLS model of §7). The cluster is opened with a
+// partial-synchrony delay model; proposals are issued from the termination
+// component U_f1 while pattern f1 holds. The round-robin view synchronizer
+// eventually hands leadership to a U_f member after GST, and a decision
+// follows within a few message delays.
 package main
 
 import (
@@ -26,44 +27,40 @@ func run() error {
 	system := gqs.Figure1GQS()
 
 	const gst = 200 * time.Millisecond
-	net := gqs.NewMemNetwork(4,
-		gqs.WithSeed(3),
-		gqs.WithDelay(gqs.PartialSync{
-			GST:    gst,
-			Before: gqs.UniformDelay{Min: 0, Max: 150 * time.Millisecond},
-			Delta:  2 * time.Millisecond,
-		}),
+	cluster, err := gqs.Open(gqs.Figure1System(),
+		gqs.WithQuorums(system.Reads, system.Writes),
+		gqs.WithMem(
+			gqs.WithSeed(3),
+			gqs.WithDelay(gqs.PartialSync{
+				GST:    gst,
+				Before: gqs.UniformDelay{Min: 0, Max: 150 * time.Millisecond},
+				Delta:  2 * time.Millisecond,
+			}),
+		),
+		gqs.WithViewC(20*time.Millisecond),
 	)
-	defer net.Close()
-
-	var nodes []*gqs.Node
-	var cons []*gqs.Consensus
-	for p := gqs.Proc(0); p < 4; p++ {
-		n := gqs.NewNode(p, net)
-		nodes = append(nodes, n)
-		cons = append(cons, gqs.NewConsensus(n, gqs.ConsensusOptions{
-			Reads:  system.Reads,
-			Writes: system.Writes,
-			C:      20 * time.Millisecond,
-		}))
+	if err != nil {
+		return fmt.Errorf("open cluster: %w", err)
 	}
-	defer func() {
-		for _, c := range cons {
-			c.Stop()
-		}
-		for _, n := range nodes {
-			n.Stop()
-		}
-	}()
+	defer cluster.Close()
+
+	election, err := cluster.Consensus("leader")
+	if err != nil {
+		return err
+	}
 
 	f1 := system.F.Patterns[0]
-	net.ApplyPattern(f1)
-	uf := system.Uf(gqs.NetworkGraph(4), f1).Elems()
+	if err := cluster.InjectPattern(f1); err != nil {
+		return err
+	}
+	uf := cluster.Healthy().Elems()
 	fmt.Printf("pattern %s applied; GST at %v; proposers: %v\n", f1.Name, gst, uf)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
+	// Competing proposals from every U_f member, each pinned to its own
+	// endpoint (consensus is single-shot per process).
 	start := time.Now()
 	var wg sync.WaitGroup
 	decisions := make([]string, len(uf))
@@ -72,7 +69,7 @@ func run() error {
 		wg.Add(1)
 		go func(i, p int) {
 			defer wg.Done()
-			v, err := cons[p].Propose(ctx, fmt.Sprintf("leader-candidate-%d", p))
+			v, err := election.At(gqs.Proc(p)).Propose(ctx, fmt.Sprintf("leader-candidate-%d", p))
 			decisions[i], errs[i] = v, err
 		}(i, p)
 	}

@@ -1,9 +1,9 @@
 // Georeplication: a 6-replica deployment across three regions where WAN
 // failures make one replica send-only (its ingress breaks while egress still
 // works — a real asymmetric-link failure mode) while the antipodal replica
-// crashes. The example derives a generalized quorum system for that
-// fail-prone system with the decision procedure, then runs the register
-// under one of the patterns.
+// crashes. Open derives a generalized quorum system for that fail-prone
+// system with the decision procedure, then a failure-aware client keeps
+// exchanging configuration epochs under one of the patterns.
 //
 // This is exactly the situation classical quorum systems cannot describe: a
 // send-only replica can still serve in read quorums (pushing its state
@@ -31,70 +31,59 @@ func run() error {
 	// For each replica i: all channels INTO i may disconnect (send-only
 	// replica — a broken ingress path) while the antipodal replica crashes.
 	system := gqs.IngressLoss(replicas)
-	if err := system.Validate(); err != nil {
-		return fmt.Errorf("fail-prone system: %w", err)
-	}
 
-	// Derive quorums with the Theorem-2 decision procedure.
-	qs, ok := gqs.FindGQS(gqs.NetworkGraph(replicas), system)
-	if !ok {
-		return fmt.Errorf("no generalized quorum system exists for this deployment")
+	// Open validates the fail-prone system and derives quorums with the
+	// Theorem-2 decision procedure (no WithQuorums given).
+	cluster, err := gqs.Open(system, gqs.WithMem(gqs.WithSeed(11)))
+	if err != nil {
+		return fmt.Errorf("open cluster: %w", err)
 	}
-	fmt.Printf("derived GQS: %d read quorums, %d write quorums\n", len(qs.Reads), len(qs.Writes))
-	for i, w := range qs.Writes {
+	defer cluster.Close()
+
+	fmt.Printf("derived GQS: %d read quorums, %d write quorums\n",
+		len(cluster.QS.Reads), len(cluster.QS.Writes))
+	for i, w := range cluster.QS.Writes {
 		fmt.Printf("  W%d = %s\n", i, w)
 	}
 
-	net := gqs.NewMemNetwork(replicas, gqs.WithSeed(11))
-	defer net.Close()
-	var nodes []*gqs.Node
-	var regs []*gqs.Register
-	for p := gqs.Proc(0); p < replicas; p++ {
-		n := gqs.NewNode(p, net)
-		nodes = append(nodes, n)
-		regs = append(regs, gqs.NewRegister(n, gqs.RegisterOptions{
-			Reads: qs.Reads, Writes: qs.Writes,
-		}))
+	config, err := cluster.Register("config-epoch")
+	if err != nil {
+		return err
 	}
-	defer func() {
-		for _, r := range regs {
-			r.Stop()
-		}
-		for _, n := range nodes {
-			n.Stop()
-		}
-	}()
+	config.SetPolicy(gqs.HealthyUf())
 
 	// Replica 2 loses all ingress; replica 5 crashes.
 	f := system.Patterns[2]
-	net.ApplyPattern(f)
-	uf := qs.Uf(gqs.NetworkGraph(replicas), f)
+	if err := cluster.InjectPattern(f); err != nil {
+		return err
+	}
 	fmt.Printf("\napplied %s (replica 2 send-only, replica 5 crashed)\n", f.Name)
-	fmt.Printf("termination component U_f = %s\n\n", uf)
+	fmt.Printf("termination component U_f = %s\n\n", cluster.Healthy())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	// Clients at two members of U_f exchange configuration epochs.
-	callers := uf.Elems()
+	// Configuration epochs flow through the routed client: each write lands
+	// at some U_f member, each read at another, and both keep completing
+	// under the asymmetric WAN failure.
 	for epoch := 1; epoch <= 3; epoch++ {
-		writer := callers[epoch%len(callers)]
-		reader := callers[(epoch+1)%len(callers)]
 		val := fmt.Sprintf("config-epoch-%d", epoch)
 		start := time.Now()
-		if _, err := regs[writer].Write(ctx, val); err != nil {
-			return fmt.Errorf("write at replica %d: %w", writer, err)
+		if _, err := config.Write(ctx, val); err != nil {
+			return fmt.Errorf("routed write: %w", err)
 		}
-		got, _, err := regs[reader].Read(ctx)
+		got, _, err := config.Read(ctx)
 		if err != nil {
-			return fmt.Errorf("read at replica %d: %w", reader, err)
+			return fmt.Errorf("routed read: %w", err)
 		}
 		if got != val {
-			return fmt.Errorf("replica %d read %q, want %q", reader, got, val)
+			return fmt.Errorf("read %q, want %q", got, val)
 		}
-		fmt.Printf("epoch %d: replica %d wrote, replica %d confirmed (%v)\n",
-			epoch, writer, reader, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("epoch %d: written and confirmed (%v)\n",
+			epoch, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Println("\ngeo-replicated register made progress under asymmetric WAN failure")
+	m := config.Metrics()
+	fmt.Printf("\nclient metrics: %d ops, %d successes, %d failovers\n", m.Ops, m.Successes, m.Failovers)
+	fmt.Println("geo-replicated register made progress under asymmetric WAN failure")
 	return nil
 }

@@ -1,9 +1,10 @@
 // Replicated key-value store: state machine replication over
-// generalized-quorum-system consensus. A four-node cluster keeps accepting
-// linearizable writes at the termination component U_f1 = {a, b} while
-// pattern f1 holds (process d crashed, read-quorum member c reachable only
-// outward) — connectivity under which a majority-quorum SMR system cannot be
-// expressed at all.
+// generalized-quorum-system consensus, reached through the Cluster API. A
+// four-node cluster keeps accepting linearizable writes while pattern f1
+// holds (process d crashed, read-quorum member c reachable only outward) —
+// connectivity under which a majority-quorum SMR system cannot be expressed
+// at all. The KV client's HealthyUf policy routes every operation to the
+// termination component U_f1 = {a, b} automatically.
 package main
 
 import (
@@ -23,69 +24,69 @@ func main() {
 
 func run() error {
 	system := gqs.Figure1GQS()
-	net := gqs.NewMemNetwork(4, gqs.WithSeed(13))
-	defer net.Close()
-
-	var nodes []*gqs.Node
-	var stores []*gqs.ReplicatedKV
-	for p := gqs.Proc(0); p < 4; p++ {
-		n := gqs.NewNode(p, net)
-		nodes = append(nodes, n)
-		stores = append(stores, gqs.NewReplicatedKV(n, gqs.ReplicatedLogOptions{
-			Slots: 8, Reads: system.Reads, Writes: system.Writes, ViewC: 15 * time.Millisecond,
-		}))
+	cluster, err := gqs.Open(gqs.Figure1System(),
+		gqs.WithQuorums(system.Reads, system.Writes),
+		gqs.WithMem(gqs.WithSeed(13)),
+		gqs.WithSlots(8),
+		gqs.WithViewC(15*time.Millisecond),
+	)
+	if err != nil {
+		return fmt.Errorf("open cluster: %w", err)
 	}
-	defer func() {
-		for _, s := range stores {
-			s.Stop()
-		}
-		for _, n := range nodes {
-			n.Stop()
-		}
-	}()
+	defer cluster.Close()
+
+	store, err := cluster.KV("users")
+	if err != nil {
+		return err
+	}
+	store.SetPolicy(gqs.HealthyUf())
 
 	f1 := system.F.Patterns[0]
-	net.ApplyPattern(f1)
-	uf := system.Uf(gqs.NetworkGraph(4), f1).Elems()
-	fmt.Printf("pattern %s applied; serving from U_f = %v\n\n", f1.Name, uf)
+	if err := cluster.InjectPattern(f1); err != nil {
+		return err
+	}
+	fmt.Printf("pattern %s applied; serving from U_f = %s\n\n", f1.Name, cluster.Healthy())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	// Writes land at alternating U_f members.
+	// Writes are routed across U_f members by the client.
 	writes := []struct{ key, val string }{
 		{"user:42:name", "ada"},
 		{"user:42:role", "admin"},
 		{"user:42:name", "ada lovelace"},
 	}
-	for i, w := range writes {
-		p := uf[i%len(uf)]
+	for _, w := range writes {
 		start := time.Now()
-		slot, err := stores[p].Set(ctx, w.key, w.val)
+		slot, err := store.Set(ctx, w.key, w.val)
 		if err != nil {
-			return fmt.Errorf("set at node %d: %w", p, err)
+			return fmt.Errorf("routed set: %w", err)
 		}
-		fmt.Printf("node %d: SET %s = %q  (slot %d, %v)\n",
-			p, w.key, w.val, slot, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("SET %s = %q  (slot %d, %v)\n",
+			w.key, w.val, slot, time.Since(start).Round(time.Millisecond))
 	}
 
-	// A linearizable read at the other member: barrier, then read.
-	reader := uf[1]
-	if err := stores[reader].Sync(ctx); err != nil {
-		return fmt.Errorf("sync at node %d: %w", reader, err)
+	// A linearizable read at one U_f member: barrier, then read, pinned to
+	// the same process so the barrier covers the read.
+	reader := store.At(1)
+	if err := reader.Sync(ctx); err != nil {
+		return fmt.Errorf("sync: %w", err)
 	}
-	name, ok, err := stores[reader].Get("user:42:name")
+	name, ok, err := reader.Get(ctx, "user:42:name")
 	if err != nil || !ok {
 		return fmt.Errorf("get: ok=%v err=%v", ok, err)
 	}
-	role, _, err := stores[reader].Get("user:42:role")
+	role, _, err := reader.Get(ctx, "user:42:role")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nnode %d (after sync): user:42 = %q / %q\n", reader, name, role)
+	fmt.Printf("\nnode 1 (after sync): user:42 = %q / %q\n", name, role)
 	if name != "ada lovelace" || role != "admin" {
 		return fmt.Errorf("stale read: %q/%q", name, role)
 	}
+	m := store.Metrics()
+	fmt.Printf("client metrics: %d ops, %d successes, mean %v\n",
+		m.Ops, m.Successes, m.MeanLatency.Round(time.Millisecond))
 	fmt.Println("linearizable replicated KV served reads and writes under pattern f1")
 	return nil
 }

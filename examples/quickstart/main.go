@@ -1,8 +1,10 @@
-// Quickstart: build the paper's Figure-1 generalized quorum system, inject
-// its failure pattern f1 (process d crashes; only channels (c,a), (a,b),
-// (b,a) survive), and run atomic register operations at the termination
-// component U_f1 = {a, b} — demonstrating progress under connectivity too
-// weak for classical quorum protocols.
+// Quickstart: open a cluster on the paper's Figure-1 generalized quorum
+// system, inject its failure pattern f1 (process d crashes; only channels
+// (c,a), (a,b), (b,a) survive), and keep running atomic register operations
+// through a failure-aware client. The HealthyUf routing policy consults the
+// termination component U_f1 = {a, b} — the exact processes the paper
+// proves wait-free — so the client keeps completing operations under
+// connectivity too weak for classical quorum protocols.
 package main
 
 import (
@@ -28,55 +30,55 @@ func run() error {
 	}
 	fmt.Println("Figure-1 generalized quorum system is valid")
 
-	// A simulated asynchronous network with seeded delays.
-	net := gqs.NewMemNetwork(4, gqs.WithSeed(7))
-	defer net.Close()
-
-	// One node and one register endpoint per process.
-	var nodes []*gqs.Node
-	var regs []*gqs.Register
-	for p := gqs.Proc(0); p < 4; p++ {
-		n := gqs.NewNode(p, net)
-		nodes = append(nodes, n)
-		regs = append(regs, gqs.NewRegister(n, gqs.RegisterOptions{
-			Reads:  system.Reads,
-			Writes: system.Writes,
-		}))
+	// One call provisions the whole cluster: a simulated network with seeded
+	// delays, one process runtime per process, and the quorum system pinned
+	// to the paper's families.
+	cluster, err := gqs.Open(gqs.Figure1System(),
+		gqs.WithQuorums(system.Reads, system.Writes),
+		gqs.WithMem(gqs.WithSeed(7)),
+	)
+	if err != nil {
+		return fmt.Errorf("open cluster: %w", err)
 	}
-	defer func() {
-		for _, r := range regs {
-			r.Stop()
-		}
-		for _, n := range nodes {
-			n.Stop()
-		}
-	}()
+	defer cluster.Close()
+
+	// A named register reached through a typed client that routes every
+	// operation to a wait-free process.
+	reg, err := cluster.Register("greeting")
+	if err != nil {
+		return err
+	}
+	reg.SetPolicy(gqs.HealthyUf())
 
 	// Make every failure allowed by pattern f1 actually happen.
 	f1 := system.F.Patterns[0]
-	net.ApplyPattern(f1)
-	uf := system.Uf(gqs.NetworkGraph(4), f1)
-	fmt.Printf("applied %s; termination guaranteed within U_f1 = %s\n", f1.Name, uf)
+	if err := cluster.InjectPattern(f1); err != nil {
+		return err
+	}
+	fmt.Printf("applied %s; termination guaranteed within U_f1 = %s\n", f1.Name, cluster.Healthy())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	// Write at a (process 0), read at b (process 1): completes despite c
-	// being unreachable and d crashed.
-	ver, err := regs[0].Write(ctx, "hello, weak connectivity")
+	// The client now routes writes and reads to U_f1 members only —
+	// completing despite c being unreachable and d crashed.
+	ver, err := reg.Write(ctx, "hello, weak connectivity")
 	if err != nil {
-		return fmt.Errorf("write at a: %w", err)
+		return fmt.Errorf("routed write: %w", err)
 	}
-	fmt.Printf("a wrote with version %v\n", ver)
+	fmt.Printf("wrote with version %v\n", ver)
 
-	val, rver, err := regs[1].Read(ctx)
+	val, rver, err := reg.Read(ctx)
 	if err != nil {
-		return fmt.Errorf("read at b: %w", err)
+		return fmt.Errorf("routed read: %w", err)
 	}
-	fmt.Printf("b read %q (version %v)\n", val, rver)
+	fmt.Printf("read %q (version %v)\n", val, rver)
 	if val != "hello, weak connectivity" {
 		return fmt.Errorf("read %q; atomicity violated", val)
 	}
+	m := reg.Metrics()
+	fmt.Printf("client metrics: %d ops, %d successes, mean latency %v\n",
+		m.Ops, m.Successes, m.MeanLatency.Round(time.Microsecond))
 	fmt.Println("real-time ordering held: the read observed the completed write")
 	return nil
 }

@@ -3,7 +3,8 @@
 // comparable aggregate even while the network is partitioned per Figure-1's
 // pattern f1. Single-shot lattice agreement over the component-wise-max
 // lattice gives every agent a view that is guaranteed comparable with every
-// other agent's view — no agent acts on a sideways-diverged aggregate.
+// other agent's view — no agent acts on a sideways-diverged aggregate. The
+// whole deployment is three Cluster calls: Open, LatticeAgreement, Propose.
 package main
 
 import (
@@ -24,36 +25,31 @@ func main() {
 
 func run() error {
 	system := gqs.Figure1GQS()
-	net := gqs.NewMemNetwork(4, gqs.WithSeed(5))
-	defer net.Close()
+	cluster, err := gqs.Open(gqs.Figure1System(),
+		gqs.WithQuorums(system.Reads, system.Writes),
+		gqs.WithMem(gqs.WithSeed(5)),
+	)
+	if err != nil {
+		return fmt.Errorf("open cluster: %w", err)
+	}
+	defer cluster.Close()
 
 	lat := gqs.VectorMaxLattice{}
-	var nodes []*gqs.Node
-	var agents []*gqs.LatticeAgreement
-	for p := gqs.Proc(0); p < 4; p++ {
-		n := gqs.NewNode(p, net)
-		nodes = append(nodes, n)
-		agents = append(agents, gqs.NewLatticeAgreement(n, gqs.LatticeAgreementOptions{
-			Lattice: lat,
-			Reads:   system.Reads,
-			Writes:  system.Writes,
-		}))
+	agg, err := cluster.LatticeAgreement("shard-counters", lat)
+	if err != nil {
+		return err
 	}
-	defer func() {
-		for _, a := range agents {
-			a.Stop()
-		}
-		for _, n := range nodes {
-			n.Stop()
-		}
-	}()
 
 	f1 := system.F.Patterns[0]
-	net.ApplyPattern(f1)
-	uf := system.Uf(gqs.NetworkGraph(4), f1).Elems()
+	if err := cluster.InjectPattern(f1); err != nil {
+		return err
+	}
+	uf := cluster.Healthy().Elems()
 	fmt.Printf("pattern %s applied; aggregating at agents %v\n", f1.Name, uf)
 
-	// Local observations: per-shard event counts seen by each agent.
+	// Local observations: per-shard event counts seen by each agent. Each
+	// agent proposes at its own endpoint (lattice agreement is single-shot
+	// per process).
 	observations := map[int]string{
 		uf[0]: gqs.EncodeVec(120, 40, 7),
 		uf[1]: gqs.EncodeVec(95, 63, 7),
@@ -69,7 +65,7 @@ func run() error {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			out, err := agents[p].Propose(ctx, observations[p])
+			out, err := agg.At(gqs.Proc(p)).Propose(ctx, observations[p])
 			if err != nil {
 				log.Printf("agent %d: %v", p, err)
 				return

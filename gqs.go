@@ -149,24 +149,64 @@ type (
 	ReplicatedKV = smr.KV
 )
 
-// Deployment is the high-level adoption surface: it derives (or validates) a
-// GQS for a fail-prone system, provisions a cluster, and hands out named
-// object endpoints. See internal/core for details.
+// Cluster is the high-level adoption surface: Open derives (or validates) a
+// GQS for a fail-prone system, provisions a cluster over the configured
+// transport, and hands out typed clients for all six object kinds with
+// pluggable failure-aware routing. See internal/core for details.
 type (
-	// Deployment is a provisioned cluster plus its validated quorum system.
-	Deployment = core.Deployment
-	// DeploymentConfig configures NewDeployment.
-	DeploymentConfig = core.Config
+	// Cluster is a provisioned deployment plus its validated quorum system.
+	Cluster = core.Cluster
+	// ClusterOption configures Open (WithQuorums, WithTCP, WithTick, ...).
+	ClusterOption = core.Option
+	// Object is the uniform lifecycle of every provisioned client.
+	Object = core.Object
+	// RoutingPolicy decides which processes a client routes operations to.
+	RoutingPolicy = core.Policy
+	// ClientMetrics is a snapshot of one client's operation counters.
+	ClientMetrics = core.ClientMetrics
+	// RegisterClient / SnapshotClient / LatticeClient / ConsensusClient /
+	// LogClient / KVClient are the typed per-object client facades.
+	RegisterClient  = core.RegisterClient
+	SnapshotClient  = core.SnapshotClient
+	LatticeClient   = core.LatticeClient
+	ConsensusClient = core.ConsensusClient
+	LogClient       = core.LogClient
+	KVClient        = core.KVClient
 )
 
-// Deployment constructors and errors.
+// Cluster constructors, options, routing policies and errors.
 var (
-	// NewDeployment validates the config, derives quorums if needed, and
+	// Open validates the fail-prone system, derives quorums if needed, and
 	// starts the cluster.
-	NewDeployment = core.NewDeployment
+	Open = core.Open
+	// WithQuorums pins the quorum families instead of deriving them.
+	WithQuorums = core.WithQuorums
+	// WithNetwork supplies an externally owned transport.
+	WithNetwork = core.WithNetwork
+	// WithMem configures the default in-memory simulated network, e.g.
+	// gqs.WithMem(gqs.WithSeed(7), gqs.WithDelay(...)).
+	WithMem = core.WithMem
+	// WithTCP runs the cluster over real TCP sockets.
+	WithTCP = core.WithTCP
+	// WithTick sets the quorum-access-function propagation interval.
+	WithTick = core.WithTick
+	// WithViewC sets the consensus view-duration constant.
+	WithViewC = core.WithViewC
+	// WithSlots sets replicated log/KV capacity.
+	WithSlots = core.WithSlots
+	// Fixed routes every operation to one process (no failover).
+	Fixed = core.Fixed
+	// RoundRobin spreads operations across all processes (the default).
+	RoundRobin = core.RoundRobin
+	// HealthyUf routes only to the termination component U_f of the
+	// currently injected pattern — the processes the paper proves wait-free.
+	HealthyUf = core.HealthyUf
 	// ErrNoGQS reports that the fail-prone system is unimplementable
 	// (Theorem 2).
 	ErrNoGQS = core.ErrNoGQS
+	// ErrClusterClosed / ErrClientClosed report use after Close.
+	ErrClusterClosed = core.ErrClusterClosed
+	ErrClientClosed  = core.ErrClientClosed
 )
 
 // Workload engine: sustained load generation with tail-latency metrics over

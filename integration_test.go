@@ -137,43 +137,55 @@ func TestIntegrationConsensusOverTCP(t *testing.T) {
 	}
 }
 
-// TestIntegrationDeploymentEndToEnd drives the high-level Deployment API the
-// way a downstream service would.
-func TestIntegrationDeploymentEndToEnd(t *testing.T) {
-	d, err := NewDeployment(DeploymentConfig{
-		FailProne: Figure1System(),
-		Seed:      21,
-		Delay:     UniformDelay{Min: 5 * time.Microsecond, Max: 100 * time.Microsecond},
-		Tick:      time.Millisecond,
-		ViewC:     10 * time.Millisecond,
-	})
+// TestIntegrationClusterEndToEnd drives the high-level Cluster API the way
+// a downstream service would: Open, typed clients, pattern injection and
+// failure-aware routing.
+func TestIntegrationClusterEndToEnd(t *testing.T) {
+	c, err := Open(Figure1System(),
+		WithMem(WithSeed(21), WithDelay(UniformDelay{Min: 5 * time.Microsecond, Max: 100 * time.Microsecond})),
+		WithTick(time.Millisecond),
+		WithViewC(10*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
+	defer c.Close()
 
 	f1 := Figure1System().Patterns[0]
-	if err := d.InjectPattern(f1); err != nil {
+	if err := c.InjectPattern(f1); err != nil {
 		t.Fatal(err)
 	}
-	uf := d.Uf(f1).Elems()
+	uf := c.Healthy().Elems()
+	if len(uf) < 2 {
+		t.Fatalf("U_f1 too small: %v", uf)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	regs := d.Register("state")
-	if _, err := regs[uf[0]].Write(ctx, "e2e"); err != nil {
+	reg, err := c.Register("state")
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := regs[uf[1]].Read(ctx)
+	reg.SetPolicy(HealthyUf())
+	if _, err := reg.Write(ctx, "e2e"); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := reg.Read(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != "e2e" {
 		t.Fatalf("read %q", got)
 	}
+	if m := reg.Metrics(); m.Successes != 2 {
+		t.Fatalf("metrics = %+v, want 2 successes", m)
+	}
 
-	cons := d.Consensus("election")
-	v, err := cons[uf[0]].Propose(ctx, "winner")
+	cons, err := c.Consensus("election")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cons.At(Proc(uf[0])).Propose(ctx, "winner")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/failure"
+	"repro/internal/lattice"
+	"repro/internal/register"
+	"repro/internal/smr"
+	"repro/internal/snapshot"
+)
+
+// Object kinds provisioned by a Cluster.
+const (
+	KindRegister  = "register"
+	KindSnapshot  = "snapshot"
+	KindLattice   = "lattice"
+	KindConsensus = "consensus"
+	KindLog       = "log"
+	KindKV        = "kv"
+)
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("client closed")
+
+// Object is the uniform lifecycle every provisioned client implements:
+// identification plus an idempotent, concurrency-safe Close.
+type Object interface {
+	// Kind is one of the Kind* constants.
+	Kind() string
+	// Name is the object's cluster-unique name within its kind.
+	Name() string
+	// Close stops the object's endpoints at every process. It is idempotent;
+	// operations after Close fail with ErrClientClosed. The object stays in
+	// the cluster registry, so re-provisioning the name returns the closed
+	// client rather than recreating wire topics.
+	Close() error
+}
+
+// ClientMetrics is a point-in-time snapshot of one client's operation
+// counters.
+type ClientMetrics struct {
+	// Ops is the number of operations issued through the client.
+	Ops uint64
+	// Successes and Failures partition completed operations.
+	Successes, Failures uint64
+	// Failovers counts operations that succeeded only after at least one
+	// candidate process failed.
+	Failovers uint64
+	// MeanLatency averages the latency of successful operations.
+	MeanLatency time.Duration
+}
+
+// client is the shared substrate of every typed client: identity, routing
+// policy, metrics and close-once lifecycle.
+type client struct {
+	c    *Cluster
+	kind string
+	name string
+
+	mu     sync.Mutex
+	policy Policy
+	stop   func()
+
+	closed atomic.Bool
+
+	ops, succs, fails, failovers atomic.Uint64
+	latNanos                     atomic.Int64
+}
+
+func (o *client) init(c *Cluster, kind, name string, stop func()) {
+	o.c = c
+	o.kind = kind
+	o.name = name
+	o.policy = RoundRobin()
+	o.stop = stop
+}
+
+// Kind implements Object.
+func (o *client) Kind() string { return o.kind }
+
+// Name implements Object.
+func (o *client) Name() string { return o.name }
+
+// Cluster returns the cluster the client belongs to.
+func (o *client) Cluster() *Cluster { return o.c }
+
+// SetPolicy installs the routing policy (default RoundRobin). Safe to call
+// concurrently with operations; nil resets to RoundRobin.
+func (o *client) SetPolicy(p Policy) {
+	if p == nil {
+		p = RoundRobin()
+	}
+	o.mu.Lock()
+	o.policy = p
+	o.mu.Unlock()
+}
+
+func (o *client) currentPolicy() Policy {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.policy
+}
+
+// Metrics returns a snapshot of the client's operation counters.
+func (o *client) Metrics() ClientMetrics {
+	m := ClientMetrics{
+		Ops:       o.ops.Load(),
+		Successes: o.succs.Load(),
+		Failures:  o.fails.Load(),
+		Failovers: o.failovers.Load(),
+	}
+	if m.Successes > 0 {
+		m.MeanLatency = time.Duration(o.latNanos.Load() / int64(m.Successes))
+	}
+	return m
+}
+
+// Close implements Object.
+func (o *client) Close() error {
+	if o.closed.CompareAndSwap(false, true) {
+		o.stop()
+	}
+	return nil
+}
+
+// do routes one operation: it asks the policy for candidate processes and
+// tries them in order until one succeeds (automatic failover) or candidates
+// run out. When the operation's context has a deadline, the remaining
+// budget is split evenly across the remaining candidates so a stalled
+// candidate (e.g. a crashed process outside U_f) cannot consume it all and
+// leave nothing for failover; the last candidate gets everything left.
+// Without a deadline an unresponsive candidate blocks until the context is
+// canceled — callers wanting failover should set one (or route with
+// HealthyUf, which excludes non-wait-free processes up front).
+func (o *client) do(ctx context.Context, op func(ctx context.Context, p int) error) error {
+	return o.route(ctx, true, op)
+}
+
+// doNoFailover routes to the policy's first candidate only, for operations
+// that are unsafe to re-submit elsewhere (see LogClient.Append).
+func (o *client) doNoFailover(ctx context.Context, op func(ctx context.Context, p int) error) error {
+	return o.route(ctx, false, op)
+}
+
+func (o *client) route(ctx context.Context, failover bool, op func(ctx context.Context, p int) error) error {
+	if o.closed.Load() {
+		return fmt.Errorf("%s %q: %w", o.kind, o.name, ErrClientClosed)
+	}
+	cands := o.currentPolicy().Candidates(o.c)
+	if !failover && len(cands) > 1 {
+		cands = cands[:1]
+	}
+	o.ops.Add(1)
+	if len(cands) == 0 {
+		o.fails.Add(1)
+		return fmt.Errorf("%s %q: no routable process", o.kind, o.name)
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	start := time.Now()
+	var lastErr error
+	for i, p := range cands {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		if p < 0 || p >= o.c.N() {
+			lastErr = fmt.Errorf("%s %q: policy routed to process %d out of range [0,%d)", o.kind, o.name, p, o.c.N())
+			continue
+		}
+		attemptCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if hasDeadline && i < len(cands)-1 {
+			share := time.Until(deadline) / time.Duration(len(cands)-i)
+			attemptCtx, cancel = context.WithTimeout(ctx, share)
+		}
+		err := op(attemptCtx, p)
+		cancel()
+		if err == nil {
+			if i > 0 {
+				o.failovers.Add(1)
+			}
+			o.succs.Add(1)
+			o.latNanos.Add(int64(time.Since(start)))
+			return nil
+		}
+		lastErr = err
+	}
+	o.fails.Add(1)
+	return lastErr
+}
+
+// at bounds-checks an explicit process id for the At accessors.
+func (o *client) at(p failure.Proc, n int) int {
+	if int(p) < 0 || int(p) >= n {
+		panic(fmt.Sprintf("%s %q: process %d out of range [0,%d)", o.kind, o.name, p, n))
+	}
+	return int(p)
+}
+
+// --- register ---
+
+// RegisterClient operates a named MWMR atomic register through the cluster's
+// routing policy.
+type RegisterClient struct {
+	client
+	eps []*register.Register
+}
+
+// Write stores val and returns the version it was written at.
+func (rc *RegisterClient) Write(ctx context.Context, val string) (register.Version, error) {
+	var ver register.Version
+	err := rc.do(ctx, func(ctx context.Context, p int) error {
+		v, err := rc.eps[p].Write(ctx, val)
+		if err == nil {
+			ver = v
+		}
+		return err
+	})
+	return ver, err
+}
+
+// Read returns the register's value and version.
+func (rc *RegisterClient) Read(ctx context.Context) (string, register.Version, error) {
+	var (
+		val string
+		ver register.Version
+	)
+	err := rc.do(ctx, func(ctx context.Context, p int) error {
+		v, w, err := rc.eps[p].Read(ctx)
+		if err == nil {
+			val, ver = v, w
+		}
+		return err
+	})
+	return val, ver, err
+}
+
+// At returns the raw endpoint of process p, bypassing routing (for
+// process-pinned drivers and experiments).
+func (rc *RegisterClient) At(p failure.Proc) *register.Register {
+	return rc.eps[rc.at(p, len(rc.eps))]
+}
+
+// --- snapshot ---
+
+// SnapshotClient operates a named SWMR atomic snapshot object. Note that a
+// routed Update writes the segment of whichever process the policy picks;
+// writers that own a fixed segment should pin with Fixed or At.
+type SnapshotClient struct {
+	client
+	eps []*snapshot.Snapshot
+}
+
+// Update writes val into the routed process's segment.
+func (sc *SnapshotClient) Update(ctx context.Context, val string) error {
+	return sc.do(ctx, func(ctx context.Context, p int) error {
+		return sc.eps[p].Update(ctx, val)
+	})
+}
+
+// Scan returns an atomic view of all segments.
+func (sc *SnapshotClient) Scan(ctx context.Context) ([]string, error) {
+	var view []string
+	err := sc.do(ctx, func(ctx context.Context, p int) error {
+		v, err := sc.eps[p].Scan(ctx)
+		if err == nil {
+			view = v
+		}
+		return err
+	})
+	return view, err
+}
+
+// At returns the raw endpoint of process p, bypassing routing.
+func (sc *SnapshotClient) At(p failure.Proc) *snapshot.Snapshot {
+	return sc.eps[sc.at(p, len(sc.eps))]
+}
+
+// --- lattice agreement ---
+
+// LatticeClient operates a named single-shot lattice agreement object.
+// Lattice agreement is single-shot per process: each process may propose
+// once, so a routed Propose consumes the shot of whichever process the
+// policy picks.
+type LatticeClient struct {
+	client
+	eps []*lattice.Agreement
+}
+
+// Propose submits v at the routed process and returns its output value.
+func (lc *LatticeClient) Propose(ctx context.Context, v string) (string, error) {
+	var out string
+	err := lc.do(ctx, func(ctx context.Context, p int) error {
+		o, err := lc.eps[p].Propose(ctx, v)
+		if err == nil {
+			out = o
+		}
+		return err
+	})
+	return out, err
+}
+
+// At returns the raw endpoint of process p, bypassing routing.
+func (lc *LatticeClient) At(p failure.Proc) *lattice.Agreement {
+	return lc.eps[lc.at(p, len(lc.eps))]
+}
+
+// --- consensus ---
+
+// ConsensusClient operates a named single-shot consensus object.
+type ConsensusClient struct {
+	client
+	eps []*consensus.Consensus
+}
+
+// Propose submits v at the routed process and returns the decided value.
+func (cc *ConsensusClient) Propose(ctx context.Context, v string) (string, error) {
+	var out string
+	err := cc.do(ctx, func(ctx context.Context, p int) error {
+		d, err := cc.eps[p].Propose(ctx, v)
+		if err == nil {
+			out = d
+		}
+		return err
+	})
+	return out, err
+}
+
+// At returns the raw endpoint of process p, bypassing routing.
+func (cc *ConsensusClient) At(p failure.Proc) *consensus.Consensus {
+	return cc.eps[cc.at(p, len(cc.eps))]
+}
+
+// --- replicated log ---
+
+// LogClient operates a named replicated command log.
+type LogClient struct {
+	client
+	eps []*smr.Log
+}
+
+// Append commits cmd and returns the slot it occupies. Commands must be
+// unique across clients (see smr.Log.Append). Append never fails over: an
+// attempt that errors mid-protocol may still commit later, and re-submitting
+// the identical command at another process could commit it into two slots,
+// violating the log's uniqueness contract.
+func (lc *LogClient) Append(ctx context.Context, cmd string) (int64, error) {
+	var slot int64
+	err := lc.doNoFailover(ctx, func(ctx context.Context, p int) error {
+		s, err := lc.eps[p].Append(ctx, cmd)
+		if err == nil {
+			slot = s
+		}
+		return err
+	})
+	return slot, err
+}
+
+// Get returns the decision of a slot, blocking until it is decided at the
+// routed process.
+func (lc *LogClient) Get(ctx context.Context, slot int64) (string, error) {
+	var v string
+	err := lc.do(ctx, func(ctx context.Context, p int) error {
+		s, err := lc.eps[p].Get(ctx, slot)
+		if err == nil {
+			v = s
+		}
+		return err
+	})
+	return v, err
+}
+
+// At returns the raw endpoint of process p, bypassing routing.
+func (lc *LogClient) At(p failure.Proc) *smr.Log {
+	return lc.eps[lc.at(p, len(lc.eps))]
+}
+
+// --- replicated KV ---
+
+// KVClient operates a named linearizable replicated key-value store.
+type KVClient struct {
+	client
+	eps []*smr.KV
+}
+
+// Set commits key=val and returns the log slot it occupies. Like
+// LogClient.Append it never fails over: a timed-out attempt's proposal may
+// still commit later, and a re-submitted Set could then be outrun by it —
+// replaying the old value over newer writes of the key. (Sync and SyncGet
+// do fail over: their barrier no-ops are harmless to duplicate.)
+func (kc *KVClient) Set(ctx context.Context, key, val string) (int64, error) {
+	var slot int64
+	err := kc.doNoFailover(ctx, func(ctx context.Context, p int) error {
+		s, err := kc.eps[p].Set(ctx, key, val)
+		if err == nil {
+			slot = s
+		}
+		return err
+	})
+	return slot, err
+}
+
+// Get returns key's value in the decided prefix at the routed process.
+// Like the endpoint Get it is linearizable with respect to Sets observed at
+// that process only — successive routed calls may land on different
+// processes, so a Get right after a Set can miss it. For freshness across
+// processes use SyncGet (barrier and read at one routed process) or pin
+// with At.
+func (kc *KVClient) Get(ctx context.Context, key string) (string, bool, error) {
+	var (
+		val   string
+		found bool
+	)
+	err := kc.do(ctx, func(ctx context.Context, p int) error {
+		v, ok, err := kc.eps[p].Get(ctx, key)
+		if err == nil {
+			val, found = v, ok
+		}
+		return err
+	})
+	return val, found, err
+}
+
+// Sync commits a barrier no-op at the routed process. Note that Sync and a
+// following Get route independently; use SyncGet when the barrier must
+// cover the read.
+func (kc *KVClient) Sync(ctx context.Context) error {
+	return kc.do(ctx, func(ctx context.Context, p int) error {
+		return kc.eps[p].Sync(ctx)
+	})
+}
+
+// SyncGet performs a linearizable read: it routes to one process, commits a
+// barrier no-op there, and reads key from that same process's decided
+// prefix — which then includes every Set completed before SyncGet was
+// invoked, regardless of where it was committed.
+func (kc *KVClient) SyncGet(ctx context.Context, key string) (string, bool, error) {
+	var (
+		val   string
+		found bool
+	)
+	err := kc.do(ctx, func(ctx context.Context, p int) error {
+		if err := kc.eps[p].Sync(ctx); err != nil {
+			return err
+		}
+		v, ok, err := kc.eps[p].Get(ctx, key)
+		if err == nil {
+			val, found = v, ok
+		}
+		return err
+	})
+	return val, found, err
+}
+
+// At returns the raw endpoint of process p, bypassing routing.
+func (kc *KVClient) At(p failure.Proc) *smr.KV {
+	return kc.eps[kc.at(p, len(kc.eps))]
+}

@@ -3,7 +3,8 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -13,16 +14,32 @@ import (
 	"repro/internal/transport"
 )
 
-func fastCfg(sys failure.System) Config {
-	return Config{
-		FailProne: sys,
-		Seed:      9,
-		Delay:     transport.UniformDelay{Min: 5 * time.Microsecond, Max: 100 * time.Microsecond},
-		// A 1ms tick saturates the race detector's instrumented JSON path
-		// when many objects coexist; 4ms keeps the load sane everywhere.
-		Tick:  4 * time.Millisecond,
-		ViewC: 10 * time.Millisecond,
+// fastOpts keeps clusters light enough for the 1-CPU race runner: a 1ms
+// tick saturates the instrumented JSON path when many objects coexist; 4ms
+// keeps the load sane everywhere.
+func fastOpts(extra ...Option) []Option {
+	opts := []Option{
+		WithMem(transport.WithSeed(9), transport.WithDelay(transport.UniformDelay{
+			Min: 5 * time.Microsecond, Max: 100 * time.Microsecond,
+		})),
+		WithTick(4 * time.Millisecond),
+		WithViewC(10 * time.Millisecond),
+		WithSlots(8),
 	}
+	return append(opts, extra...)
+}
+
+func openFigure1(t *testing.T, extra ...Option) *Cluster {
+	t.Helper()
+	qs := quorum.Figure1()
+	opts := append(fastOpts(), WithQuorums(qs.Reads, qs.Writes))
+	opts = append(opts, extra...)
+	c, err := Open(failure.Figure1(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
 }
 
 func ctxSec(t *testing.T, s int) context.Context {
@@ -32,192 +49,368 @@ func ctxSec(t *testing.T, s int) context.Context {
 	return ctx
 }
 
-func TestDeploymentDerivesQuorums(t *testing.T) {
-	d, err := NewDeployment(fastCfg(failure.Figure1()))
+func TestOpenDerivesQuorums(t *testing.T) {
+	c, err := Open(failure.Figure1(), fastOpts()...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-	if err := d.QS.Validate(); err != nil {
+	defer c.Close()
+	if err := c.QS.Validate(); err != nil {
 		t.Fatalf("derived quorum system invalid: %v", err)
 	}
-	if d.N() != 4 {
-		t.Fatalf("N = %d", d.N())
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
 	}
 }
 
-func TestDeploymentRejectsImpossibleSystem(t *testing.T) {
-	_, err := NewDeployment(fastCfg(failure.Threshold(3, 2)))
+func TestOpenRejectsImpossibleSystem(t *testing.T) {
+	_, err := Open(failure.Threshold(3, 2), fastOpts()...)
 	if !errors.Is(err, ErrNoGQS) {
 		t.Fatalf("err = %v, want ErrNoGQS", err)
 	}
 }
 
-func TestDeploymentRejectsInvalidExplicitQuorums(t *testing.T) {
-	cfg := fastCfg(failure.Figure1())
+func TestOpenRejectsInvalidExplicitQuorums(t *testing.T) {
 	qs := quorum.Figure1()
-	cfg.Reads = qs.Reads[:1] // single read quorum breaks availability for other patterns
-	cfg.Writes = qs.Writes[:1]
-	if _, err := NewDeployment(cfg); err == nil {
+	// A single read/write quorum breaks availability for other patterns.
+	_, err := Open(failure.Figure1(), append(fastOpts(), WithQuorums(qs.Reads[:1], qs.Writes[:1]))...)
+	if err == nil {
 		t.Fatal("invalid explicit quorums accepted")
 	}
 }
 
-func TestDeploymentRejectsInvalidFailProne(t *testing.T) {
+func TestOpenRejectsInvalidFailProne(t *testing.T) {
 	bad := failure.NewSystem(3, failure.NewPattern(3, []failure.Proc{0}, []failure.Channel{{From: 0, To: 1}}))
-	if _, err := NewDeployment(fastCfg(bad)); err == nil {
+	if _, err := Open(bad, fastOpts()...); err == nil {
 		t.Fatal("invalid fail-prone system accepted")
 	}
 }
 
-func TestDeploymentRegisterUnderPattern(t *testing.T) {
-	cfg := fastCfg(failure.Figure1())
-	qs := quorum.Figure1()
-	cfg.Reads, cfg.Writes = qs.Reads, qs.Writes
-	d, err := NewDeployment(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer d.Stop()
-
-	f1 := cfg.FailProne.Patterns[0]
-	if err := d.InjectPattern(f1); err != nil {
-		t.Fatal(err)
-	}
-	uf := d.Uf(f1).Elems()
-	if len(uf) < 2 {
-		t.Fatalf("U_f too small: %v", uf)
-	}
-
-	regs := d.Register("config")
-	if same := d.Register("config"); &same[0] == nil || same[0] != regs[0] {
-		t.Fatal("Register not idempotent per name")
-	}
-	ctx := ctxSec(t, 30)
-	if _, err := regs[uf[0]].Write(ctx, "deployed"); err != nil {
-		t.Fatalf("write: %v", err)
-	}
-	got, _, err := regs[uf[1]].Read(ctx)
-	if err != nil {
-		t.Fatalf("read: %v", err)
-	}
-	if got != "deployed" {
-		t.Fatalf("read %q", got)
+func TestOpenRejectsBadTCPAddressCount(t *testing.T) {
+	_, err := Open(failure.Figure1(), WithTCP("127.0.0.1:0"))
+	if err == nil || !strings.Contains(err.Error(), "addresses") {
+		t.Fatalf("err = %v, want address-count error", err)
 	}
 }
 
-func TestDeploymentMultipleObjectsCoexist(t *testing.T) {
-	cfg := fastCfg(failure.Figure1())
-	qs := quorum.Figure1()
-	cfg.Reads, cfg.Writes = qs.Reads, qs.Writes
-	d, err := NewDeployment(cfg)
+// TestClusterProvisioningIdempotentConcurrent is the double-provision race
+// the old Deployment had: two goroutines provisioning the same name must get
+// the same client (run with -race).
+func TestClusterProvisioningIdempotentConcurrent(t *testing.T) {
+	c := openFigure1(t)
+	const workers = 8
+	regs := make([]*RegisterClient, workers)
+	kvs := make([]*KVClient, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Register("shared")
+			if err != nil {
+				t.Errorf("Register: %v", err)
+				return
+			}
+			k, err := c.KV("shared")
+			if err != nil {
+				t.Errorf("KV: %v", err)
+				return
+			}
+			regs[i], kvs[i] = r, k
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if regs[i] != regs[0] {
+			t.Fatalf("worker %d got a distinct register client", i)
+		}
+		if kvs[i] != kvs[0] {
+			t.Fatalf("worker %d got a distinct kv client", i)
+		}
+	}
+	// Same name, different kinds: distinct objects.
+	if got := len(c.Objects()); got != 2 {
+		t.Fatalf("objects = %d, want 2", got)
+	}
+}
+
+// TestClusterHealthyUfRouting injects the Figure-1 pattern f1 and checks the
+// acceptance property: a HealthyUf-routed client keeps completing operations
+// (via U_f members only), while a client pinned outside U_f fails within its
+// own budget.
+func TestClusterHealthyUfRouting(t *testing.T) {
+	c := openFigure1(t)
+	f1 := c.QS.F.Patterns[0]
+	if err := c.InjectPattern(f1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Healthy().String(); got != "{0, 1}" {
+		t.Fatalf("Healthy = %s, want U_f1 = {0, 1}", got)
+	}
+	if p, ok := c.Pattern(); !ok || p.Name != f1.Name {
+		t.Fatalf("Pattern = %v/%v", p, ok)
+	}
+
+	reg, err := c.Register("routed")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-
+	reg.SetPolicy(HealthyUf())
 	ctx := ctxSec(t, 60)
-	regsA := d.Register("a")
-	regsB := d.Register("b")
-	if _, err := regsA[0].Write(ctx, "va"); err != nil {
-		t.Fatal(err)
+	const ops = 4
+	for i := 0; i < ops; i++ {
+		if _, err := reg.Write(ctx, "v"); err != nil {
+			t.Fatalf("write %d under f1: %v", i, err)
+		}
+		if got, _, err := reg.Read(ctx); err != nil || got != "v" {
+			t.Fatalf("read %d under f1: %q, %v", i, got, err)
+		}
 	}
-	if _, err := regsB[0].Write(ctx, "vb"); err != nil {
-		t.Fatal(err)
+	m := reg.Metrics()
+	if m.Ops != 2*ops || m.Successes != 2*ops || m.Failures != 0 {
+		t.Fatalf("metrics = %+v, want %d clean successes", m, 2*ops)
 	}
-	gotA, _, err := regsA[1].Read(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gotB, _, err := regsB[1].Read(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if gotA != "va" || gotB != "vb" {
-		t.Fatalf("cross-contamination: a=%q b=%q", gotA, gotB)
+	if m.MeanLatency <= 0 {
+		t.Fatalf("mean latency not recorded: %+v", m)
 	}
 
-	// Consensus next to registers on the same nodes.
-	cons := d.Consensus("leader")
-	v, err := cons[0].Propose(ctx, "p0")
-	if err != nil {
-		t.Fatal(err)
+	// Pinned outside U_f1: process d (3) is crashed; the operation cannot
+	// complete and must fail within the caller's budget instead of blocking.
+	reg.SetPolicy(Fixed(3))
+	shortCtx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := reg.Write(shortCtx, "x"); err == nil {
+		t.Fatal("write pinned to a crashed process succeeded")
 	}
-	if v != "p0" {
-		t.Fatalf("decision %q", v)
-	}
-
-	// Lattice agreement too.
-	las := d.LatticeAgreement("agg", lattice.MaxIntLattice{})
-	out, err := las[1].Propose(ctx, "41")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if out != "41" {
-		t.Fatalf("lattice output %q", out)
+	if got := reg.Metrics().Failures; got != 1 {
+		t.Fatalf("failures = %d, want 1", got)
 	}
 }
 
-func TestDeploymentSnapshot(t *testing.T) {
+// TestClusterRoundRobinFailover checks that failover is real: with a
+// deadline set, a RoundRobin client whose first candidate is a stalled
+// process (crashed, or outside U_f) moves on and completes the operation at
+// a healthy one instead of burning the whole budget on the first attempt.
+func TestClusterRoundRobinFailover(t *testing.T) {
 	if testing.Short() {
-		t.Skip("snapshot deployment is heavy")
+		t.Skip("stalled-candidate attempts consume their deadline share")
 	}
-	cfg := fastCfg(failure.Figure1())
-	qs := quorum.Figure1()
-	cfg.Reads, cfg.Writes = qs.Reads, qs.Writes
-	d, err := NewDeployment(cfg)
+	c := openFigure1(t)
+	if err := c.InjectPattern(c.QS.F.Patterns[0]); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := c.Register("failover")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-
-	ctx := ctxSec(t, 180)
-	snaps := d.Snapshot("views")
-	if err := snaps[2].Update(ctx, "s2"); err != nil {
-		t.Fatal(err)
+	// Default RoundRobin: ops 3 and 4 start at processes 2 (no ingress under
+	// f1) and 3 (crashed) and must fail over around the ring.
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+		_, err := reg.Write(ctx, "v")
+		cancel()
+		if err != nil {
+			t.Fatalf("write %d did not fail over: %v", i, err)
+		}
 	}
-	view, err := snaps[3].Scan(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if view[2] != "s2" {
-		t.Fatalf("view = %v", view)
+	m := reg.Metrics()
+	if m.Successes != 4 || m.Failovers < 1 {
+		t.Fatalf("metrics = %+v, want 4 successes with failovers", m)
 	}
 }
 
-func TestDeploymentNodeAccessor(t *testing.T) {
-	d, err := NewDeployment(fastCfg(failure.Figure1()))
+// TestClusterProvisionsAllSixKinds exercises every object kind through its
+// typed client — the acceptance list: register, snapshot, lattice
+// agreement, consensus, log, KV.
+func TestClusterProvisionsAllSixKinds(t *testing.T) {
+	c := openFigure1(t)
+	ctx := ctxSec(t, 120)
+
+	reg, err := c.Register("r")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-	if _, err := d.Node(0); err != nil {
+	if _, err := reg.Write(ctx, "rv"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Node(99); err == nil {
+	if got, _, err := reg.Read(ctx); err != nil || got != "rv" {
+		t.Fatalf("register read %q, %v", got, err)
+	}
+
+	cons, err := c.Consensus("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := cons.Propose(ctx, "p"); err != nil || v != "p" {
+		t.Fatalf("consensus %q, %v", v, err)
+	}
+
+	log, err := c.Log("l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, err := log.Append(ctx, "cmd-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := log.Get(ctx, slot); err != nil || v != "cmd-0" {
+		t.Fatalf("log get %q, %v", v, err)
+	}
+
+	kv, err := c.KV("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Set(ctx, "key", "val"); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := kv.Get(ctx, "key"); err != nil || !ok || v != "val" {
+		t.Fatalf("kv get %q/%v/%v", v, ok, err)
+	}
+	// SyncGet observes the Set regardless of which process it routes to.
+	if v, ok, err := kv.SyncGet(ctx, "key"); err != nil || !ok || v != "val" {
+		t.Fatalf("kv syncget %q/%v/%v", v, ok, err)
+	}
+
+	la, err := c.LatticeAgreement("a", lattice.MaxIntLattice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		// Snapshot scans and lattice proposals cost several quorum rounds
+		// over a backing snapshot; provisioning coverage is enough here.
+		t.Log("short mode: skipping snapshot/lattice operations")
+	} else {
+		if out, err := la.Propose(ctx, "41"); err != nil || out != "41" {
+			t.Fatalf("lattice %q, %v", out, err)
+		}
+		if err := snap.At(2).Update(ctx, "s2"); err != nil {
+			t.Fatal(err)
+		}
+		view, err := snap.Scan(ctx)
+		if err != nil || view[2] != "s2" {
+			t.Fatalf("snapshot view %v, %v", view, err)
+		}
+	}
+
+	kinds := map[string]bool{}
+	for _, o := range c.Objects() {
+		kinds[o.Kind()] = true
+	}
+	for _, k := range []string{KindRegister, KindSnapshot, KindLattice, KindConsensus, KindLog, KindKV} {
+		if !kinds[k] {
+			t.Fatalf("kind %s not provisioned (have %v)", k, kinds)
+		}
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	c := openFigure1(t)
+	reg, err := c.Register("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client Close is idempotent on its own.
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Write(context.Background(), "v"); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("write on closed client: %v, want ErrClientClosed", err)
+	}
+	// Re-provisioning a closed name returns the same (closed) object rather
+	// than recreating wire topics.
+	again, err := c.Register("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != reg {
+		t.Fatal("re-provisioned a closed name as a new object")
+	}
+
+	// Cluster Close is idempotent and blocks further provisioning.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("y"); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("provision after Close: %v, want ErrClusterClosed", err)
+	}
+}
+
+func TestClusterNodeAccessor(t *testing.T) {
+	c := openFigure1(t)
+	if _, err := c.Node(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node(99); err == nil {
 		t.Fatal("out-of-range node accepted")
 	}
 }
 
-func TestDeploymentExternalNetworkNotClosed(t *testing.T) {
+func TestClusterExternalNetworkNotClosed(t *testing.T) {
 	net := transport.NewMem(4, transport.WithSeed(1))
 	defer net.Close()
-	cfg := fastCfg(failure.Figure1())
-	cfg.Network = net
-	d, err := NewDeployment(cfg)
+	qs := quorum.Figure1()
+	c, err := Open(failure.Figure1(), WithQuorums(qs.Reads, qs.Writes), WithNetwork(net))
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Stop()
-	// The externally supplied network must still work after Stop.
+	if c.Injector() == nil {
+		t.Fatal("external mem network not recognized as fault injector")
+	}
+	c.Close()
+	// The externally supplied network must still work after Close.
 	got := make(chan struct{}, 1)
 	net.Register(1, func(failure.Proc, []byte) { got <- struct{}{} })
 	net.Send(0, 1, []byte("still-alive"))
 	select {
 	case <-got:
 	case <-time.After(5 * time.Second):
-		t.Fatal("externally owned network was closed by deployment Stop")
+		t.Fatal("externally owned network was closed by cluster Close")
 	}
 }
 
-var _ = fmt.Sprintf
+func TestRoutingPolicyCandidates(t *testing.T) {
+	c := openFigure1(t)
+	if got := Fixed(2).Candidates(c); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Fixed(2) = %v", got)
+	}
+	rr := RoundRobin()
+	first := rr.Candidates(c)
+	second := rr.Candidates(c)
+	if len(first) != 4 || len(second) != 4 {
+		t.Fatalf("round robin candidate counts: %v %v", first, second)
+	}
+	if first[0] == second[0] {
+		t.Fatalf("round robin did not advance: %v then %v", first, second)
+	}
+	// Before any pattern, HealthyUf behaves like round robin over everyone.
+	if got := HealthyUf().Candidates(c); len(got) != 4 {
+		t.Fatalf("HealthyUf (no pattern) = %v", got)
+	}
+	f1 := c.QS.F.Patterns[0]
+	if err := c.InjectPattern(f1); err != nil {
+		t.Fatal(err)
+	}
+	got := HealthyUf().Candidates(c)
+	if len(got) != 2 {
+		t.Fatalf("HealthyUf under f1 = %v, want the 2 members of U_f1", got)
+	}
+	for _, p := range got {
+		if p != 0 && p != 1 {
+			t.Fatalf("HealthyUf routed to %d outside U_f1 = {0, 1}", p)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/failure"
+)
+
+// Policy decides which processes a client routes an operation to.
+// Implementations must be safe for concurrent use; one Policy value may be
+// shared by several clients.
+type Policy interface {
+	// Candidates returns process ids in preference order for one operation.
+	// The client tries them in order, failing over to the next on error.
+	Candidates(c *Cluster) []int
+}
+
+// rotated returns procs rotated so the walk starts at offset%len, keeping
+// the remaining processes as failover candidates in ring order.
+func rotated(procs []int, offset uint64) []int {
+	n := len(procs)
+	if n <= 1 {
+		return procs
+	}
+	start := int(offset % uint64(n))
+	out := make([]int, 0, n)
+	out = append(out, procs[start:]...)
+	out = append(out, procs[:start]...)
+	return out
+}
+
+// fixedPolicy routes every operation to one process, with no failover.
+type fixedPolicy struct{ p int }
+
+// Candidates implements Policy.
+func (f fixedPolicy) Candidates(*Cluster) []int { return []int{f.p} }
+
+// Fixed routes every operation to process p and never fails over: if p
+// cannot complete operations (crashed, or outside U_f under the injected
+// pattern), operations fail. This is the policy that makes the paper's
+// negative guarantee observable.
+func Fixed(p failure.Proc) Policy { return fixedPolicy{int(p)} }
+
+// rrPolicy spreads operations across all processes.
+type rrPolicy struct{ ctr atomic.Uint64 }
+
+// Candidates implements Policy.
+func (r *rrPolicy) Candidates(c *Cluster) []int {
+	procs := make([]int, c.N())
+	for i := range procs {
+		procs[i] = i
+	}
+	return rotated(procs, r.ctr.Add(1)-1)
+}
+
+// RoundRobin spreads operations across every process in turn, failing over
+// around the ring. It is the default policy of every client.
+func RoundRobin() Policy { return &rrPolicy{} }
+
+// healthyUfPolicy routes only to the termination component.
+type healthyUfPolicy struct{ ctr atomic.Uint64 }
+
+// Candidates implements Policy.
+func (h *healthyUfPolicy) Candidates(c *Cluster) []int {
+	return rotated(c.healthyProcs(), h.ctr.Add(1)-1)
+}
+
+// HealthyUf routes operations only to processes the paper proves wait-free
+// under the currently injected failure pattern — the termination component
+// U_f (Theorems 1 and 5) — spreading load across them round robin and
+// failing over within the component. Before any InjectPattern it behaves
+// like RoundRobin. This is failure-aware routing: after a survivable
+// pattern is injected, a HealthyUf client keeps completing operations while
+// clients pinned outside U_f stall.
+func HealthyUf() Policy { return &healthyUfPolicy{} }

@@ -13,8 +13,8 @@ import (
 	"repro/internal/transport"
 )
 
-// E13PropagationBatching is an ablation of a design choice called out in
-// DESIGN.md: each node hosting k objects can run k private propagation
+// E13PropagationBatching is an ablation of a deliberate design choice:
+// each node hosting k objects can run k private propagation
 // tickers (the literal reading of Figure 3, one per instance) or one shared
 // batched push. Both are protocol-equivalent; the table quantifies the
 // message-count difference and confirms operations behave identically.

@@ -521,7 +521,7 @@ func RunAll(w io.Writer, cfg Config) error {
 }
 
 // RunAllMarkdown executes every experiment and renders the tables to w as
-// GitHub-flavoured markdown (the format recorded in EXPERIMENTS.md).
+// GitHub-flavoured markdown.
 func RunAllMarkdown(w io.Writer, cfg Config) error {
 	return runAll(w, cfg, (*Table).Markdown)
 }

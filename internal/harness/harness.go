@@ -1,8 +1,7 @@
 // Package harness provides the experiment infrastructure that regenerates
 // every figure and worked example of the paper as an executable check or
-// measurement (see DESIGN.md §5 for the experiment index). Each experiment
-// returns a Table; cmd/experiments renders them all and EXPERIMENTS.md
-// records the outcomes.
+// measurement. Each experiment returns a Table; cmd/experiments renders
+// them all (plain text or markdown).
 package harness
 
 import (

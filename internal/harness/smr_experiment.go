@@ -5,18 +5,18 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/failure"
-	"repro/internal/node"
 	"repro/internal/quorum"
-	"repro/internal/smr"
 	"repro/internal/transport"
 )
 
 // E16ReplicatedKV measures the end-to-end application layer: a replicated
 // key-value store over GQS state machine replication, failure-free and under
-// pattern f1. It demonstrates that the paper's bound lifts from single
-// objects to a full replicated service: writes at U_f members keep
-// committing under connectivity no majority-quorum SMR system can express.
+// pattern f1, provisioned through the Cluster adoption surface. It
+// demonstrates that the paper's bound lifts from single objects to a full
+// replicated service: writes at U_f members keep committing under
+// connectivity no majority-quorum SMR system can express.
 func E16ReplicatedKV(cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	t := NewTable("E16", "Replicated KV over GQS state machine replication (3 writes + barrier + read)",
@@ -24,30 +24,25 @@ func E16ReplicatedKV(cfg Config) (*Table, error) {
 
 	run := func(applyF1 bool) (time.Duration, time.Duration, error) {
 		cfg := cfg.withDefaults()
-		net := transport.NewMem(4,
-			transport.WithDelay(cfg.delayModel()),
-			transport.WithSeed(cfg.Seed))
-		defer net.Close()
-		var nodes []*node.Node
-		var stores []*smr.KV
-		for i := 0; i < 4; i++ {
-			nd := node.New(failure.Proc(i), net)
-			nodes = append(nodes, nd)
-			stores = append(stores, smr.NewKV(nd, smr.Options{
-				Slots: 8, Reads: qs.Reads, Writes: qs.Writes, ViewC: cfg.ViewC,
-			}))
+		cl, err := core.Open(failure.Figure1(),
+			core.WithQuorums(qs.Reads, qs.Writes),
+			core.WithMem(transport.WithDelay(cfg.delayModel()), transport.WithSeed(cfg.Seed)),
+			core.WithViewC(cfg.ViewC),
+			core.WithSlots(8),
+		)
+		if err != nil {
+			return 0, 0, err
 		}
-		defer func() {
-			for _, s := range stores {
-				s.Stop()
-			}
-			for _, nd := range nodes {
-				nd.Stop()
-			}
-		}()
+		defer cl.Close()
+		kv, err := cl.KV("e16")
+		if err != nil {
+			return 0, 0, err
+		}
 		writers := []int{0, 1, 2}
 		if applyF1 {
-			net.ApplyPattern(qs.F.Patterns[0])
+			if err := cl.InjectPattern(qs.F.Patterns[0]); err != nil {
+				return 0, 0, err
+			}
 			writers = []int{0, 1, 0} // U_f1 members only
 		}
 		// Generous budget: commits need U_f-led views, whose real duration
@@ -58,18 +53,18 @@ func E16ReplicatedKV(cfg Config) (*Table, error) {
 
 		start := time.Now()
 		for i, w := range writers {
-			if _, err := stores[w].Set(ctx, "key", fmt.Sprintf("v%d", i)); err != nil {
+			if _, err := kv.At(failure.Proc(w)).Set(ctx, "key", fmt.Sprintf("v%d", i)); err != nil {
 				return 0, 0, fmt.Errorf("set %d at node %d: %w", i, w, err)
 			}
 		}
 		commitMean := time.Since(start) / time.Duration(len(writers))
 
-		reader := 1
+		reader := kv.At(1)
 		start = time.Now()
-		if err := stores[reader].Sync(ctx); err != nil {
+		if err := reader.Sync(ctx); err != nil {
 			return 0, 0, fmt.Errorf("sync: %w", err)
 		}
-		v, ok, err := stores[reader].Get("key")
+		v, ok, err := reader.Get(ctx, "key")
 		if err != nil || !ok {
 			return 0, 0, fmt.Errorf("get: ok=%v err=%v", ok, err)
 		}

@@ -5,6 +5,8 @@
 package node
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
@@ -16,6 +18,9 @@ import (
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
+
+// ErrStopped is returned by CallCtx when the node's event loop has exited.
+var ErrStopped = errors.New("node stopped")
 
 // Handler processes a protocol message on the node's event loop.
 type Handler func(from failure.Proc, m wire.Message)
@@ -155,6 +160,45 @@ func (n *Node) Call(fn func()) {
 	select {
 	case <-doneCh:
 	case <-n.done:
+	}
+}
+
+// CallCtx runs fn on the event loop and waits for it to complete, the
+// context to be canceled, or the node to stop — whichever comes first. Like
+// Call it must not be invoked from the loop itself. When it returns a
+// non-nil error, fn may still run later (or never, if the node stopped);
+// callers must hand results out through buffered channels or other
+// rendezvous that tolerate an abandoned completion.
+func (n *Node) CallCtx(ctx context.Context, fn func()) error {
+	doneCh := make(chan struct{})
+	n.enqueue(func() {
+		fn()
+		close(doneCh)
+	})
+	completed := func() bool {
+		// fn may have completed in the same instant the loop exited or the
+		// context fired; a completed call must report success, not a
+		// spuriously picked error branch.
+		select {
+		case <-doneCh:
+			return true
+		default:
+			return false
+		}
+	}
+	select {
+	case <-doneCh:
+		return nil
+	case <-n.done:
+		if completed() {
+			return nil
+		}
+		return ErrStopped
+	case <-ctx.Done():
+		if completed() {
+			return nil
+		}
+		return ctx.Err()
 	}
 }
 

@@ -55,13 +55,19 @@ func (kv *KV) Set(ctx context.Context, key, val string) (int64, error) {
 }
 
 // Get returns the value of key in the decided prefix at this process, and
-// whether it was present.
-func (kv *KV) Get(key string) (string, bool, error) {
+// whether it was present. The context makes the read path cancellable, like
+// every other quorum operation in the library (the local prefix is served by
+// the node's event loop, which may be busy with protocol work).
+func (kv *KV) Get(ctx context.Context, key string) (string, bool, error) {
 	var (
 		val   string
 		found bool
 	)
-	for _, raw := range kv.log.DecidedPrefix() {
+	prefix, err := kv.log.DecidedPrefix(ctx)
+	if err != nil {
+		return "", false, err
+	}
+	for _, raw := range prefix {
 		var cmd kvCommand
 		if err := json.Unmarshal([]byte(raw), &cmd); err != nil {
 			return "", false, fmt.Errorf("corrupt log entry: %w", err)

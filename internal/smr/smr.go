@@ -202,10 +202,13 @@ func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
 }
 
 // DecidedPrefix returns the decided commands of slots [0, k) where k is the
-// first undecided slot at this process.
-func (l *Log) DecidedPrefix() []string {
-	var out []string
-	l.n.Call(func() {
+// first undecided slot at this process. The context bounds the wait for the
+// event loop (a loaded loop services the request only after the work ahead
+// of it); it returns ErrStopped after the log's node has stopped.
+func (l *Log) DecidedPrefix(ctx context.Context) ([]string, error) {
+	ch := make(chan []string, 1)
+	err := l.n.CallCtx(ctx, func() {
+		var out []string
 		for s := int64(0); s < int64(len(l.slots)); s++ {
 			v, ok := l.decided[s]
 			if !ok {
@@ -213,8 +216,15 @@ func (l *Log) DecidedPrefix() []string {
 			}
 			out = append(out, v)
 		}
+		ch <- out
 	})
-	return out
+	if err != nil {
+		if errors.Is(err, node.ErrStopped) {
+			return nil, ErrStopped
+		}
+		return nil, err
+	}
+	return <-ch, nil
 }
 
 // Stop terminates every slot instance and releases blocked calls.

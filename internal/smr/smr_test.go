@@ -77,7 +77,10 @@ func TestLogAppendSequential(t *testing.T) {
 			t.Fatalf("cmd %d landed in slot %d", i, slot)
 		}
 	}
-	prefix := c.logs[0].DecidedPrefix()
+	prefix, err := c.logs[0].DecidedPrefix(ctx)
+	if err != nil {
+		t.Fatalf("decided prefix: %v", err)
+	}
 	if len(prefix) != 3 || prefix[0] != "cmd-0" || prefix[2] != "cmd-2" {
 		t.Fatalf("prefix = %v", prefix)
 	}
@@ -199,14 +202,14 @@ func TestKVSetGet(t *testing.T) {
 	if _, err := c.kvs[0].Set(ctx, "color", "blue"); err != nil {
 		t.Fatalf("set: %v", err)
 	}
-	v, ok, err := c.kvs[0].Get("color")
+	v, ok, err := c.kvs[0].Get(ctx, "color")
 	if err != nil || !ok {
 		t.Fatalf("get: %v %v", ok, err)
 	}
 	if v != "blue" {
 		t.Fatalf("get = %q, want blue (last write wins)", v)
 	}
-	_, ok, err = c.kvs[0].Get("missing")
+	_, ok, err = c.kvs[0].Get(ctx, "missing")
 	if err != nil || ok {
 		t.Fatal("missing key reported present")
 	}
@@ -224,7 +227,7 @@ func TestKVSyncMakesRemoteWritesVisible(t *testing.T) {
 	if err := c.kvs[0].Sync(ctx); err != nil {
 		t.Fatalf("sync: %v", err)
 	}
-	v, ok, err := c.kvs[0].Get("leader")
+	v, ok, err := c.kvs[0].Get(ctx, "leader")
 	if err != nil || !ok || v != "p2" {
 		t.Fatalf("get after sync = %q/%v/%v, want p2", v, ok, err)
 	}
@@ -243,7 +246,7 @@ func TestKVUnderF1(t *testing.T) {
 	if err := c.kvs[1].Sync(ctx); err != nil {
 		t.Fatalf("sync under f1: %v", err)
 	}
-	v, ok, err := c.kvs[1].Get("epoch")
+	v, ok, err := c.kvs[1].Get(ctx, "epoch")
 	if err != nil || !ok || v != "7" {
 		t.Fatalf("get = %q/%v/%v", v, ok, err)
 	}

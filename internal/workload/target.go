@@ -5,14 +5,10 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/lattice"
-	"repro/internal/node"
-	"repro/internal/qaf"
 	"repro/internal/quorum"
-	"repro/internal/register"
-	"repro/internal/smr"
-	"repro/internal/snapshot"
 	"repro/internal/transport"
 )
 
@@ -38,6 +34,8 @@ const (
 
 // target is a deployed cluster the driver issues operations against. Writes
 // and reads map onto the protocol's natural operation pair (see newTarget).
+// The driver pins each operation to an explicit node, so targets reach
+// endpoints through the clients' At accessor rather than routed operations.
 type target interface {
 	// write performs one mutating operation at node p on key k.
 	write(ctx context.Context, p, k int, val string) error
@@ -49,42 +47,6 @@ type target interface {
 	// stats returns message-level counters when available (mem network).
 	stats() (transport.Stats, bool)
 	close()
-}
-
-// clusterBase is the shared substrate of every target: networks, nodes and
-// per-node batched propagators.
-type clusterBase struct {
-	nets  []transport.Network // one per process for TCP; single shared for mem
-	mem   *transport.MemNetwork
-	nodes []*node.Node
-	props []*qaf.Propagator
-	qs    quorum.System
-}
-
-func (c *clusterBase) injector() transport.FaultInjector {
-	if c.mem == nil {
-		return nil
-	}
-	return c.mem
-}
-
-func (c *clusterBase) stats() (transport.Stats, bool) {
-	if c.mem == nil {
-		return transport.Stats{}, false
-	}
-	return c.mem.Stats(), true
-}
-
-func (c *clusterBase) closeBase() {
-	for _, p := range c.props {
-		p.Stop()
-	}
-	for _, nd := range c.nodes {
-		nd.Stop()
-	}
-	for _, n := range c.nets {
-		n.Close()
-	}
 }
 
 // quorumSystemFor returns the GQS to deploy: the paper's Figure-1 system for
@@ -102,136 +64,112 @@ func quorumSystemFor(n int) (quorum.System, error) {
 	return qs, nil
 }
 
-// newBase provisions the transport and one node runtime per process.
-func newBase(cfg Config) (*clusterBase, error) {
+// openCluster provisions the shared substrate through the core adoption
+// surface — the same path downstream deployments take.
+func openCluster(cfg Config) (*core.Cluster, error) {
 	qs, err := quorumSystemFor(cfg.Nodes)
 	if err != nil {
 		return nil, err
 	}
-	base := &clusterBase{qs: qs}
+	opts := []core.Option{
+		core.WithQuorums(qs.Reads, qs.Writes),
+		core.WithTick(cfg.Tick),
+		core.WithViewC(cfg.ViewC),
+		core.WithSlots(cfg.Slots),
+	}
 	switch cfg.Net {
 	case NetMem:
 		delay := transport.DelayModel(transport.UniformDelay{Min: cfg.MinDelay, Max: cfg.MaxDelay})
 		if cfg.Delay != nil {
 			delay = cfg.Delay
 		}
-		mem := transport.NewMem(cfg.Nodes,
+		opts = append(opts, core.WithMem(
 			transport.WithDelay(delay),
 			transport.WithSeed(cfg.Seed),
 			transport.WithMode(transport.ModeRoute),
-		)
-		base.mem = mem
-		base.nets = []transport.Network{mem}
-		for i := 0; i < cfg.Nodes; i++ {
-			base.nodes = append(base.nodes, node.New(failure.Proc(i), mem))
-		}
+		))
 	case NetTCP:
-		addrs := make([]string, cfg.Nodes)
-		for i := range addrs {
-			addrs[i] = "127.0.0.1:0"
-		}
-		tcp := make([]*transport.TCPNetwork, cfg.Nodes)
-		for i := range tcp {
-			tn, err := transport.NewTCP(failure.Proc(i), addrs)
-			if err != nil {
-				for _, prev := range tcp[:i] {
-					prev.Close()
-				}
-				return nil, fmt.Errorf("tcp endpoint %d: %w", i, err)
-			}
-			tcp[i] = tn
-		}
-		for i := range tcp {
-			for j := range tcp {
-				tcp[j].SetPeerAddr(failure.Proc(i), tcp[i].Addr())
-			}
-		}
-		for i, tn := range tcp {
-			base.nets = append(base.nets, tn)
-			base.nodes = append(base.nodes, node.New(failure.Proc(i), tn))
-		}
+		opts = append(opts, core.WithTCP())
 	default:
 		return nil, fmt.Errorf("unknown net %q (want %q or %q)", cfg.Net, NetMem, NetTCP)
 	}
-	for _, nd := range base.nodes {
-		base.props = append(base.props, qaf.NewPropagator(nd, cfg.Tick))
-	}
-	return base, nil
+	return core.Open(qs.F, opts...)
 }
 
-// newTarget deploys the protocol endpoints for cfg. Operation mapping:
+// clusterTarget adapts a core.Cluster to the target interface.
+type clusterTarget struct {
+	cl *core.Cluster
+}
+
+func (t *clusterTarget) injector() transport.FaultInjector { return t.cl.Injector() }
+func (t *clusterTarget) stats() (transport.Stats, bool)    { return t.cl.NetStats() }
+func (t *clusterTarget) close()                            { t.cl.Close() }
+
+// newTarget deploys the protocol endpoints for cfg through the Cluster API.
+// Operation mapping:
 //
 //	register: write = Write, read = Read; key selects one of Keys registers
 //	snapshot: write = Update, read = Scan; key selects one of Keys objects
 //	lattice:  every op = Propose on the next object of a pre-created pool
 //	kv:       write = Set, read = Get (Sync+Get when SyncReads)
 func newTarget(cfg Config) (target, error) {
-	base, err := newBase(cfg)
+	cl, err := openCluster(cfg)
 	if err != nil {
 		return nil, err
 	}
 	switch cfg.Protocol {
 	case ProtocolRegister:
-		t := &registerTarget{clusterBase: base}
-		for i, nd := range base.nodes {
-			regs := make([]*register.Register, cfg.Keys)
-			for k := 0; k < cfg.Keys; k++ {
-				regs[k] = register.New(nd, register.Options{
-					Name:  fmt.Sprintf("wl/reg%d", k),
-					Reads: base.qs.Reads, Writes: base.qs.Writes,
-					Tick: cfg.Tick, Propagator: base.props[i],
-				})
+		t := &registerTarget{clusterTarget: clusterTarget{cl: cl}}
+		for k := 0; k < cfg.Keys; k++ {
+			rc, err := cl.Register(fmt.Sprintf("wl%d", k))
+			if err != nil {
+				cl.Close()
+				return nil, err
 			}
-			t.regs = append(t.regs, regs)
+			t.regs = append(t.regs, rc)
 		}
 		return t, nil
 	case ProtocolSnapshot:
-		t := &snapshotTarget{clusterBase: base}
-		for i, nd := range base.nodes {
-			snaps := make([]*snapshot.Snapshot, cfg.Keys)
-			for k := 0; k < cfg.Keys; k++ {
-				snaps[k] = snapshot.New(nd, snapshot.Options{
-					Name:  fmt.Sprintf("wl/snap%d", k),
-					Reads: base.qs.Reads, Writes: base.qs.Writes,
-					Tick: cfg.Tick, Propagator: base.props[i],
-				})
+		t := &snapshotTarget{clusterTarget: clusterTarget{cl: cl}}
+		for k := 0; k < cfg.Keys; k++ {
+			sc, err := cl.Snapshot(fmt.Sprintf("wl%d", k))
+			if err != nil {
+				cl.Close()
+				return nil, err
 			}
-			t.snaps = append(t.snaps, snaps)
+			t.snaps = append(t.snaps, sc)
 		}
 		return t, nil
 	case ProtocolLattice:
-		t := &latticeTarget{clusterBase: base, pool: cfg.LatticePool}
+		t := &latticeTarget{clusterTarget: clusterTarget{cl: cl}, pool: cfg.LatticePool}
 		t.seq = make([]atomic.Uint64, cfg.Nodes)
-		for i, nd := range base.nodes {
-			objs := make([]*lattice.Agreement, cfg.LatticePool)
-			for k := 0; k < cfg.LatticePool; k++ {
-				// MaxIntLattice keeps object state O(1) under pool reuse;
-				// SetLattice would grow every reused object's element set
-				// (and so its propagated snapshot state) without bound.
-				objs[k] = lattice.NewAgreement(nd, lattice.AgreementOptions{
-					Name: fmt.Sprintf("wl/la%d", k), Lattice: lattice.MaxIntLattice{},
-					Reads: base.qs.Reads, Writes: base.qs.Writes,
-					Tick: cfg.Tick, Propagator: base.props[i],
-				})
+		for k := 0; k < cfg.LatticePool; k++ {
+			// MaxIntLattice keeps object state O(1) under pool reuse;
+			// SetLattice would grow every reused object's element set
+			// (and so its propagated snapshot state) without bound.
+			lc, err := cl.LatticeAgreement(fmt.Sprintf("wl%d", k), lattice.MaxIntLattice{})
+			if err != nil {
+				cl.Close()
+				return nil, err
 			}
-			t.objs = append(t.objs, objs)
+			t.objs = append(t.objs, lc)
 		}
 		return t, nil
 	case ProtocolKV:
-		t := &kvTarget{clusterBase: base, syncReads: cfg.SyncReads}
+		t := &kvTarget{clusterTarget: clusterTarget{cl: cl}, syncReads: cfg.SyncReads}
 		t.keys = make([]string, cfg.Keys)
 		for k := range t.keys {
 			t.keys[k] = fmt.Sprintf("key%d", k)
 		}
-		for _, nd := range base.nodes {
-			t.kvs = append(t.kvs, smr.NewKV(nd, smr.Options{
-				Name: "wl/kv", Slots: cfg.Slots,
-				Reads: base.qs.Reads, Writes: base.qs.Writes, ViewC: cfg.ViewC,
-			}))
+		kc, err := cl.KV("wl")
+		if err != nil {
+			cl.Close()
+			return nil, err
 		}
+		t.kv = kc
 		return t, nil
 	default:
-		base.closeBase()
+		cl.Close()
 		return nil, fmt.Errorf("unknown protocol %q", cfg.Protocol)
 	}
 }
@@ -239,52 +177,34 @@ func newTarget(cfg Config) (target, error) {
 // --- register ---
 
 type registerTarget struct {
-	*clusterBase
-	regs [][]*register.Register // [node][key]
+	clusterTarget
+	regs []*core.RegisterClient // [key]
 }
 
 func (t *registerTarget) write(ctx context.Context, p, k int, val string) error {
-	_, err := t.regs[p][k].Write(ctx, val)
+	_, err := t.regs[k].At(failure.Proc(p)).Write(ctx, val)
 	return err
 }
 
 func (t *registerTarget) read(ctx context.Context, p, k int) error {
-	_, _, err := t.regs[p][k].Read(ctx)
+	_, _, err := t.regs[k].At(failure.Proc(p)).Read(ctx)
 	return err
-}
-
-func (t *registerTarget) close() {
-	for _, regs := range t.regs {
-		for _, r := range regs {
-			r.Stop()
-		}
-	}
-	t.closeBase()
 }
 
 // --- snapshot ---
 
 type snapshotTarget struct {
-	*clusterBase
-	snaps [][]*snapshot.Snapshot // [node][key]
+	clusterTarget
+	snaps []*core.SnapshotClient // [key]
 }
 
 func (t *snapshotTarget) write(ctx context.Context, p, k int, val string) error {
-	return t.snaps[p][k].Update(ctx, val)
+	return t.snaps[k].At(failure.Proc(p)).Update(ctx, val)
 }
 
 func (t *snapshotTarget) read(ctx context.Context, p, k int) error {
-	_, err := t.snaps[p][k].Scan(ctx)
+	_, err := t.snaps[k].At(failure.Proc(p)).Scan(ctx)
 	return err
-}
-
-func (t *snapshotTarget) close() {
-	for _, snaps := range t.snaps {
-		for _, s := range snaps {
-			s.Stop()
-		}
-	}
-	t.closeBase()
 }
 
 // --- lattice ---
@@ -300,9 +220,9 @@ func (t *snapshotTarget) close() {
 // being checked. Size the pool above the expected op count per node to stay
 // within the paper's semantics.
 type latticeTarget struct {
-	*clusterBase
-	objs [][]*lattice.Agreement // [node][pool]
-	seq  []atomic.Uint64        // per-node proposal counter
+	clusterTarget
+	objs []*core.LatticeClient // [pool]
+	seq  []atomic.Uint64       // per-node proposal counter
 	pool int
 }
 
@@ -312,10 +232,10 @@ func (t *latticeTarget) propose(ctx context.Context, p, k int) error {
 	// similar rates rarely share an object: the AHR loop converges in <= n
 	// iterations only for a fixed proposal set, and cross-node reuse
 	// contention makes proposers chase each other's rising joins.
-	idx := (int(s) + p*t.pool/len(t.objs)) % t.pool
+	idx := (int(s) + p*t.pool/len(t.seq)) % t.pool
 	// The proposal folds node, key and sequence into one monotone integer so
 	// concurrent proposals still exercise the join/compare path.
-	_, err := t.objs[p][idx].Propose(ctx, fmt.Sprintf("%d", s*uint64(len(t.objs))+uint64(p)+uint64(k)))
+	_, err := t.objs[idx].At(failure.Proc(p)).Propose(ctx, fmt.Sprintf("%d", s*uint64(len(t.seq))+uint64(p)+uint64(k)))
 	return err
 }
 
@@ -327,42 +247,27 @@ func (t *latticeTarget) read(ctx context.Context, p, k int) error {
 	return t.propose(ctx, p, k)
 }
 
-func (t *latticeTarget) close() {
-	for _, objs := range t.objs {
-		for _, o := range objs {
-			o.Stop()
-		}
-	}
-	t.closeBase()
-}
-
 // --- kv ---
 
 type kvTarget struct {
-	*clusterBase
-	kvs       []*smr.KV
+	clusterTarget
+	kv        *core.KVClient
 	keys      []string // precomputed so the timed path does not format
 	syncReads bool
 }
 
 func (t *kvTarget) write(ctx context.Context, p, k int, val string) error {
-	_, err := t.kvs[p].Set(ctx, t.keys[k], val)
+	_, err := t.kv.At(failure.Proc(p)).Set(ctx, t.keys[k], val)
 	return err
 }
 
 func (t *kvTarget) read(ctx context.Context, p, k int) error {
+	ep := t.kv.At(failure.Proc(p))
 	if t.syncReads {
-		if err := t.kvs[p].Sync(ctx); err != nil {
+		if err := ep.Sync(ctx); err != nil {
 			return err
 		}
 	}
-	_, _, err := t.kvs[p].Get(t.keys[k])
+	_, _, err := ep.Get(ctx, t.keys[k])
 	return err
-}
-
-func (t *kvTarget) close() {
-	for _, kv := range t.kvs {
-		kv.Stop()
-	}
-	t.closeBase()
 }
