@@ -55,7 +55,7 @@ func run(args []string, w io.Writer) error {
 	rate := fs.Float64("rate", 0, "open-loop target ops/sec across all clients (0 = closed loop)")
 	duration := fs.Duration("duration", 5*time.Second, "measured run length")
 	warmup := fs.Duration("warmup", 0, "unmeasured warmup before the run")
-	keys := fs.Int("keys", 0, "key-space size (0 = protocol default: 16 registers, 8 snapshots, 64 kv keys)")
+	keys := fs.Int("keys", 0, "key-space size (0 = protocol default: 64 registers, 16 snapshots, 64 kv keys)")
 	dist := fs.String("dist", "uniform", "key distribution: uniform or zipf")
 	zipfS := fs.Float64("zipf-s", 0, "zipf skew exponent (default 1.1)")
 	zipfV := fs.Float64("zipf-v", 0, "zipf rank offset (default 1)")

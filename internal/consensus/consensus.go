@@ -47,6 +47,12 @@ type (
 		View int64  `json:"view"`
 		Val  string `json:"val"`
 	}
+	// msgDec pushes a learned decision. Decided processes stop entering
+	// views; instead they announce the decision once and answer any later
+	// protocol message for the instance with it.
+	msgDec struct {
+		Val string `json:"val"`
+	}
 )
 
 // oneB is a recorded 1B message.
@@ -69,6 +75,11 @@ type Options struct {
 	// decision. It lets layers above (e.g. a replicated log) react without
 	// polling.
 	OnDecide func(val string)
+	// NoSync suppresses the instance's private view synchronizer; the owner
+	// drives view entry through StepView instead. A replicated log uses it
+	// to run one synchronizer for all of its slots and to batch the default
+	// 1B messages of idle slots into a single message per view.
+	NoSync bool
 }
 
 // Consensus is one process's endpoint of a single-shot consensus object.
@@ -79,24 +90,26 @@ type Consensus struct {
 	sync   *viewsync.Synchronizer
 
 	// Loop-confined state (Figure 6, lines 1-3).
-	view     int64
-	aview    int64
-	val      string
-	hasVal   bool
-	myVal    string
-	hasMine  bool
-	ph       phase
-	oneBs    map[int64]map[failure.Proc]oneB   // per-view 1B messages (leader)
-	twoBs    map[int64]map[failure.Proc]string // per-view 2B messages
-	decided  bool
-	decVal   string
-	waiters  []chan string
-	onDecide func(string)
-	stopped  bool
+	view      int64
+	aview     int64
+	val       string
+	hasVal    bool
+	myVal     string
+	hasMine   bool
+	ph        phase
+	oneBs     map[int64]map[failure.Proc]oneB   // per-view 1B messages (leader)
+	twoBs     map[int64]map[failure.Proc]string // per-view 2B messages
+	future1Bs map[int64]map[failure.Proc]msg1B  // 1Bs for views we have not entered yet
+	decided   bool
+	decVal    string
+	waiters   []chan string
+	onDecide  func(string)
+	stopped   bool
 
-	topic1B string
-	topic2A string
-	topic2B string
+	topic1B  string
+	topic2A  string
+	topic2B  string
+	topicDec string
 }
 
 // New installs a consensus endpoint on the node and starts its view
@@ -109,48 +122,131 @@ func New(n *node.Node, opts Options) *Consensus {
 		opts.C = 25 * time.Millisecond
 	}
 	c := &Consensus{
-		n:        n,
-		reads:    opts.Reads,
-		writes:   opts.Writes,
-		oneBs:    make(map[int64]map[failure.Proc]oneB),
-		twoBs:    make(map[int64]map[failure.Proc]string),
-		onDecide: opts.OnDecide,
-		topic1B:  opts.Name + "/1b",
-		topic2A:  opts.Name + "/2a",
-		topic2B:  opts.Name + "/2b",
+		n:         n,
+		reads:     opts.Reads,
+		writes:    opts.Writes,
+		oneBs:     make(map[int64]map[failure.Proc]oneB),
+		twoBs:     make(map[int64]map[failure.Proc]string),
+		future1Bs: make(map[int64]map[failure.Proc]msg1B),
+		onDecide:  opts.OnDecide,
+		topic1B:   opts.Name + "/1b",
+		topic2A:   opts.Name + "/2a",
+		topic2B:   opts.Name + "/2b",
+		topicDec:  opts.Name + "/dec",
 	}
 	n.Handle(c.topic1B, c.on1B)
 	n.Handle(c.topic2A, c.on2A)
 	n.Handle(c.topic2B, c.on2B)
-	c.sync = viewsync.New(opts.C, func(v viewsync.View) {
-		// Hop onto the event loop; the synchronizer runs its own goroutine.
-		n.Do(func() { c.enterView(int64(v)) })
-	})
-	c.sync.Start()
+	n.Handle(c.topicDec, c.onDec)
+	if !opts.NoSync {
+		c.sync = viewsync.New(opts.C, func(v viewsync.View) {
+			// Hop onto the event loop; the synchronizer runs its own goroutine.
+			n.Do(func() { c.enterView(int64(v)) })
+		})
+		c.sync.Start()
+	}
 	return c
 }
 
 // enterView implements Figure 6, lines 27-31.
 func (c *Consensus) enterView(v int64) {
+	c.stepView(v, false)
+}
+
+// StepView drives view entry for an externally synchronized instance
+// (Options.NoSync); it must run on the node's event loop. An instance that
+// is active — it has a local proposal or an accepted value — sends its own
+// 1B as usual and returns false. An idle instance suppresses the 1B and
+// returns true: the caller batches a default 1B on its behalf (see
+// Default1B). A decided instance returns false and sends nothing; it has
+// announced the decision and answers stray protocol messages with it.
+func (c *Consensus) StepView(v int64) (idle bool) {
+	return c.stepView(v, true)
+}
+
+// stepView is the shared view-entry bookkeeping (Figure 6, lines 27-31).
+// With suppressIdle, the 1B of an instance with nothing to report is left
+// to the caller to batch.
+func (c *Consensus) stepView(v int64, suppressIdle bool) (idle bool) {
 	if c.stopped || v <= c.view {
-		return
+		return false
 	}
 	c.view = v
 	delete(c.oneBs, v-2) // prune stale per-view state
 	delete(c.twoBs, v-2)
+	c.ph = phaseEnter
+	// Replay 1Bs that arrived before we entered this view. View entry is
+	// not simultaneous (synchronizers start staggered and drift), and with
+	// one synchronizer per process the entry ORDER is stable — a leader
+	// whose peers consistently enter first would otherwise drop their
+	// quorum contributions every single view and never propose.
+	for fv := range c.future1Bs {
+		if fv < v {
+			delete(c.future1Bs, fv)
+		}
+	}
+	if m, ok := c.future1Bs[v]; ok {
+		delete(c.future1Bs, v)
+		for from, b := range m {
+			c.handle1B(from, b)
+		}
+	}
+	if c.decided {
+		// A decided process no longer drives views: the decision was pushed
+		// to all (onDec / decide), and any process still running the slot
+		// gets it again in response to its 1B/2A/2B.
+		return false
+	}
+	if suppressIdle && !c.hasVal && !c.hasMine {
+		return true
+	}
 	leader := failure.Proc(viewsync.Leader(viewsync.View(v), c.n.ClusterSize()))
 	c.n.Send(leader, c.topic1B, msg1B{View: v, AView: c.aview, Val: c.val, HasVal: c.hasVal})
-	c.ph = phaseEnter
+	return false
 }
 
-// on1B implements the leader's proposal rule (Figure 6, lines 8-16).
+// Default1B injects the 1B an idle process batched for this instance: the
+// leader treats it exactly as an arriving msg1B{View: view, AView: 0,
+// HasVal: false}. It must run on the node's event loop.
+func (c *Consensus) Default1B(from failure.Proc, view int64) {
+	c.handle1B(from, msg1B{View: view})
+}
+
+// on1B decodes a 1B message (leader side).
 func (c *Consensus) on1B(from failure.Proc, m wire.Message) {
 	var b msg1B
 	if wire.Decode(m, &b) != nil {
 		return
 	}
-	if c.stopped || b.View != c.view || c.ph != phaseEnter {
-		return // messages from other views are out of date (§7)
+	c.handle1B(from, b)
+}
+
+// future1BWindow bounds how far ahead of our view a parked 1B may be.
+const future1BWindow = 4
+
+// handle1B implements the leader's proposal rule (Figure 6, lines 8-16).
+func (c *Consensus) handle1B(from failure.Proc, b msg1B) {
+	if c.stopped {
+		return
+	}
+	if c.decided {
+		// The sender is still running the slot; hand it the decision.
+		c.n.Send(from, c.topicDec, msgDec{Val: c.decVal})
+		return
+	}
+	if b.View > c.view && b.View <= c.view+future1BWindow {
+		// The sender's synchronizer is ahead of ours; park the 1B for
+		// replay at our own entry into its view (see stepView).
+		m := c.future1Bs[b.View]
+		if m == nil {
+			m = make(map[failure.Proc]msg1B)
+			c.future1Bs[b.View] = m
+		}
+		m[from] = b
+		return
+	}
+	if b.View != c.view || c.ph != phaseEnter {
+		return // messages from earlier views are out of date (§7)
 	}
 	if viewsync.Leader(viewsync.View(c.view), c.n.ClusterSize()) != int(c.n.ID()) {
 		return // not the leader of this view
@@ -200,7 +296,14 @@ func (c *Consensus) on2A(from failure.Proc, m wire.Message) {
 	if wire.Decode(m, &a) != nil {
 		return
 	}
-	if c.stopped || a.View != c.view {
+	if c.stopped {
+		return
+	}
+	if c.decided {
+		c.n.Send(from, c.topicDec, msgDec{Val: c.decVal})
+		return
+	}
+	if a.View != c.view {
 		return
 	}
 	if c.ph != phaseEnter && c.ph != phasePropose {
@@ -219,7 +322,14 @@ func (c *Consensus) on2B(from failure.Proc, m wire.Message) {
 	if wire.Decode(m, &b) != nil {
 		return
 	}
-	if c.stopped || b.View != c.view {
+	if c.stopped {
+		return
+	}
+	if c.decided {
+		c.n.Send(from, c.topicDec, msgDec{Val: c.decVal})
+		return
+	}
+	if b.View != c.view {
 		return
 	}
 	views, ok := c.twoBs[c.view]
@@ -241,16 +351,57 @@ func (c *Consensus) on2B(from failure.Proc, m wire.Message) {
 	c.hasVal = true
 	c.aview = c.view
 	c.ph = phaseDecide
-	if !c.decided {
-		c.decided = true
-		c.decVal = b.Val
-		for _, w := range c.waiters {
-			w <- b.Val
-		}
-		c.waiters = nil
-		if c.onDecide != nil {
-			c.onDecide(b.Val)
-		}
+	c.decide(b.Val, true)
+}
+
+// onDec adopts a decision learned from a peer that already decided.
+func (c *Consensus) onDec(from failure.Proc, m wire.Message) {
+	var d msgDec
+	if wire.Decode(m, &d) != nil {
+		return
+	}
+	if c.stopped || c.decided {
+		return
+	}
+	c.val = d.Val
+	c.hasVal = true
+	c.ph = phaseDecide
+	// Announce in turn: under unidirectional connectivity the original
+	// announcement may be unable to reach processes this one can reach.
+	c.decide(d.Val, true)
+}
+
+// Learn adopts an externally learned decision (e.g. a replicated log
+// catching a healed replica up from a peer's decided slots) without
+// re-announcing it. It must run on the node's event loop.
+func (c *Consensus) Learn(val string) {
+	if c.stopped || c.decided {
+		return
+	}
+	c.val = val
+	c.hasVal = true
+	c.ph = phaseDecide
+	c.decide(val, false)
+}
+
+// decide records the decision, wakes waiters, fires OnDecide and, when
+// announce is set, pushes the decision to all — after which this process
+// stops driving views for the instance (see stepView). Runs on the loop.
+func (c *Consensus) decide(val string, announce bool) {
+	if c.decided {
+		return
+	}
+	c.decided = true
+	c.decVal = val
+	for _, w := range c.waiters {
+		w <- val
+	}
+	c.waiters = nil
+	if announce {
+		c.n.Broadcast(c.topicDec, msgDec{Val: val})
+	}
+	if c.onDecide != nil {
+		c.onDecide(val)
 	}
 }
 
@@ -306,9 +457,12 @@ func (c *Consensus) View() int64 {
 	return v
 }
 
-// Stop terminates the synchronizer and releases pending Propose calls.
+// Stop terminates the synchronizer (if private) and releases pending
+// Propose calls.
 func (c *Consensus) Stop() {
-	c.sync.Stop()
+	if c.sync != nil {
+		c.sync.Stop()
+	}
 	c.n.Do(func() {
 		c.stopped = true
 		for _, w := range c.waiters {

@@ -103,8 +103,9 @@ func WithViewC(d time.Duration) Option {
 
 // WithSlots sets the capacity of replicated logs (and the KV stores above
 // them) provisioned by this cluster. Each slot is a pre-created consensus
-// instance at every process (see the smr package comment), so capacity
-// trades memory and idle view traffic for log headroom.
+// instance at every process (see the smr package comment); idle slots
+// batch their view participation, so capacity costs memory, not
+// steady-state traffic.
 func WithSlots(n int) Option {
 	return func(c *config) { c.slots = n }
 }

@@ -61,6 +61,14 @@ func E17Workload(cfg Config) (*Table, error) {
 			c.Clients = 4
 			c.Slots = 64
 		}},
+		{"register, 128-key fan-out", func(c *workload.Config) {
+			// The propagation-cliff probe: 128 register objects per node.
+			// Under per-tick full-state re-broadcast this collapsed to tens
+			// of ops/s with second-scale tails; delta propagation keeps it
+			// at the small-keyspace rate (see BENCH_propagation.json).
+			c.Protocol = workload.ProtocolRegister
+			c.Keys = 128
+		}},
 	}
 	for _, sc := range scenarios {
 		wc := base

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/failure"
@@ -25,6 +26,14 @@ var ErrStopped = errors.New("node stopped")
 // Handler processes a protocol message on the node's event loop.
 type Handler func(from failure.Proc, m wire.Message)
 
+// handlerTable is the immutable handler registry. Installs publish a fresh
+// copy through an atomic pointer, so the per-message dispatch path reads it
+// without taking any lock.
+type handlerTable struct {
+	exact    map[string]Handler
+	prefixes []prefixHandler
+}
+
 // Node is a single process: an unbounded mailbox drained by one event-loop
 // goroutine, a topic-based handler registry, and tracked periodic tasks.
 type Node struct {
@@ -32,12 +41,17 @@ type Node struct {
 	n   int
 	net transport.Network
 
-	mu       sync.Mutex
-	queue    []func()
-	cond     *sync.Cond
-	handlers map[string]Handler
-	prefixes []prefixHandler
-	stopped  bool
+	// mu guards only the mailbox ring; the handler registry is read through
+	// the atomic table and written copy-on-write under regMu.
+	mu      sync.Mutex
+	ring    []func() // circular mailbox buffer
+	head    int      // index of the oldest queued entry
+	count   int      // entries currently queued
+	cond    *sync.Cond
+	stopped bool
+
+	regMu    sync.Mutex // serializes handler-table writers
+	handlers atomic.Pointer[handlerTable]
 
 	done    chan struct{}
 	tickers sync.WaitGroup
@@ -49,13 +63,13 @@ type Node struct {
 // corresponding topics arrive; unknown topics are dropped with a log line.
 func New(id failure.Proc, net transport.Network) *Node {
 	n := &Node{
-		id:       id,
-		n:        net.N(),
-		net:      net,
-		handlers: make(map[string]Handler),
-		done:     make(chan struct{}),
-		stopCh:   make(chan struct{}),
+		id:     id,
+		n:      net.N(),
+		net:    net,
+		done:   make(chan struct{}),
+		stopCh: make(chan struct{}),
 	}
+	n.handlers.Store(&handlerTable{exact: make(map[string]Handler)})
 	n.cond = sync.NewCond(&n.mu)
 	net.Register(id, n.onMessage)
 	go n.loop()
@@ -71,9 +85,15 @@ func (n *Node) ClusterSize() int { return n.n }
 // Handle installs the handler for a message topic. It may be called at any
 // time, including from the event loop.
 func (n *Node) Handle(topic string, h Handler) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.handlers[topic] = h
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	old := n.handlers.Load()
+	exact := make(map[string]Handler, len(old.exact)+1)
+	for k, v := range old.exact {
+		exact[k] = v
+	}
+	exact[topic] = h
+	n.handlers.Store(&handlerTable{exact: exact, prefixes: old.prefixes})
 }
 
 type prefixHandler struct {
@@ -87,22 +107,38 @@ type prefixHandler struct {
 // instance per slot when the first message for that slot arrives). The
 // longest matching prefix wins.
 func (n *Node) HandlePrefix(prefix string, h Handler) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.prefixes = append(n.prefixes, prefixHandler{prefix: prefix, h: h})
-	sort.SliceStable(n.prefixes, func(i, j int) bool {
-		return len(n.prefixes[i].prefix) > len(n.prefixes[j].prefix)
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	old := n.handlers.Load()
+	prefixes := make([]prefixHandler, 0, len(old.prefixes)+1)
+	prefixes = append(prefixes, old.prefixes...)
+	prefixes = append(prefixes, prefixHandler{prefix: prefix, h: h})
+	sort.SliceStable(prefixes, func(i, j int) bool {
+		return len(prefixes[i].prefix) > len(prefixes[j].prefix)
 	})
+	n.handlers.Store(&handlerTable{exact: old.exact, prefixes: prefixes})
+}
+
+// lookup resolves the handler for a topic: exact match first, then the
+// longest matching prefix. Lock-free.
+func (n *Node) lookup(topic string) Handler {
+	t := n.handlers.Load()
+	if h := t.exact[topic]; h != nil {
+		return h
+	}
+	for _, ph := range t.prefixes {
+		if strings.HasPrefix(topic, ph.prefix) {
+			return ph.h
+		}
+	}
+	return nil
 }
 
 // Redeliver dispatches a message to the exact handler for its topic, if one
 // is now installed. It must be called from the event loop (typically by a
 // prefix handler after creating the exact handler).
 func (n *Node) Redeliver(from failure.Proc, m wire.Message) {
-	n.mu.Lock()
-	h := n.handlers[m.Topic]
-	n.mu.Unlock()
-	if h != nil {
+	if h := n.handlers.Load().exact[m.Topic]; h != nil {
 		h(from, m)
 	}
 }
@@ -115,32 +151,32 @@ func (n *Node) onMessage(from failure.Proc, payload []byte) {
 			log.Printf("node %d: dropping malformed message from %d: %v", n.id, from, err)
 			return
 		}
-		n.mu.Lock()
-		h := n.handlers[m.Topic]
-		if h == nil {
-			for _, ph := range n.prefixes {
-				if strings.HasPrefix(m.Topic, ph.prefix) {
-					h = ph.h
-					break
-				}
-			}
+		if h := n.lookup(m.Topic); h != nil {
+			h(from, m)
 		}
-		n.mu.Unlock()
-		if h == nil {
-			return
-		}
-		h(from, m)
 	})
 }
 
-// enqueue appends work to the mailbox.
+// enqueue appends work to the mailbox ring, growing it when full. The ring
+// reuses its backing array in steady state; the seed's queue[1:] pop left
+// the backing array's head behind, forcing a reallocation per wrap under
+// sustained load.
 func (n *Node) enqueue(fn func()) {
 	n.mu.Lock()
 	if n.stopped {
 		n.mu.Unlock()
 		return
 	}
-	n.queue = append(n.queue, fn)
+	if n.count == len(n.ring) {
+		grown := make([]func(), max(16, 2*len(n.ring)))
+		for i := 0; i < n.count; i++ {
+			grown[i] = n.ring[(n.head+i)%len(n.ring)]
+		}
+		n.ring = grown
+		n.head = 0
+	}
+	n.ring[(n.head+n.count)%len(n.ring)] = fn
+	n.count++
 	n.mu.Unlock()
 	n.cond.Signal()
 }
@@ -206,15 +242,17 @@ func (n *Node) loop() {
 	defer close(n.done)
 	for {
 		n.mu.Lock()
-		for len(n.queue) == 0 && !n.stopped {
+		for n.count == 0 && !n.stopped {
 			n.cond.Wait()
 		}
-		if n.stopped && len(n.queue) == 0 {
+		if n.stopped && n.count == 0 {
 			n.mu.Unlock()
 			return
 		}
-		fn := n.queue[0]
-		n.queue = n.queue[1:]
+		fn := n.ring[n.head]
+		n.ring[n.head] = nil
+		n.head = (n.head + 1) % len(n.ring)
+		n.count--
 		n.mu.Unlock()
 		fn()
 	}

@@ -73,6 +73,7 @@ type Generalized struct {
 
 	// Loop-confined state.
 	clock    int64
+	dirty    bool // state or clock changed since the last propagation flush
 	seq      int64
 	gets     map[int64]*genPendingGet
 	sets     map[int64]*genPendingSet
@@ -104,9 +105,11 @@ type GeneralizedConfig struct {
 	// Tick is the interval of the periodic state propagation (Figure 3,
 	// line 12). Defaults to 5ms. Ignored when Propagator is set.
 	Tick time.Duration
-	// Propagator, when set, batches this accessor's periodic propagation
-	// with every other accessor on the node (one wire message per tick for
-	// all of them) instead of running a private ticker.
+	// Propagator, when set, replaces the private periodic ticker with the
+	// node's shared delta propagator: state changes are flushed immediately
+	// (batched with every other accessor dirtied in the same event-loop
+	// burst), idle instances send nothing, and peers that fall behind are
+	// caught up with targeted full snapshots. See Propagator.
 	Propagator *Propagator
 }
 
@@ -356,7 +359,10 @@ func (g *Generalized) checkGetPhase2(seq int64, pg *genPendingGet) {
 }
 
 // onSetReq handles SET_REQ (Figure 3, lines 21-24): apply the update,
-// advance the clock, and acknowledge with the new clock value.
+// advance the clock, and acknowledge with the new clock value. Under a
+// Propagator the changed (state, clock) is flushed immediately — coalesced
+// with every other instance dirtied by work already queued on the loop —
+// instead of waiting for the next tick.
 func (g *Generalized) onSetReq(from failure.Proc, m wire.Message) {
 	var req genSetReq
 	if wire.Decode(m, &req) != nil {
@@ -366,6 +372,10 @@ func (g *Generalized) onSetReq(from failure.Proc, m wire.Message) {
 		return
 	}
 	g.clock++
+	if g.prop != nil {
+		g.dirty = true
+		g.prop.requestFlush()
+	}
 	g.n.Send(from, g.topicSetResp, genSetResp{Seq: req.Seq, Clock: g.clock})
 }
 
@@ -400,6 +410,31 @@ func (g *Generalized) onSetResp(from failure.Proc, m wire.Message) {
 	ps.cSet = cSet
 	ps.phase = 2
 	g.checkSetPhase2(resp.Seq, ps)
+}
+
+// pendingCutoff returns the highest clock cutoff any phase-2 invocation at
+// this process is waiting on, and whether one exists. The Propagator nudges
+// the cluster toward it. Runs on the node loop.
+func (g *Generalized) pendingCutoff() (int64, bool) {
+	var cutoff int64
+	found := false
+	for _, pg := range g.gets {
+		if pg.phase == 2 {
+			found = true
+			if pg.cGet > cutoff {
+				cutoff = pg.cGet
+			}
+		}
+	}
+	for _, ps := range g.sets {
+		if ps.phase == 2 {
+			found = true
+			if ps.cSet > cutoff {
+				cutoff = ps.cSet
+			}
+		}
+	}
+	return cutoff, found
 }
 
 // checkSetPhase2 completes a set once some read quorum reports clocks at or

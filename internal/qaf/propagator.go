@@ -9,48 +9,150 @@ import (
 )
 
 // propEntry is one instance's contribution to a batched propagation message.
+// The format is shared by delta broadcasts and targeted catch-up snapshots:
+// every entry always carries the instance's full state at the given clock.
 type propEntry struct {
 	Name  string `json:"n"`
 	State []byte `json:"s"`
 	Clock int64  `json:"c"`
 }
 
-// Propagator batches the periodic state propagation (Figure 3, line 12) of
-// every Generalized accessor hosted on one node into a single wire message
-// per tick. Without batching, a node hosting k objects (e.g. the k segment
-// registers of a snapshot) sends k separate pushes per tick; with it, one.
-// The batching is protocol-transparent: each instance keeps its own logical
-// clock, and receivers demultiplex entries to the matching instance exactly
-// as if they had arrived in separate GET_RESP messages.
+// ackEntry acknowledges the highest clock received from a peer for one
+// instance. Receivers of a propagation batch reply with one ack message
+// covering every entry of the batch.
+type ackEntry struct {
+	Name  string `json:"n"`
+	Clock int64  `json:"c"`
+}
+
+// nudgeEntry asks receivers to advance an instance's clock to the cutoff a
+// pending phase-2 invocation is waiting on (Figure 3's periodic clock
+// advance, made demand-driven).
+type nudgeEntry struct {
+	Name   string `json:"n"`
+	Cutoff int64  `json:"c"`
+}
+
+// Liveness probing, in ticks. A peer we have not heard from in pingTicks
+// gets a ping; one silent for downTicks is treated as having no channel
+// back to us, which re-enables the paper's spontaneous per-tick behavior
+// toward it. An unacked push to a live peer is re-offered after
+// resendTicks. At the default 2ms tick: ping after 100ms of mutual
+// silence, assume no backchannel after 300ms, re-offer after 100ms.
+const (
+	pingTicks   = 50
+	downTicks   = 150
+	resendTicks = 50
+)
+
+// instState is the propagator's per-instance delta bookkeeping.
+type instState struct {
+	g     *Generalized
+	acked []int64 // per peer: highest clock the peer acked for this instance
+	sent  []int64 // per peer: clock last transmitted to the peer
+}
+
+// Propagator implements the periodic state propagation (Figure 3, line 12)
+// of every Generalized accessor hosted on one node — batched, delta-based
+// and quiescence-aware:
+//
+//   - Instances mark themselves dirty when their state or clock changes; a
+//     change is flushed immediately (coalesced per event-loop batch) as one
+//     broadcast carrying only the dirty entries. An idle instance
+//     contributes zero propagation bytes.
+//   - Receivers ack the clocks they observe. Per-peer acked/sent clocks let
+//     the propagator detect peers that are behind (partition, late join,
+//     lost push) and send them a full snapshot of exactly the instances
+//     they lack.
+//   - Peer liveness is probed with tiny pings whenever a pair has been
+//     mutually silent: a peer that answers nothing for downTicks may have
+//     no channel back to us at all (the paper's unidirectional model —
+//     process c under f1 can never be acked, nudged or pinged). Toward
+//     such peers the propagator reverts to the paper's spontaneous
+//     behavior: advance the clock and push state every tick. Only this
+//     probing lets the cluster be quiet the rest of the time without
+//     giving up the liveness of operations whose cutoffs depend on an
+//     unreachable process's clock.
+//   - Pending phase-2 invocations broadcast clock nudges: receivers whose
+//     clock is below the cutoff jump to it and flush; receivers already at
+//     the cutoff re-push their state to the nudger if it has not acked a
+//     sufficient clock. This replaces the seed's unconditional per-tick
+//     clock advance with a demand-driven one.
+//
+// The wire format of propagation batches is unchanged from the seed; acks,
+// nudges and pings are new topics. All state is confined to the node event
+// loop.
 type Propagator struct {
 	n      *node.Node
 	cancel func()
 
 	// Loop-confined.
-	instances map[string]*Generalized
+	instances   map[string]*instState
+	flushQueued bool
+	// pendingAcks accumulates observed clocks per sender between ticks, so
+	// a burst of pushes costs one ack message per peer per tick instead of
+	// one per push.
+	pendingAcks map[failure.Proc]map[string]int64
+	tickNo      int64
+	lastHeard   []int64 // per peer: tickNo when a propagator message last arrived
+	lastPing    []int64 // per peer: tickNo of our last ping
+	lastSend    []int64 // per peer: tickNo of our last targeted or broadcast push
 
-	topic string
+	topic      string
+	topicAck   string
+	topicNudge string
+	topicPing  string
+	topicPong  string
 }
 
 // NewPropagator installs a batched propagator on the node, ticking at the
-// given interval (default 5ms).
+// given interval (default 5ms). The tick is the liveness backstop; state
+// changes propagate immediately.
 func NewPropagator(n *node.Node, tick time.Duration) *Propagator {
 	if tick <= 0 {
 		tick = 5 * time.Millisecond
 	}
+	peers := n.ClusterSize()
 	p := &Propagator{
-		n:         n,
-		instances: make(map[string]*Generalized),
-		topic:     "qaf/prop",
+		n:           n,
+		instances:   make(map[string]*instState),
+		pendingAcks: make(map[failure.Proc]map[string]int64),
+		lastHeard:   make([]int64, peers),
+		lastPing:    make([]int64, peers),
+		lastSend:    make([]int64, peers),
+		topic:       "qaf/prop",
+		topicAck:    "qaf/ack",
+		topicNudge:  "qaf/nudge",
+		topicPing:   "qaf/ping",
+		topicPong:   "qaf/pong",
 	}
 	n.Handle(p.topic, p.onProp)
+	n.Handle(p.topicAck, p.onAck)
+	n.Handle(p.topicNudge, p.onNudge)
+	n.Handle(p.topicPing, p.onPing)
+	n.Handle(p.topicPong, p.onPong)
 	p.cancel = n.Every(tick, p.tick)
 	return p
 }
 
-// attach registers a Generalized accessor; called on the node loop.
+// attach registers a Generalized accessor; called on the node loop. acked
+// and sent start at -1 ("never") and the instance starts dirty, so the
+// first flush broadcasts its initial state and every process (including
+// this one) observes it.
 func (p *Propagator) attach(name string, g *Generalized) {
-	p.instances[name] = g
+	n := p.n.ClusterSize()
+	st := &instState{
+		g:     g,
+		acked: make([]int64, n),
+		sent:  make([]int64, n),
+	}
+	for q := range st.acked {
+		st.acked[q] = -1
+		st.sent[q] = -1
+	}
+	p.instances[name] = st
+	g.dirty = true
+	p.requestFlush()
 }
 
 // detach unregisters an accessor; called on the node loop.
@@ -58,43 +160,276 @@ func (p *Propagator) detach(name string) {
 	delete(p.instances, name)
 }
 
-// tick advances every attached instance's clock and broadcasts one combined
-// state push. Runs on the node loop.
+// heard records propagator traffic from a peer (its channel to us works).
+func (p *Propagator) heard(from failure.Proc) {
+	if q := int(from); q >= 0 && q < len(p.lastHeard) {
+		p.lastHeard[q] = p.tickNo
+	}
+}
+
+// requestFlush schedules a flush of dirty instances behind the work already
+// queued on the loop, so a burst of updates (e.g. one SET_REQ broadcast
+// fanning into many instances) coalesces into a single propagation message.
+// Called on the node loop.
+func (p *Propagator) requestFlush() {
+	if p.flushQueued {
+		return
+	}
+	p.flushQueued = true
+	p.n.Do(p.flush)
+}
+
+// flush broadcasts every dirty instance's (state, clock) as one message and
+// records the transmission against every peer. Runs on the node loop.
+func (p *Propagator) flush() {
+	p.flushQueued = false
+	var entries []propEntry
+	for name, st := range p.instances {
+		g := st.g
+		if g.stopped || !g.dirty {
+			continue
+		}
+		g.dirty = false
+		entries = append(entries, propEntry{Name: name, State: g.sm.Snapshot(), Clock: g.clock})
+		for q := range st.sent {
+			st.sent[q] = g.clock
+		}
+	}
+	if len(entries) > 0 {
+		for q := range p.lastSend {
+			p.lastSend[q] = p.tickNo
+		}
+		p.n.Broadcast(p.topic, entries)
+	}
+}
+
+// sendNudge broadcasts a clock nudge for one instance's pending cutoff.
+// Called on the node loop.
+func (p *Propagator) sendNudge(name string, cutoff int64) {
+	p.n.Broadcast(p.topicNudge, []nudgeEntry{{Name: name, Cutoff: cutoff}})
+}
+
+// tick is the liveness backstop. It probes silent peers, re-nudges pending
+// invocations, falls back to spontaneous clock advance toward peers whose
+// silence suggests they cannot reach us, and re-sends full snapshots to
+// peers that are behind. On a healthy idle cluster the only traffic left
+// is the occasional ping/pong pair. Runs on the node loop.
 func (p *Propagator) tick() {
+	p.tickNo++
+	self := int(p.n.ID())
+	peers := p.n.ClusterSize()
+
+	// Probe peers we have heard nothing from: either the pair is idle (they
+	// will pong) or they cannot reach us (the silence persists and the
+	// spontaneous fallback below engages).
+	for q := 0; q < peers; q++ {
+		if q == self {
+			continue
+		}
+		if p.tickNo-p.lastHeard[q] >= pingTicks && p.tickNo-p.lastPing[q] >= pingTicks {
+			p.lastPing[q] = p.tickNo
+			p.n.Send(failure.Proc(q), p.topicPing, nil)
+		}
+	}
 	if len(p.instances) == 0 {
 		return
 	}
-	entries := make([]propEntry, 0, len(p.instances))
-	for name, g := range p.instances {
+
+	var nudges []nudgeEntry
+	for name, st := range p.instances {
+		g := st.g
 		if g.stopped {
 			continue
 		}
-		g.clock++
-		entries = append(entries, propEntry{Name: name, State: g.sm.Snapshot(), Clock: g.clock})
+		if cutoff, ok := g.pendingCutoff(); ok {
+			nudges = append(nudges, nudgeEntry{Name: name, Cutoff: cutoff})
+		}
 	}
-	if len(entries) == 0 {
-		return
+	// Spontaneous clock advance (Figure 3, line 12) while any peer is
+	// silent: a process whose every return channel is gone (f1's c) hears
+	// no acks, nudges or pings, yet pending operations at processes it can
+	// still reach may wait for its clock to pass cutoffs it will never be
+	// told about — even cutoffs above its current clock, so being "caught
+	// up" is no excuse to stop. A crashed peer is indistinguishable from
+	// such a mute listener, so a degraded cluster ticks like the seed did;
+	// a fully healthy one stays quiet. Our own observation must track the
+	// advancing clock — local phase-2 checks read latest[self].
+	anyDown := false
+	for q := 0; q < peers; q++ {
+		if q != self && p.tickNo-p.lastHeard[q] >= downTicks {
+			anyDown = true
+			break
+		}
 	}
-	p.n.Broadcast(p.topic, entries)
+	if anyDown {
+		for _, st := range p.instances {
+			if g := st.g; !g.stopped {
+				g.clock++
+				g.handleStatePush(p.n.ID(), g.sm.Snapshot(), g.clock)
+			}
+		}
+	}
+	// Broadcast dirt first (changes that slipped past an immediate flush),
+	// so the targeted pass below only sees what broadcasts cannot fix.
+	p.flush()
+	// Targeted catch-up: one message per lagging peer with a full snapshot
+	// of exactly the instances it lacks. A peer lags when it never got the
+	// current clock (partition, late join, spontaneous advance) or when a
+	// push went unacked long enough to re-offer it.
+	for q := 0; q < peers; q++ {
+		if q == self {
+			continue
+		}
+		retry := p.tickNo-p.lastHeard[q] >= downTicks || p.tickNo-p.lastSend[q] >= resendTicks
+		var lag []propEntry
+		for name, st := range p.instances {
+			g := st.g
+			if g.stopped || st.acked[q] >= g.clock {
+				continue
+			}
+			if st.sent[q] < g.clock || retry {
+				lag = append(lag, propEntry{Name: name, State: g.sm.Snapshot(), Clock: g.clock})
+				st.sent[q] = g.clock
+			}
+		}
+		if len(lag) > 0 {
+			p.lastSend[q] = p.tickNo
+			p.n.Send(failure.Proc(q), p.topic, lag)
+		}
+	}
+	if len(nudges) > 0 {
+		p.n.Broadcast(p.topicNudge, nudges)
+	}
+	p.flushAcks()
 }
 
-// onProp demultiplexes a combined push to the attached instances. Runs on
-// the node loop.
+// onProp demultiplexes a propagation batch to the attached instances and
+// queues acks for the observed clocks, sent at the next tick. Runs on the
+// node loop.
 func (p *Propagator) onProp(from failure.Proc, m wire.Message) {
+	p.heard(from)
 	var entries []propEntry
 	if wire.Decode(m, &entries) != nil {
 		return
 	}
+	// Ack only entries applied to a hosted instance: acking state we
+	// discard (e.g. a push racing a still-queued attach) would poison the
+	// sender's acked clock and suppress the catch-up we will need once the
+	// attach lands. Unacked entries stay outstanding at the sender and are
+	// re-offered after resendTicks.
+	var acks map[string]int64
+	if from != p.n.ID() {
+		acks = p.pendingAcks[from]
+	}
 	for _, e := range entries {
-		if g, ok := p.instances[e.Name]; ok && !g.stopped {
-			g.handleStatePush(from, e.State, e.Clock)
+		st, ok := p.instances[e.Name]
+		if !ok || st.g.stopped {
+			continue
+		}
+		st.g.handleStatePush(from, e.State, e.Clock)
+		if from == p.n.ID() {
+			continue
+		}
+		if acks == nil {
+			acks = make(map[string]int64)
+			p.pendingAcks[from] = acks
+		}
+		if prev, ok := acks[e.Name]; !ok || e.Clock > prev {
+			acks[e.Name] = e.Clock
 		}
 	}
 }
 
+// flushAcks sends the accumulated acks, one message per peer. Runs on the
+// node loop.
+func (p *Propagator) flushAcks() {
+	for peer, acks := range p.pendingAcks {
+		if len(acks) == 0 {
+			continue
+		}
+		out := make([]ackEntry, 0, len(acks))
+		for name, c := range acks {
+			out = append(out, ackEntry{Name: name, Clock: c})
+		}
+		p.n.Send(peer, p.topicAck, out)
+		delete(p.pendingAcks, peer)
+	}
+}
+
+// onAck records a peer's acked clocks. Runs on the node loop.
+func (p *Propagator) onAck(from failure.Proc, m wire.Message) {
+	p.heard(from)
+	var acks []ackEntry
+	if wire.Decode(m, &acks) != nil {
+		return
+	}
+	q := int(from)
+	for _, a := range acks {
+		st, ok := p.instances[a.Name]
+		if !ok || q < 0 || q >= len(st.acked) {
+			continue
+		}
+		if a.Clock > st.acked[q] {
+			st.acked[q] = a.Clock
+		}
+	}
+}
+
+// onNudge advances instances toward a pending invocation's cutoff. An
+// instance already at the cutoff re-pushes its state to the nudger when the
+// nudger has not acked a sufficient clock (its view of us is stale). Runs
+// on the node loop.
+func (p *Propagator) onNudge(from failure.Proc, m wire.Message) {
+	p.heard(from)
+	var nudges []nudgeEntry
+	if wire.Decode(m, &nudges) != nil {
+		return
+	}
+	q := int(from)
+	selfID := int(p.n.ID())
+	var reply []propEntry
+	for _, nd := range nudges {
+		st, ok := p.instances[nd.Name]
+		if !ok || st.g.stopped {
+			continue
+		}
+		g := st.g
+		if g.clock < nd.Cutoff {
+			// Jumping is safe: correctness relies on per-process clock
+			// monotonicity and on pushes being captured atomically with the
+			// state on the loop, not on unit increments.
+			g.clock = nd.Cutoff
+			g.dirty = true
+			p.requestFlush()
+		} else if q != selfID && q >= 0 && q < len(st.acked) && st.acked[q] < nd.Cutoff {
+			reply = append(reply, propEntry{Name: nd.Name, State: g.sm.Snapshot(), Clock: g.clock})
+			st.sent[q] = g.clock
+		}
+	}
+	if len(reply) > 0 {
+		if q >= 0 && q < len(p.lastSend) {
+			p.lastSend[q] = p.tickNo
+		}
+		p.n.Send(from, p.topic, reply)
+	}
+}
+
+// onPing answers a liveness probe. Runs on the node loop.
+func (p *Propagator) onPing(from failure.Proc, m wire.Message) {
+	p.heard(from)
+	if from != p.n.ID() {
+		p.n.Send(from, p.topicPong, nil)
+	}
+}
+
+// onPong records a probe answer. Runs on the node loop.
+func (p *Propagator) onPong(from failure.Proc, m wire.Message) {
+	p.heard(from)
+}
+
 // Stop cancels the ticker. Attached instances keep working through their
 // request/response paths but lose periodic propagation (their liveness then
-// depends on SET-triggered clock advances only), so stop instances first.
+// depends on event-driven flushes only), so stop instances first.
 func (p *Propagator) Stop() {
 	if p.cancel != nil {
 		p.cancel()

@@ -1,0 +1,114 @@
+package qaf
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/node"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+// benchCluster is a propagator cluster without testing.T plumbing.
+type benchCluster struct {
+	net   *transport.MemNetwork
+	nodes []*node.Node
+	props []*Propagator
+	accs  [][]*Generalized // [proc][instance]
+}
+
+func (c *benchCluster) stop() {
+	for _, row := range c.accs {
+		for _, a := range row {
+			a.Stop()
+		}
+	}
+	for _, p := range c.props {
+		p.Stop()
+	}
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.net.Close()
+}
+
+func newBenchCluster(n, k int, tick time.Duration) *benchCluster {
+	qs := quorum.Figure1()
+	c := &benchCluster{net: transport.NewMem(n, fastDelay(), transport.WithSeed(11))}
+	for i := 0; i < n; i++ {
+		nd := node.New(failure.Proc(i), c.net)
+		c.nodes = append(c.nodes, nd)
+		prop := NewPropagator(nd, tick)
+		c.props = append(c.props, prop)
+		var row []*Generalized
+		for j := 0; j < k; j++ {
+			row = append(row, NewGeneralized(nd, GeneralizedConfig{
+				Name:       fmt.Sprintf("obj%d", j),
+				SM:         &maxSM{},
+				Reads:      qs.Reads,
+				Writes:     qs.Writes,
+				Propagator: prop,
+			}))
+		}
+		c.accs = append(c.accs, row)
+	}
+	return c
+}
+
+// BenchmarkPropagatorFanout measures aggregate Set throughput while each of
+// the 4 nodes hosts k instances — the fan-out cliff of per-tick full-state
+// propagation. 8 concurrent clients issue quorum_sets spread over distinct
+// instances and caller nodes (the workload engine's access shape); every
+// operation is a full write-quorum SET round plus the phase-2 wait for
+// read-quorum clocks, so the cost of propagating the other instances' state
+// lands directly in the measured path.
+func BenchmarkPropagatorFanout(b *testing.B) {
+	const clients = 8
+	for _, k := range []int{8, 32, 128, 256} {
+		b.Run(fmt.Sprintf("instances=%d", k), func(b *testing.B) {
+			c := newBenchCluster(4, k, 2*time.Millisecond)
+			defer c.stop()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			defer cancel()
+
+			// One settled Set so the benchmark loop starts from a live object.
+			if err := c.accs[0][0].Set(ctx, enc(1)); err != nil {
+				b.Fatalf("warmup Set: %v", err)
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var next atomic.Int64
+			errc := make(chan error, clients)
+			for cl := 0; cl < clients; cl++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						acc := c.accs[i%4][int(i)%k]
+						if err := acc.Set(ctx, enc(i+2)); err != nil {
+							errc <- fmt.Errorf("Set %d: %w", i, err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-errc:
+				b.Fatal(err)
+			default:
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}

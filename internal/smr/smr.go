@@ -29,8 +29,11 @@ import (
 	"time"
 
 	"repro/internal/consensus"
+	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/node"
+	"repro/internal/viewsync"
+	"repro/internal/wire"
 )
 
 // ErrStopped is returned after the log has been stopped.
@@ -42,8 +45,9 @@ var ErrLogFull = errors.New("replicated log full (all slots decided)")
 // DefaultSlots is the default log capacity. Sized for sustained workloads
 // (the workload engine's kv driver appends one slot per Set); deployments
 // expecting more traffic set Options.Slots explicitly — each slot is a
-// pre-created consensus instance at every process (see the package comment),
-// so capacity trades memory and idle view-change traffic for log headroom.
+// pre-created consensus instance at every process (see the package
+// comment). Idle slots batch their view participation into one message per
+// process per view, so capacity costs memory, not steady-state traffic.
 const DefaultSlots = 128
 
 // Options configures a log endpoint.
@@ -60,10 +64,31 @@ type Options struct {
 	ViewC time.Duration
 }
 
+// smrIdle1B batches the default 1B messages of every idle slot at one
+// process for one view entry into a single message to the view's leader.
+// Ranges are [lo, hi) slot intervals; idle slots are overwhelmingly the
+// contiguous unused tail of the log, so the encoding is a handful of bytes
+// regardless of capacity.
+type smrIdle1B struct {
+	View   int64      `json:"view"`
+	Ranges [][2]int64 `json:"ranges"`
+}
+
+// smrDecEntry carries one decided slot's value to a process still running
+// the slot (partition heal, late catch-up).
+type smrDecEntry struct {
+	Slot int64  `json:"s"`
+	Val  string `json:"v"`
+}
+
 // Log is one process's endpoint of the replicated command log.
 type Log struct {
 	n     *node.Node
 	slots []*consensus.Consensus
+	sync  *viewsync.Synchronizer
+
+	topicIdle1B string
+	topicDecs   string
 
 	// Loop-confined state.
 	decided map[int64]string
@@ -75,6 +100,14 @@ type Log struct {
 // New installs a replicated log endpoint on the node, starting one consensus
 // instance per slot (see the package comment for why instances must exist
 // from startup at every process).
+//
+// All slots share one view synchronizer, and a slot's per-view 1B message is
+// gated on slot activity: slots with a local proposal or an accepted value
+// send their own 1B, idle slots are batched into a single default-1B message
+// per view for the whole log, and decided slots are silent (the decision was
+// announced; stragglers asking about the slot get it as a reply). The seed
+// emitted one message per slot per view entry — 128 by default — even on a
+// completely idle log.
 func New(n *node.Node, opts Options) *Log {
 	if opts.Name == "" {
 		opts.Name = "smr"
@@ -86,21 +119,101 @@ func New(n *node.Node, opts Options) *Log {
 		opts.ViewC = 25 * time.Millisecond
 	}
 	l := &Log{
-		n:       n,
-		decided: make(map[int64]string),
-		waiters: make(map[int64][]chan string),
+		n:           n,
+		decided:     make(map[int64]string),
+		waiters:     make(map[int64][]chan string),
+		topicIdle1B: opts.Name + "/idle1b",
+		topicDecs:   opts.Name + "/decs",
 	}
 	for s := 0; s < opts.Slots; s++ {
 		slot := int64(s)
 		l.slots = append(l.slots, consensus.New(n, consensus.Options{
 			Name:  fmt.Sprintf("%s/slot%d", opts.Name, slot),
 			Reads: opts.Reads, Writes: opts.Writes, C: opts.ViewC,
+			NoSync: true,
 			// Runs on the node loop as soon as this process learns the
 			// slot's decision.
 			OnDecide: func(v string) { l.recordDecision(slot, v) },
 		}))
 	}
+	n.Handle(l.topicIdle1B, l.onIdle1B)
+	n.Handle(l.topicDecs, l.onDecs)
+	l.sync = viewsync.New(opts.ViewC, func(v viewsync.View) {
+		// Hop onto the event loop; the synchronizer runs its own goroutine.
+		n.Do(func() { l.stepView(int64(v)) })
+	})
+	l.sync.Start()
 	return l
+}
+
+// stepView enters view v at every slot, batching the idle slots' default
+// 1Bs into one message to the view's leader. Runs on the node loop.
+func (l *Log) stepView(v int64) {
+	if l.stopped {
+		return
+	}
+	var ranges [][2]int64
+	for s, inst := range l.slots {
+		if !inst.StepView(v) {
+			continue // active or decided: handled its own view entry
+		}
+		s64 := int64(s)
+		if k := len(ranges); k > 0 && ranges[k-1][1] == s64 {
+			ranges[k-1][1] = s64 + 1
+		} else {
+			ranges = append(ranges, [2]int64{s64, s64 + 1})
+		}
+	}
+	if len(ranges) == 0 {
+		return
+	}
+	leader := failure.Proc(viewsync.Leader(viewsync.View(v), l.n.ClusterSize()))
+	l.n.Send(leader, l.topicIdle1B, smrIdle1B{View: v, Ranges: ranges})
+}
+
+// onIdle1B unpacks a peer's batched default 1Bs (leader side). Slots this
+// process already knows decided are answered with their decisions instead —
+// that is how a healed or late process learns the log's history from one
+// message per view. Runs on the node loop.
+func (l *Log) onIdle1B(from failure.Proc, m wire.Message) {
+	var b smrIdle1B
+	if wire.Decode(m, &b) != nil || l.stopped {
+		return
+	}
+	var decs []smrDecEntry
+	for _, r := range b.Ranges {
+		lo, hi := r[0], r[1]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > int64(len(l.slots)) {
+			hi = int64(len(l.slots))
+		}
+		for s := lo; s < hi; s++ {
+			if v, ok := l.decided[s]; ok {
+				decs = append(decs, smrDecEntry{Slot: s, Val: v})
+			} else {
+				l.slots[s].Default1B(from, b.View)
+			}
+		}
+	}
+	if len(decs) > 0 {
+		l.n.Send(from, l.topicDecs, decs)
+	}
+}
+
+// onDecs adopts decided values for slots this process is still running.
+// Runs on the node loop.
+func (l *Log) onDecs(from failure.Proc, m wire.Message) {
+	var decs []smrDecEntry
+	if wire.Decode(m, &decs) != nil || l.stopped {
+		return
+	}
+	for _, d := range decs {
+		if d.Slot >= 0 && d.Slot < int64(len(l.slots)) {
+			l.slots[d.Slot].Learn(d.Val)
+		}
+	}
 }
 
 // Capacity returns the number of slots.
@@ -227,8 +340,10 @@ func (l *Log) DecidedPrefix(ctx context.Context) ([]string, error) {
 	return <-ch, nil
 }
 
-// Stop terminates every slot instance and releases blocked calls.
+// Stop terminates the shared view synchronizer and every slot instance,
+// and releases blocked calls.
 func (l *Log) Stop() {
+	l.sync.Stop()
 	l.n.Call(func() {
 		l.stopped = true
 		for slot, ws := range l.waiters {

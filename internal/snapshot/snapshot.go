@@ -60,8 +60,9 @@ type Options struct {
 	// Tick is the periodic propagation interval of the underlying quorum
 	// access functions.
 	Tick time.Duration
-	// Propagator optionally batches the segment registers' periodic
-	// propagation into one message per tick — strongly recommended, since a
+	// Propagator optionally routes the segment registers' propagation
+	// through the node's shared delta propagator (changed state only, one
+	// batched flush per event burst) — strongly recommended, since a
 	// snapshot object creates one register (hence one accessor) per segment.
 	Propagator *qaf.Propagator
 }

@@ -450,6 +450,46 @@ func (m *MemNetwork) ApplyPattern(f failure.Pattern) {
 	}
 }
 
+// Reconnect restores a previously disconnected channel. The paper's failure
+// model makes disconnections permanent; Reconnect steps outside it to let
+// tests and operators exercise recovery paths (a healed partition, a
+// replica catching up through the propagation layer's snapshot fallback).
+// Messages dropped while the channel was down stay dropped.
+func (m *MemNetwork) Reconnect(c failure.Channel) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.down[c] {
+		return
+	}
+	delete(m.down, c)
+	if int(c.From) >= 0 && int(c.From) < m.n && int(c.To) >= 0 && int(c.To) < m.n {
+		m.residual.AddEdge(int(c.From), int(c.To))
+	}
+}
+
+// Isolate disconnects every channel to and from p (both directions), a
+// full partition of one process. Heal with Rejoin.
+func (m *MemNetwork) Isolate(p failure.Proc) {
+	for q := 0; q < m.n; q++ {
+		if failure.Proc(q) == p {
+			continue
+		}
+		m.Disconnect(failure.Channel{From: p, To: failure.Proc(q)})
+		m.Disconnect(failure.Channel{From: failure.Proc(q), To: p})
+	}
+}
+
+// Rejoin restores every channel to and from p, healing an Isolate.
+func (m *MemNetwork) Rejoin(p failure.Proc) {
+	for q := 0; q < m.n; q++ {
+		if failure.Proc(q) == p {
+			continue
+		}
+		m.Reconnect(failure.Channel{From: p, To: failure.Proc(q)})
+		m.Reconnect(failure.Channel{From: failure.Proc(q), To: p})
+	}
+}
+
 // Stats returns a snapshot of the message counters.
 func (m *MemNetwork) Stats() Stats {
 	return Stats{

@@ -29,6 +29,7 @@ type TCPNetwork struct {
 	listener net.Listener
 	conns    map[failure.Proc]net.Conn
 	inbound  map[net.Conn]bool
+	blocked  map[failure.Proc]bool
 	closed   bool
 	wg       sync.WaitGroup
 
@@ -63,6 +64,7 @@ func NewTCP(id failure.Proc, addrs []string) (*TCPNetwork, error) {
 		listener: ln,
 		conns:    make(map[failure.Proc]net.Conn),
 		inbound:  make(map[net.Conn]bool),
+		blocked:  make(map[failure.Proc]bool),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -141,13 +143,32 @@ func (t *TCPNetwork) readLoop(conn net.Conn) {
 		t.mu.Lock()
 		h := t.handler
 		closed := t.closed
+		dropped := t.blocked[sender]
 		t.mu.Unlock()
 		if closed {
 			return
 		}
+		if dropped {
+			continue // partitioned: incoming message lost
+		}
 		if h != nil {
 			h(sender, payload)
 		}
+	}
+}
+
+// SetPartitioned blocks (or unblocks) all traffic between this endpoint and
+// peer p: outgoing frames to p are dropped and incoming frames from p are
+// discarded on read. It simulates a network partition over the live TCP
+// transport, which has no other fault injection; tests use it to exercise
+// partition-heal recovery paths.
+func (t *TCPNetwork) SetPartitioned(p failure.Proc, partitioned bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if partitioned {
+		t.blocked[p] = true
+	} else {
+		delete(t.blocked, p)
 	}
 }
 
@@ -157,6 +178,12 @@ func (t *TCPNetwork) readLoop(conn net.Conn) {
 func (t *TCPNetwork) Send(from, to failure.Proc, payload []byte) {
 	if from != t.id {
 		return
+	}
+	t.mu.Lock()
+	dropped := t.blocked[to]
+	t.mu.Unlock()
+	if dropped {
+		return // partitioned: outgoing message lost
 	}
 	if to == t.id {
 		t.mu.Lock()

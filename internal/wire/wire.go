@@ -4,8 +4,10 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"sync"
 )
 
 // Message is the on-the-wire envelope.
@@ -14,20 +16,73 @@ type Message struct {
 	Body  json.RawMessage `json:"b,omitempty"`
 }
 
-// Marshal encodes a topic and body into a payload.
+// encoder is the pooled scratch state of Marshal: one reusable buffer and a
+// json.Encoder bound to it, so encoding a body does not allocate a fresh
+// encode state per message.
+type encoder struct {
+	buf bytes.Buffer
+	js  *json.Encoder
+}
+
+var encPool = sync.Pool{
+	New: func() any {
+		e := &encoder{}
+		e.js = json.NewEncoder(&e.buf)
+		return e
+	},
+}
+
+// plainTopic reports whether the topic can be emitted between bare quotes:
+// printable ASCII with nothing the JSON string grammar (or the encoding/json
+// HTML-safe convention) escapes. Every topic in this codebase qualifies; the
+// fallback keeps Marshal correct for arbitrary strings.
+func plainTopic(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// Marshal encodes a topic and body into a payload. The envelope is built in
+// one pass over a pooled buffer: the body is JSON-encoded directly into the
+// output instead of being marshaled to an intermediate RawMessage that the
+// envelope marshal re-scans (the seed path paid two full encodes plus their
+// allocations per message). The produced bytes are identical to
+// json.Marshal(Message{...}).
 func Marshal(topic string, body any) ([]byte, error) {
-	var raw json.RawMessage
-	if body != nil {
-		b, err := json.Marshal(body)
+	e := encPool.Get().(*encoder)
+	e.buf.Reset()
+	e.buf.WriteString(`{"t":`)
+	if plainTopic(topic) {
+		e.buf.WriteByte('"')
+		e.buf.WriteString(topic)
+		e.buf.WriteByte('"')
+	} else {
+		t, err := json.Marshal(topic)
 		if err != nil {
+			encPool.Put(e)
+			return nil, fmt.Errorf("marshal topic %q: %w", topic, err)
+		}
+		e.buf.Write(t)
+	}
+	if body != nil {
+		e.buf.WriteString(`,"b":`)
+		if err := e.js.Encode(body); err != nil {
+			encPool.Put(e)
 			return nil, fmt.Errorf("marshal body for topic %q: %w", topic, err)
 		}
-		raw = b
+		e.buf.Truncate(e.buf.Len() - 1) // drop the Encoder's trailing newline
 	}
-	out, err := json.Marshal(Message{Topic: topic, Body: raw})
-	if err != nil {
-		return nil, fmt.Errorf("marshal envelope for topic %q: %w", topic, err)
-	}
+	e.buf.WriteByte('}')
+	// The result must own its bytes: transports retain payloads past this
+	// call (simulated delays, broadcast fan-out), so the pooled buffer cannot
+	// back it.
+	out := make([]byte, e.buf.Len())
+	copy(out, e.buf.Bytes())
+	encPool.Put(e)
 	return out, nil
 }
 

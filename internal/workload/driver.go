@@ -39,10 +39,13 @@ type Config struct {
 	Warmup time.Duration
 	// Keys is the key-space size. For kv it is the number of distinct keys
 	// (cheap — one shared log) and defaults to 64. For register and snapshot
-	// every key is a full endpoint object at every node whose state is
-	// re-propagated each Tick, so large key spaces saturate the node event
-	// loops; defaults are 16 registers and 8 snapshots. Raising Keys is the
-	// intended way to probe that propagation cliff.
+	// every key is a full endpoint object at every node. Propagation is
+	// delta-based and quiescence-aware (idle objects send nothing; only
+	// changed state is flushed), so large key spaces are cheap: the old
+	// per-tick full-state re-broadcast capped registers/node at ~32-64
+	// before the event loops saturated, while the current defaults of 64
+	// registers and 16 snapshots run hundreds of objects flat (see
+	// BENCH_propagation.json for the measured sweep).
 	Keys int
 	// Dist selects the key distribution. Default uniform.
 	Dist DistKind
@@ -69,18 +72,20 @@ type Config struct {
 	// operations time out into the error counts (the latency cliff).
 	RestrictToUf bool
 	// Slots is the SMR log capacity for the kv protocol (consensus instances
-	// pre-created per node; see the smr package comment). Every idle slot
-	// instance sends a 1B message at each of its view entries, so oversizing
-	// the log taxes the whole cluster; undersizing surfaces as ErrLogFull
-	// write errors once the log fills. Default 256. Note that commit latency
-	// grows with slot index: an instance idle since startup is already in a
-	// long view when first used (see the E16 experiment note).
+	// pre-created per node; see the smr package comment). Idle slots no
+	// longer emit a per-view 1B message each — the whole log batches them
+	// into one message per view, and decided slots go silent — so capacity
+	// costs memory, not steady-state traffic; undersizing still surfaces as
+	// ErrLogFull write errors once the log fills. Default 256. Note that
+	// commit latency grows with slot index: an instance idle since startup
+	// is already in a long view when first used (see the E16 experiment
+	// note).
 	Slots int
 	// LatticePool is the number of pre-created single-shot lattice objects
 	// per run for the lattice protocol. Each object is a backing snapshot of
-	// Nodes segment registers at every node, all re-propagated each Tick, so
-	// large pools saturate the node event loops (the same cliff as large
-	// register/snapshot key spaces). Default 8.
+	// Nodes segment registers at every node; with delta propagation idle
+	// pool objects cost nothing on the wire, so the pool can be sized to
+	// the expected proposal count per node. Default 8.
 	LatticePool int
 	// SyncReads makes kv reads commit a Sync barrier before Get, making them
 	// linearizable across nodes (and as expensive as a write).
@@ -125,9 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.Keys == 0 {
 		switch c.Protocol {
 		case ProtocolRegister:
-			c.Keys = 16
+			c.Keys = 64
 		case ProtocolSnapshot:
-			c.Keys = 8 // each snapshot object is Nodes segment registers
+			c.Keys = 16 // each snapshot object is Nodes segment registers
 		default:
 			c.Keys = 64
 		}
