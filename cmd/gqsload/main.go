@@ -10,11 +10,12 @@
 //	        [-clients N] [-rate OPS] [-duration D] [-warmup D]
 //	        [-keys N] [-dist uniform|zipf] [-zipf-s S] [-readfrac F]
 //	        [-pattern 0..4] [-fault-at F] [-uf] [-nodes N] [-slots N]
-//	        [-sync-reads] [-seed N] [-json]
+//	        [-shards N] [-sync-reads] [-seed N] [-json]
 //
 // Examples:
 //
 //	gqsload -protocol kv -net mem -clients 16 -dist zipf -duration 5s -json
+//	gqsload -protocol kv -shards 4 -clients 16 -duration 5s -json
 //	gqsload -protocol register -net tcp -clients 8 -rate 500 -duration 10s
 //	gqsload -protocol register -pattern 1 -fault-at 0.5 -duration 10s
 //
@@ -24,6 +25,16 @@
 // their stalled operations surface as timeouts in the error counts — the
 // latency cliff the paper's U_f characterizes. With -uf, clients restrict
 // to U_f and the run stays wait-free.
+//
+// A -shards N run (kv only) partitions the keyspace across N independent
+// quorum-system groups behind a consistent-hash ring; the report gains
+// per-shard sections. Combined with -pattern, the fault is injected into
+// shard 0 only — the other shards demonstrate fault isolation.
+//
+// Invalid flag combinations (a value out of range, or a flag that its
+// protocol/mode would silently ignore, like -shards with -protocol register
+// or -zipf-s with -dist uniform) are rejected with a usage message and a
+// non-zero exit.
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/workload"
@@ -63,14 +75,98 @@ func run(args []string, w io.Writer) error {
 	pattern := fs.Int("pattern", 0, "failure pattern to inject mid-run: 0 = none, 1..4 = f1..f4 of Figure 1")
 	faultAt := fs.Float64("fault-at", 0.5, "fraction of the run after which the pattern is injected (0 = at start)")
 	uf := fs.Bool("uf", false, "restrict clients to the pattern's termination component U_f")
-	slots := fs.Int("slots", 0, "SMR log capacity (kv protocol; 0 = default 256)")
+	shards := fs.Int("shards", 1, "independent quorum-system groups the kv keyspace is consistent-hashed across")
+	slots := fs.Int("slots", 0, "total SMR log capacity, divided across shards (kv protocol; 0 = default 4096)")
 	latticePool := fs.Int("lattice-pool", 0, "single-shot lattice object pool size (lattice protocol; 0 = default 8)")
 	syncReads := fs.Bool("sync-reads", false, "kv reads commit a Sync barrier before Get")
 	seed := fs.Int64("seed", 1, "RNG seed (keys, op mix, simulated delays)")
+	minDelay := fs.Duration("min-delay", 0, "simulated per-hop delay lower bound (mem transport; 0 = default 10µs)")
+	maxDelay := fs.Duration("max-delay", 0, "simulated per-hop delay upper bound (mem transport; 0 = default 300µs)")
 	opTimeout := fs.Duration("op-timeout", 0, "per-operation timeout (0 = protocol default: 2s register, 5s others)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Reject flag combinations the engine would otherwise silently ignore
+	// (or misread), before any cluster spins up. set tracks flags the user
+	// passed explicitly, distinguishing "-slots 0" from an absent -slots.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var bad []string
+	reject := func(format string, args ...any) { bad = append(bad, fmt.Sprintf(format, args...)) }
+	if *shards < 1 {
+		reject("-shards must be at least 1, got %d", *shards)
+	}
+	if *shards > 1 && *protocol != "kv" {
+		reject("-shards applies to -protocol kv only (got %q)", *protocol)
+	}
+	if *rate < 0 {
+		reject("-rate must be non-negative (0 = closed loop), got %v", *rate)
+	}
+	if *clients < 1 {
+		reject("-clients must be at least 1, got %d", *clients)
+	}
+	if *duration <= 0 {
+		reject("-duration must be positive, got %v", *duration)
+	}
+	if *warmup < 0 {
+		reject("-warmup must be non-negative, got %v", *warmup)
+	}
+	if *keys < 0 {
+		reject("-keys must be non-negative (0 = protocol default), got %d", *keys)
+	}
+	if *readfrac < 0 || *readfrac > 1 {
+		reject("-readfrac must be in [0,1], got %v", *readfrac)
+	}
+	if *pattern < 0 || *pattern > 4 {
+		reject("-pattern must be in 0..4 (0 = none, 1..4 = f1..f4), got %d", *pattern)
+	}
+	if *faultAt < 0 || *faultAt >= 1 {
+		reject("-fault-at must be in [0,1), got %v", *faultAt)
+	}
+	if (set["zipf-s"] || set["zipf-v"]) && *dist != "zipf" {
+		reject("-zipf-s/-zipf-v apply to -dist zipf only (got %q)", *dist)
+	}
+	if set["zipf-s"] && *zipfS <= 1 {
+		reject("-zipf-s must exceed 1, got %v", *zipfS)
+	}
+	if set["uf"] && *pattern == 0 {
+		reject("-uf needs a failure pattern (-pattern 1..4)")
+	}
+	if set["fault-at"] && *pattern == 0 {
+		reject("-fault-at needs a failure pattern (-pattern 1..4)")
+	}
+	if (set["slots"] || set["sync-reads"]) && *protocol != "kv" {
+		reject("-slots/-sync-reads apply to -protocol kv only (got %q)", *protocol)
+	}
+	if set["lattice-pool"] && *protocol != "lattice" {
+		reject("-lattice-pool applies to -protocol lattice only (got %q)", *protocol)
+	}
+	if (set["min-delay"] || set["max-delay"]) && *netKind != "mem" {
+		reject("-min-delay/-max-delay shape the simulated mem transport only (got %q)", *netKind)
+	}
+	if *minDelay < 0 || *maxDelay < 0 {
+		reject("-min-delay/-max-delay must be non-negative")
+	} else if set["min-delay"] || set["max-delay"] {
+		// Compare against the bound the engine will actually use, so
+		// "-min-delay 1ms" without -max-delay errors instead of silently
+		// degenerating to a constant 1ms delay.
+		effMin, effMax := *minDelay, *maxDelay
+		if effMin == 0 {
+			effMin = workload.DefaultMinDelay
+		}
+		if effMax == 0 {
+			effMax = workload.DefaultMaxDelay
+		}
+		if effMin > effMax {
+			reject("-min-delay %v exceeds -max-delay %v (unset bounds default to %v/%v)",
+				effMin, effMax, workload.DefaultMinDelay, workload.DefaultMaxDelay)
+		}
+	}
+	if len(bad) > 0 {
+		fs.Usage()
+		return fmt.Errorf("invalid flags: %s", strings.Join(bad, "; "))
 	}
 
 	cfg := workload.Config{
@@ -90,10 +186,13 @@ func run(args []string, w io.Writer) error {
 		Pattern:      *pattern,
 		FaultFrac:    *faultAt,
 		RestrictToUf: *uf,
+		Shards:       *shards,
 		Slots:        *slots,
 		LatticePool:  *latticePool,
 		SyncReads:    *syncReads,
 		OpTimeout:    *opTimeout,
+		MinDelay:     *minDelay,
+		MaxDelay:     *maxDelay,
 	}
 
 	// The engine's Config treats zero ReadFraction/FaultFrac as "use the

@@ -70,3 +70,85 @@ func TestRunBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFlagCombinationValidation checks combinations the engine would
+// silently ignore (or misread) fail fast with a flag-naming error before any
+// cluster spins up, and that the good variants still pass flag validation.
+func TestRunFlagCombinationValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		args []string
+	}{
+		{"shards < 1", []string{"-protocol", "kv", "-shards", "0", "-duration", "10ms"}},
+		{"shards negative", []string{"-protocol", "kv", "-shards", "-2", "-duration", "10ms"}},
+		{"shards with register", []string{"-protocol", "register", "-shards", "4", "-duration", "10ms"}},
+		{"negative rate", []string{"-rate", "-5", "-duration", "10ms"}},
+		{"no clients", []string{"-clients", "0", "-duration", "10ms"}},
+		{"zero duration", []string{"-duration", "0s"}},
+		{"negative warmup", []string{"-warmup", "-1s", "-duration", "10ms"}},
+		{"negative keys", []string{"-keys", "-3", "-duration", "10ms"}},
+		{"zipf-s without zipf", []string{"-dist", "uniform", "-zipf-s", "1.2", "-duration", "10ms"}},
+		{"uf without pattern", []string{"-uf", "-duration", "10ms"}},
+		{"fault-at without pattern", []string{"-fault-at", "0.2", "-duration", "10ms"}},
+		{"slots with register", []string{"-protocol", "register", "-slots", "64", "-duration", "10ms"}},
+		{"sync-reads with snapshot", []string{"-protocol", "snapshot", "-sync-reads", "-duration", "10ms"}},
+		{"lattice-pool with kv", []string{"-protocol", "kv", "-lattice-pool", "4", "-duration", "10ms"}},
+		{"delay flags with tcp", []string{"-net", "tcp", "-min-delay", "1ms", "-duration", "10ms"}},
+		{"pattern out of range", []string{"-pattern", "7", "-duration", "10ms"}},
+		{"readfrac above 1", []string{"-readfrac", "1.5", "-duration", "10ms"}},
+		{"fault-at at 1", []string{"-pattern", "1", "-fault-at", "1", "-duration", "10ms"}},
+		{"zipf-s at 1", []string{"-dist", "zipf", "-zipf-s", "1", "-duration", "10ms"}},
+		{"min-delay above default max", []string{"-min-delay", "1ms", "-duration", "10ms"}},
+		{"inverted delay bounds", []string{"-min-delay", "2ms", "-max-delay", "1ms", "-duration", "10ms"}},
+		{"negative delay", []string{"-max-delay", "-1ms", "-duration", "10ms"}},
+	}
+	for _, tc := range bad {
+		err := run(tc.args, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("%s: args %v accepted", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), "invalid flags") {
+			t.Errorf("%s: rejected by the engine, not flag validation: %v", tc.name, err)
+		}
+	}
+}
+
+// TestRunShardedJSON drives a tiny 2-shard kv run and checks the report
+// carries the per-shard sections.
+func TestRunShardedJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded kv run skipped in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "kv", "-shards", "2", "-clients", "4",
+		"-duration", "500ms", "-keys", "16", "-slots", "48",
+		"-seed", "3", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		TotalOps uint64 `json:"total_ops"`
+		Shards   int    `json:"shards"`
+		PerShard []struct {
+			Shard int            `json:"shard"`
+			Ops   uint64         `json:"ops"`
+			Lat   map[string]any `json:"latency"`
+		} `json:"per_shard"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if report.Shards != 2 || len(report.PerShard) != 2 {
+		t.Fatalf("per-shard sections missing: %s", out.String())
+	}
+	var sum uint64
+	for _, s := range report.PerShard {
+		sum += s.Ops
+	}
+	if sum != report.TotalOps {
+		t.Errorf("per-shard ops sum %d != total %d", sum, report.TotalOps)
+	}
+}

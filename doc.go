@@ -30,11 +30,18 @@
 //     access functions), NewSnapshot, NewLatticeAgreement, NewConsensus
 //     (Figure 6), and the replicated log / KV layer (NewReplicatedLog,
 //     NewReplicatedKV);
+//   - the sharded KV surface (OpenSharded, ShardedStore, ShardedKV,
+//     ShardRing): the keyspace consistent-hashed (virtual nodes,
+//     deterministic seed) across N independent quorum-system groups, each a
+//     full deployment with its own SMR log and injectable failure pattern —
+//     aggregate throughput scales with the shard count, faults degrade only
+//     one key range, and routing policies compose per shard;
 //   - the workload engine (RunWorkload, WorkloadConfig, WorkloadReport):
 //     open- and closed-loop load generation over any endpoint and either
-//     transport, with Zipfian or uniform key distributions, mid-run fault
-//     injection, log-bucketed latency histograms (p50/p90/p99/p99.9) and
-//     JSON reports — also available as the gqsload command.
+//     transport, with Zipfian or uniform key distributions, sharded kv
+//     targets with per-shard report sections, mid-run fault injection,
+//     log-bucketed latency histograms (p50/p90/p99/p99.9) and JSON reports
+//     — also available as the gqsload command.
 //
 // See README.md for the cluster quickstart, the package map and the
 // experiment commands (cmd/experiments regenerates the reproduction's

@@ -9,6 +9,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/quorum"
 	"repro/internal/register"
+	"repro/internal/shard"
 	"repro/internal/smr"
 	"repro/internal/snapshot"
 	"repro/internal/transport"
@@ -207,6 +208,40 @@ var (
 	// ErrClusterClosed / ErrClientClosed report use after Close.
 	ErrClusterClosed = core.ErrClusterClosed
 	ErrClientClosed  = core.ErrClientClosed
+)
+
+// Sharded KV: the keyspace partitioned across independent quorum-system
+// groups behind a deterministic consistent-hash ring. Each shard is a full
+// deployment (own transport, propagators, SMR log, failure pattern), so
+// aggregate throughput scales with the shard count and a fault degrades only
+// one key range. See internal/shard.
+type (
+	// ShardedStore is the multi-group deployment (OpenSharded).
+	ShardedStore = shard.Store
+	// ShardedKV is the cross-shard KV client: Set/Get/SyncGet route by key,
+	// MultiGet fans out across shards, SetPolicy installs failure-aware
+	// routing per shard.
+	ShardedKV = shard.KV
+	// ShardRing is the consistent-hash ring (virtual nodes, deterministic
+	// seed) mapping keys to shards.
+	ShardRing = shard.Ring
+	// ShardOption configures OpenSharded.
+	ShardOption = shard.Option
+)
+
+// Sharded-store constructors and options.
+var (
+	// OpenSharded provisions n independent quorum-system groups for the
+	// fail-prone system behind one consistent-hash ring.
+	OpenSharded = shard.Open
+	// NewShardRing builds a standalone ring (shards, virtual nodes, seed).
+	NewShardRing = shard.NewRing
+	// WithVirtualNodes / WithRingSeed shape the ring; WithGroupOptions and
+	// WithGroupOptionsFunc pass cluster options to every (or each) group.
+	WithVirtualNodes     = shard.WithVirtualNodes
+	WithRingSeed         = shard.WithRingSeed
+	WithGroupOptions     = shard.WithGroupOptions
+	WithGroupOptionsFunc = shard.WithGroupOptionsFunc
 )
 
 // Workload engine: sustained load generation with tail-latency metrics over

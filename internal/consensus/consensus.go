@@ -38,6 +38,16 @@ type (
 		AView  int64  `json:"aview"`
 		Val    string `json:"val"`
 		HasVal bool   `json:"has_val"`
+		// Mine forwards the sender's own not-yet-accepted proposal. Figure 6
+		// only lets a leader propose its local value (line 11 skips its turn
+		// otherwise), which serializes commits behind leadership rotation:
+		// a proposal registered at a non-leader waits out the rotation even
+		// when the leader is idle. Consensus may decide any proposed value,
+		// so carrying the proposal in the 1B lets the current leader adopt
+		// it immediately — the accepted-value precedence rule (lines 10-15)
+		// stays untouched, so safety is unchanged.
+		Mine    string `json:"mine,omitempty"`
+		HasMine bool   `json:"has_mine,omitempty"`
 	}
 	msg2A struct {
 		View int64  `json:"view"`
@@ -57,9 +67,11 @@ type (
 
 // oneB is a recorded 1B message.
 type oneB struct {
-	aview  int64
-	val    string
-	hasVal bool
+	mine    string
+	hasMine bool
+	aview   int64
+	val     string
+	hasVal  bool
 }
 
 // Options configures a consensus endpoint.
@@ -80,6 +92,15 @@ type Options struct {
 	// to run one synchronizer for all of its slots and to batch the default
 	// 1B messages of idle slots into a single message per view.
 	NoSync bool
+	// OnActive, when set, is invoked exactly once, from the node's event
+	// loop, the first time the instance leaves its virgin state: a local
+	// proposal registers, a direct (non-default) protocol message arrives,
+	// or a decision is learned. It fires before the triggering event is
+	// processed, so the owner can fast-forward a virgin instance into the
+	// current view (StepView) first. A replicated log uses it to track the
+	// active frontier of its pre-created slots: slots that never fire stay
+	// out of every per-view code path, making idle capacity free.
+	OnActive func()
 }
 
 // Consensus is one process's endpoint of a single-shot consensus object.
@@ -104,7 +125,13 @@ type Consensus struct {
 	decVal    string
 	waiters   []chan string
 	onDecide  func(string)
-	stopped   bool
+	onActive  func()
+	activated bool
+	// sentMineView is the last view in which this process sent a 1B
+	// carrying its pending proposal (Mine), deduplicating the view-entry 1B
+	// against Propose's mid-view forward.
+	sentMineView int64
+	stopped      bool
 
 	topic1B  string
 	topic2A  string
@@ -129,6 +156,7 @@ func New(n *node.Node, opts Options) *Consensus {
 		twoBs:     make(map[int64]map[failure.Proc]string),
 		future1Bs: make(map[int64]map[failure.Proc]msg1B),
 		onDecide:  opts.OnDecide,
+		onActive:  opts.OnActive,
 		topic1B:   opts.Name + "/1b",
 		topic2A:   opts.Name + "/2a",
 		topic2B:   opts.Name + "/2b",
@@ -201,23 +229,57 @@ func (c *Consensus) stepView(v int64, suppressIdle bool) (idle bool) {
 		return true
 	}
 	leader := failure.Proc(viewsync.Leader(viewsync.View(v), c.n.ClusterSize()))
-	c.n.Send(leader, c.topic1B, msg1B{View: v, AView: c.aview, Val: c.val, HasVal: c.hasVal})
+	c.n.Send(leader, c.topic1B, msg1B{
+		View: v, AView: c.aview, Val: c.val, HasVal: c.hasVal,
+		Mine: c.myVal, HasMine: c.hasMine,
+	})
+	if c.hasMine {
+		c.sentMineView = v
+	}
 	return false
 }
 
 // Default1B injects the 1B an idle process batched for this instance: the
 // leader treats it exactly as an arriving msg1B{View: view, AView: 0,
-// HasVal: false}. It must run on the node's event loop.
+// HasVal: false}. It must run on the node's event loop. Defaults are the
+// "nothing is happening here" signal, so they deliberately do NOT activate
+// a virgin instance, and they never displace a 1B already recorded from
+// the same peer this view — a direct 1B may carry a forwarded proposal
+// (Mine) that a later-replayed default must not erase.
 func (c *Consensus) Default1B(from failure.Proc, view int64) {
+	if m, ok := c.oneBs[view]; ok {
+		if _, dup := m[from]; dup {
+			return
+		}
+	}
 	c.handle1B(from, msg1B{View: view})
 }
 
-// on1B decodes a 1B message (leader side).
+// activate fires the one-shot activity notification. Every direct protocol
+// event calls it before processing, so an owner tracking active instances
+// can fast-forward a virgin one into the current view first.
+func (c *Consensus) activate() {
+	if c.activated {
+		return
+	}
+	c.activated = true
+	if c.onActive != nil {
+		c.onActive()
+	}
+}
+
+// on1B decodes a 1B message (leader side). A direct 1B means the sender's
+// instance is active, so the local one activates too (a virgin leader
+// instance would otherwise drop the 1B as impossibly far ahead of view 0).
 func (c *Consensus) on1B(from failure.Proc, m wire.Message) {
 	var b msg1B
 	if wire.Decode(m, &b) != nil {
 		return
 	}
+	if c.stopped {
+		return
+	}
+	c.activate()
 	c.handle1B(from, b)
 }
 
@@ -236,11 +298,17 @@ func (c *Consensus) handle1B(from failure.Proc, b msg1B) {
 	}
 	if b.View > c.view && b.View <= c.view+future1BWindow {
 		// The sender's synchronizer is ahead of ours; park the 1B for
-		// replay at our own entry into its view (see stepView).
+		// replay at our own entry into its view (see stepView). A contentless
+		// default must not displace an already-parked 1B from the same peer
+		// (messages reorder, and the parked one may carry an accepted value
+		// or a forwarded proposal) — mirror Default1B's current-view dedup.
 		m := c.future1Bs[b.View]
 		if m == nil {
 			m = make(map[failure.Proc]msg1B)
 			c.future1Bs[b.View] = m
+		}
+		if _, parked := m[from]; parked && !b.HasVal && !b.HasMine {
+			return
 		}
 		m[from] = b
 		return
@@ -256,8 +324,39 @@ func (c *Consensus) handle1B(from failure.Proc, b msg1B) {
 		views = make(map[failure.Proc]oneB)
 		c.oneBs[c.view] = views
 	}
-	views[from] = oneB{aview: b.AView, val: b.Val, hasVal: b.HasVal}
+	// A contentless 1B (no accepted value, no forwarded proposal) must not
+	// displace a same-view record that carries either: messages reorder
+	// under the randomized transports, and dropping a recorded Mine would
+	// stall its commit until the next view (same dedup as Default1B and the
+	// future-1B parking path).
+	if prev, dup := views[from]; !(dup && !b.HasVal && !b.HasMine && (prev.hasVal || prev.hasMine)) {
+		views[from] = oneB{aview: b.AView, val: b.Val, hasVal: b.HasVal, mine: b.Mine, hasMine: b.HasMine}
+	}
+	c.tryPropose()
+}
 
+// tryPropose runs the leader's proposal rule (Figure 6, lines 10-15) over
+// the 1Bs collected for the current view: with a read quorum of responders,
+// propose the value accepted in the highest view, else our own. It runs on
+// every 1B arrival and — crucially for throughput — when a local proposal
+// registers mid-view (Propose): line 11's "skip our turn" merely defers
+// until a value exists, so re-evaluating the same rule the moment one
+// arrives is protocol-equivalent to the quorum's 1Bs having arrived later,
+// and turns leader-local commit latency from "wait for the next view
+// boundary" (hundreds of ms once views have grown) into a 2A/2B round trip.
+// The phase check keeps at most one proposal per view. Runs on the node
+// loop.
+func (c *Consensus) tryPropose() {
+	if c.stopped || c.decided || c.ph != phaseEnter {
+		return
+	}
+	if viewsync.Leader(viewsync.View(c.view), c.n.ClusterSize()) != int(c.n.ID()) {
+		return // not the leader of this view
+	}
+	views, ok := c.oneBs[c.view]
+	if !ok {
+		return
+	}
 	responders := graph.NewBitSet(c.n.ClusterSize())
 	for p := range views {
 		responders.Add(int(p))
@@ -266,7 +365,6 @@ func (c *Consensus) handle1B(from failure.Proc, b msg1B) {
 	if ri < 0 {
 		return
 	}
-	// Lines 10-15: pick the value accepted in the highest view, else our own.
 	var (
 		chosen    string
 		hasChosen bool
@@ -281,10 +379,27 @@ func (c *Consensus) handle1B(from failure.Proc, b msg1B) {
 		}
 	})
 	if !hasChosen {
-		if !c.hasMine {
-			return // line 11: skip our turn
+		// No accepted value in the quorum: propose our own, else a proposal
+		// forwarded in ANY recorded 1B — not just the matched quorum's, as a
+		// forwarder outside it would otherwise stall until the next view
+		// (lowest process id wins, for determinism). Any proposed value is
+		// safe to propose; only accepted values carry precedence
+		// constraints.
+		switch {
+		case c.hasMine:
+			chosen = c.myVal
+		default:
+			responders.ForEach(func(p int) {
+				r := views[failure.Proc(p)]
+				if !hasChosen && r.hasMine {
+					chosen = r.mine
+					hasChosen = true
+				}
+			})
+			if !hasChosen {
+				return // nothing proposed anywhere yet: skip our turn
+			}
 		}
-		chosen = c.myVal
 	}
 	c.n.Broadcast(c.topic2A, msg2A{View: c.view, Val: chosen})
 	c.ph = phasePropose
@@ -299,6 +414,7 @@ func (c *Consensus) on2A(from failure.Proc, m wire.Message) {
 	if c.stopped {
 		return
 	}
+	c.activate()
 	if c.decided {
 		c.n.Send(from, c.topicDec, msgDec{Val: c.decVal})
 		return
@@ -325,6 +441,7 @@ func (c *Consensus) on2B(from failure.Proc, m wire.Message) {
 	if c.stopped {
 		return
 	}
+	c.activate()
 	if c.decided {
 		c.n.Send(from, c.topicDec, msgDec{Val: c.decVal})
 		return
@@ -363,6 +480,7 @@ func (c *Consensus) onDec(from failure.Proc, m wire.Message) {
 	if c.stopped || c.decided {
 		return
 	}
+	c.activate()
 	c.val = d.Val
 	c.hasVal = true
 	c.ph = phaseDecide
@@ -378,6 +496,7 @@ func (c *Consensus) Learn(val string) {
 	if c.stopped || c.decided {
 		return
 	}
+	c.activate()
 	c.val = val
 	c.hasVal = true
 	c.ph = phaseDecide
@@ -420,11 +539,36 @@ func (c *Consensus) Propose(ctx context.Context, x string) (string, error) {
 			c.myVal = x
 			c.hasMine = true
 		}
+		// Activation fast-forwards a virgin instance into the current view
+		// (the owner's OnActive calls StepView), which also announces the
+		// fresh proposal's 1B to the current leader.
+		c.activate()
 		if c.decided {
 			ch <- c.decVal
 			return
 		}
 		c.waiters = append(c.waiters, ch)
+		// If this process leads the current view and already holds a 1B
+		// read quorum (idle instances batch default 1Bs at view entry), the
+		// fresh proposal can be proposed right now instead of waiting out
+		// the view (see tryPropose). Otherwise forward the proposal to the
+		// current leader in a fresh 1B so it can be adopted mid-view —
+		// unless the activation above just stepped into this view and sent
+		// a Mine-carrying 1B already (sentMineView). A stale or early view
+		// on either side is handled by the normal 1B rules (drop / park).
+		if c.view > 0 {
+			leader := failure.Proc(viewsync.Leader(viewsync.View(c.view), c.n.ClusterSize()))
+			switch {
+			case int(leader) == int(c.n.ID()):
+				c.tryPropose()
+			case c.sentMineView != c.view:
+				c.n.Send(leader, c.topic1B, msg1B{
+					View: c.view, AView: c.aview, Val: c.val, HasVal: c.hasVal,
+					Mine: c.myVal, HasMine: true,
+				})
+				c.sentMineView = c.view
+			}
+		}
 	})
 	if !registered {
 		return "", ErrStopped

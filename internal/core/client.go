@@ -461,6 +461,34 @@ func (kc *KVClient) SyncGet(ctx context.Context, key string) (string, bool, erro
 	return val, found, err
 }
 
+// SyncGetMany performs one linearizable multi-key read: it routes to a
+// single process, commits a single barrier no-op there, and reads every key
+// from that process's decided prefix — which then includes every Set
+// completed before SyncGetMany was invoked. Missing keys are absent from the
+// result. One barrier amortizes across all keys, so a k-key read costs one
+// commit instead of k.
+func (kc *KVClient) SyncGetMany(ctx context.Context, keys []string) (map[string]string, error) {
+	var out map[string]string
+	err := kc.do(ctx, func(ctx context.Context, p int) error {
+		if err := kc.eps[p].Sync(ctx); err != nil {
+			return err
+		}
+		m := make(map[string]string, len(keys))
+		for _, k := range keys {
+			v, ok, err := kc.eps[p].Get(ctx, k)
+			if err != nil {
+				return err
+			}
+			if ok {
+				m[k] = v
+			}
+		}
+		out = m
+		return nil
+	})
+	return out, err
+}
+
 // At returns the raw endpoint of process p, bypassing routing.
 func (kc *KVClient) At(p failure.Proc) *smr.KV {
 	return kc.eps[kc.at(p, len(kc.eps))]

@@ -414,3 +414,77 @@ func TestRoutingPolicyCandidates(t *testing.T) {
 		}
 	}
 }
+
+// TestPolicyChurnUnderLoad swaps routing policies (RoundRobin <-> HealthyUf)
+// concurrently with in-flight register operations and a mid-run pattern
+// injection: operations must keep completing (or fail only with a routing
+// error while the swap window races the injection), and no swap may corrupt
+// routing state. Sized down under -short so it stays cheap on 1-CPU CI race
+// runs.
+func TestPolicyChurnUnderLoad(t *testing.T) {
+	c := openFigure1(t)
+	reg, err := c.Register("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxSec(t, 120)
+
+	ops, swaps := 16, 200
+	if testing.Short() {
+		ops, swaps = 8, 50
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Swapper: flip policies as fast as possible.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		policies := []Policy{RoundRobin(), HealthyUf(), Fixed(0), nil}
+		for i := 0; i < swaps; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.SetPolicy(policies[i%len(policies)])
+		}
+	}()
+	// Injector: make f1 happen mid-run, so HealthyUf swaps change the
+	// candidate set while operations are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f1 := quorum.Figure1().F.Patterns[0]
+		if err := c.InjectPattern(f1); err != nil {
+			t.Errorf("inject: %v", err)
+		}
+	}()
+
+	var completed int
+	for i := 0; i < ops; i++ {
+		opCtx, cancel := context.WithTimeout(ctx, 3*time.Second)
+		_, err := reg.Write(opCtx, "v")
+		cancel()
+		if err == nil {
+			completed++
+			continue
+		}
+		// After f1, Fixed(0) routes to process a (in U_f1) and HealthyUf to
+		// U_f1, both fine; a failure can only be a context timeout from an
+		// unlucky pre-injection route. It must not be a panic or a routing
+		// corruption (out-of-range process error).
+		if strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("op %d: routing corrupted: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if completed == 0 {
+		t.Fatal("no operation completed under policy churn")
+	}
+	m := reg.Metrics()
+	if m.Ops == 0 || m.Successes == 0 {
+		t.Fatalf("metrics lost under churn: %+v", m)
+	}
+}

@@ -550,6 +550,7 @@ func runAll(w io.Writer, cfg Config, render func(*Table, io.Writer)) error {
 		{"E15", E15ScenarioCatalog},
 		{"E16", func() (*Table, error) { return E16ReplicatedKV(cfg) }},
 		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
+		{"E18", func() (*Table, error) { return E18ShardScaling(cfg) }},
 	}
 	for _, e := range exps {
 		tbl, err := e.run()

@@ -130,6 +130,7 @@ func TestHeavyClusterExperiments(t *testing.T) {
 		{"E15", E15ScenarioCatalog},
 		{"E16", func() (*Table, error) { return E16ReplicatedKV(cfg) }},
 		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
+		{"E18", func() (*Table, error) { return E18ShardScaling(cfg) }},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

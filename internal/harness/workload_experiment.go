@@ -59,7 +59,10 @@ func E17Workload(cfg Config) (*Table, error) {
 		{"kv (SMR), closed loop", func(c *workload.Config) {
 			c.Protocol = workload.ProtocolKV
 			c.Clients = 4
-			c.Slots = 64
+			// Registration-triggered proposals made commits RTT-bound
+			// rather than view-bound, so a 1s closed loop fills hundreds of
+			// slots; idle capacity is free (activity-frontier batching).
+			c.Slots = 4096
 		}},
 		{"register, 128-key fan-out", func(c *workload.Config) {
 			// The propagation-cliff probe: 128 register objects per node.
@@ -94,6 +97,6 @@ func E17Workload(cfg Config) (*Table, error) {
 		)
 	}
 	t.AddNote("Injecting f1 with unrestricted callers shows the latency cliff: ops at non-U_f nodes stall into timeouts. Restricted to U_f1, the run stays wait-free (Theorem 1).")
-	t.AddNote("KV throughput is bounded by per-slot consensus whose views grow with idle time (see E16); this table is the baseline for future SMR optimizations.")
+	t.AddNote("KV commits are RTT-bound at the view leader (registration-triggered proposals); the remaining per-log ceiling is the serial slot pipeline, which E18 scales out by sharding.")
 	return t, nil
 }

@@ -1,0 +1,54 @@
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BeginKV records an invocation of a key-value operation (a Set or a
+// linearizable Get) and returns the operation id. Key scopes the operation
+// for CheckKVHistory's per-key partitioning.
+func (h *History) BeginKV(proc int, kind Kind, key, arg string) int {
+	id := h.Begin(proc, kind, arg)
+	h.mu.Lock()
+	if idx, ok := h.open[id]; ok {
+		h.ops[idx].Key = key
+	}
+	h.mu.Unlock()
+	return id
+}
+
+// CheckKVHistory decides linearizability of a key-value history per key: a
+// KV store is linearizable iff each key's sub-history is a linearizable
+// register history (operations on different keys commute), so the history is
+// partitioned by Op.Key and each partition runs through the Wing–Gong
+// register checker. This is the check that stays valid across a sharded
+// store — a key's operations all execute in one shard group, and the per-key
+// partition is exactly the unit sharding preserves.
+//
+// Reads of absent keys must report Out == "" (the register initial value).
+// Each key's sub-history is limited to 63 operations by the search checker;
+// size test runs accordingly.
+func CheckKVHistory(ops []Op) error {
+	byKey := make(map[string][]Op)
+	for _, op := range ops {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic error reporting
+	for _, k := range keys {
+		sub := byKey[k]
+		sort.Slice(sub, func(i, j int) bool { return sub[i].Invoke < sub[j].Invoke })
+		ok, err := CheckRegister(sub)
+		if err != nil {
+			return fmt.Errorf("key %q: %w", k, err)
+		}
+		if !ok {
+			return fmt.Errorf("key %q: sub-history not linearizable:\n%s", k, FormatOps(sub))
+		}
+	}
+	return nil
+}

@@ -36,9 +36,12 @@ func (k Kind) String() string {
 
 // Op is one completed operation in a history.
 type Op struct {
-	ID     int
-	Proc   int
-	Kind   Kind
+	ID   int
+	Proc int
+	Kind Kind
+	// Key scopes the operation for key-value histories (see CheckKVHistory);
+	// empty for plain register histories.
+	Key    string
 	Arg    string // value written (writes only)
 	Out    string // value returned (reads only)
 	Invoke int64  // invocation timestamp, ns

@@ -26,13 +26,14 @@ var ErrStopped = errors.New("node stopped")
 // Handler processes a protocol message on the node's event loop.
 type Handler func(from failure.Proc, m wire.Message)
 
-// handlerTable is the immutable handler registry. Installs publish a fresh
-// copy through an atomic pointer, so the per-message dispatch path reads it
-// without taking any lock.
-type handlerTable struct {
-	exact    map[string]Handler
-	prefixes []prefixHandler
-}
+// The handler registry keeps dispatch lock-free while making installs O(1):
+// exact-topic handlers live in a sync.Map (read-mostly after startup, so
+// lookups hit its immutable read map — one atomic load plus a hash probe),
+// and the few prefix handlers are published copy-on-write through an atomic
+// pointer. The previous design copied the whole exact map on every install,
+// which made registering the 4 topics of each of a log's S pre-created
+// consensus instances O(S^2) — multi-second startup stalls at S >= 768 that
+// desynchronized the per-log view clocks across processes.
 
 // Node is a single process: an unbounded mailbox drained by one event-loop
 // goroutine, a topic-based handler registry, and tracked periodic tasks.
@@ -41,8 +42,8 @@ type Node struct {
 	n   int
 	net transport.Network
 
-	// mu guards only the mailbox ring; the handler registry is read through
-	// the atomic table and written copy-on-write under regMu.
+	// mu guards only the mailbox ring; the handler registry is lock-free on
+	// the read side (exact is a sync.Map, prefixes an atomic pointer).
 	mu      sync.Mutex
 	ring    []func() // circular mailbox buffer
 	head    int      // index of the oldest queued entry
@@ -50,8 +51,9 @@ type Node struct {
 	cond    *sync.Cond
 	stopped bool
 
-	regMu    sync.Mutex // serializes handler-table writers
-	handlers atomic.Pointer[handlerTable]
+	regMu    sync.Mutex // serializes prefix-handler writers
+	exact    sync.Map   // topic string -> Handler
+	prefixes atomic.Pointer[[]prefixHandler]
 
 	done    chan struct{}
 	tickers sync.WaitGroup
@@ -69,7 +71,7 @@ func New(id failure.Proc, net transport.Network) *Node {
 		done:   make(chan struct{}),
 		stopCh: make(chan struct{}),
 	}
-	n.handlers.Store(&handlerTable{exact: make(map[string]Handler)})
+	n.prefixes.Store(&[]prefixHandler{})
 	n.cond = sync.NewCond(&n.mu)
 	net.Register(id, n.onMessage)
 	go n.loop()
@@ -83,17 +85,11 @@ func (n *Node) ID() failure.Proc { return n.id }
 func (n *Node) ClusterSize() int { return n.n }
 
 // Handle installs the handler for a message topic. It may be called at any
-// time, including from the event loop.
+// time, including from the event loop, and costs O(1) — endpoints that
+// pre-create thousands of protocol instances (a replicated log's slots)
+// register their topics without quadratic startup stalls.
 func (n *Node) Handle(topic string, h Handler) {
-	n.regMu.Lock()
-	defer n.regMu.Unlock()
-	old := n.handlers.Load()
-	exact := make(map[string]Handler, len(old.exact)+1)
-	for k, v := range old.exact {
-		exact[k] = v
-	}
-	exact[topic] = h
-	n.handlers.Store(&handlerTable{exact: exact, prefixes: old.prefixes})
+	n.exact.Store(topic, h)
 }
 
 type prefixHandler struct {
@@ -109,24 +105,23 @@ type prefixHandler struct {
 func (n *Node) HandlePrefix(prefix string, h Handler) {
 	n.regMu.Lock()
 	defer n.regMu.Unlock()
-	old := n.handlers.Load()
-	prefixes := make([]prefixHandler, 0, len(old.prefixes)+1)
-	prefixes = append(prefixes, old.prefixes...)
+	old := *n.prefixes.Load()
+	prefixes := make([]prefixHandler, 0, len(old)+1)
+	prefixes = append(prefixes, old...)
 	prefixes = append(prefixes, prefixHandler{prefix: prefix, h: h})
 	sort.SliceStable(prefixes, func(i, j int) bool {
 		return len(prefixes[i].prefix) > len(prefixes[j].prefix)
 	})
-	n.handlers.Store(&handlerTable{exact: old.exact, prefixes: prefixes})
+	n.prefixes.Store(&prefixes)
 }
 
 // lookup resolves the handler for a topic: exact match first, then the
 // longest matching prefix. Lock-free.
 func (n *Node) lookup(topic string) Handler {
-	t := n.handlers.Load()
-	if h := t.exact[topic]; h != nil {
-		return h
+	if h, ok := n.exact.Load(topic); ok {
+		return h.(Handler)
 	}
-	for _, ph := range t.prefixes {
+	for _, ph := range *n.prefixes.Load() {
 		if strings.HasPrefix(topic, ph.prefix) {
 			return ph.h
 		}
@@ -138,8 +133,8 @@ func (n *Node) lookup(topic string) Handler {
 // is now installed. It must be called from the event loop (typically by a
 // prefix handler after creating the exact handler).
 func (n *Node) Redeliver(from failure.Proc, m wire.Message) {
-	if h := n.handlers.Load().exact[m.Topic]; h != nil {
-		h(from, m)
+	if h, ok := n.exact.Load(m.Topic); ok {
+		h.(Handler)(from, m)
 	}
 }
 

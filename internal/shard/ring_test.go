@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic checks two rings built with the same parameters map
+// every key identically, and a different seed changes the mapping.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(4, 0, 7)
+	b := NewRing(4, 0, 7)
+	c := NewRing(4, 0, 8)
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key%d", i)
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("same parameters disagree on %q", k)
+		}
+		if a.Shard(k) != c.Shard(k) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seed change did not alter the mapping")
+	}
+}
+
+// TestRingBalance checks every shard owns a reasonable fraction of a large
+// keyspace (virtual nodes keep arcs even).
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 8, 20000
+	r := NewRing(shards, 0, 1)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("key%d", i))]++
+	}
+	want := keys / shards
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("shard %d owns %d of %d keys (want within [%d,%d])", s, c, keys, want/2, want*2)
+		}
+	}
+}
+
+// TestRingMinimalRemap checks the consistent-hashing property: growing the
+// ring by one shard moves keys only onto the new shard, and roughly 1/(n+1)
+// of them.
+func TestRingMinimalRemap(t *testing.T) {
+	const keys = 20000
+	old := NewRing(4, 0, 1)
+	grown := NewRing(5, 0, 1)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key%d", i)
+		a, b := old.Shard(k), grown.Shard(k)
+		if a == b {
+			continue
+		}
+		if b != 4 {
+			t.Fatalf("key %q moved between old shards %d -> %d", k, a, b)
+		}
+		moved++
+	}
+	// Expect ~1/5 of keys to move; allow a wide band.
+	if moved < keys/10 || moved > keys*3/10 {
+		t.Errorf("%d of %d keys moved to the new shard (want ~%d)", moved, keys, keys/5)
+	}
+}
+
+// TestRingSingleShard checks the degenerate 1-shard ring routes everything
+// to shard 0.
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, 4, 3)
+	for i := 0; i < 100; i++ {
+		if s := r.Shard(fmt.Sprintf("k%d", i)); s != 0 {
+			t.Fatalf("1-shard ring routed %d to shard %d", i, s)
+		}
+	}
+}
+
+func BenchmarkRingShard(b *testing.B) {
+	r := NewRing(8, 0, 1)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Shard(keys[i%len(keys)])
+	}
+}

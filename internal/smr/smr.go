@@ -94,6 +94,21 @@ type Log struct {
 	decided map[int64]string
 	next    int64 // lowest slot this process has not observed decided
 	waiters map[int64][]chan string
+	// view is the current view as driven by the shared synchronizer.
+	view int64
+	// frontier is the highest slot with any local activity (-1 when none):
+	// a local proposal, a direct protocol message, or a decision. Slots
+	// beyond it are virgin consensus instances whose per-view contribution
+	// is exactly the default 1B, so stepView covers them with one range in
+	// O(1) instead of stepping each instance — idle log capacity costs no
+	// per-view work at all.
+	frontier int64
+	// idle1Bs holds the latest batched default-1B ranges per peer. Ranges
+	// covering slots beyond the frontier are not materialized into the
+	// per-slot instances eagerly (that would be O(capacity) per view, per
+	// peer); they are replayed on demand the moment a covered slot first
+	// activates (see onSlotActive).
+	idle1Bs map[failure.Proc]smrIdle1B
 	stopped bool
 }
 
@@ -122,6 +137,8 @@ func New(n *node.Node, opts Options) *Log {
 		n:           n,
 		decided:     make(map[int64]string),
 		waiters:     make(map[int64][]chan string),
+		frontier:    -1,
+		idle1Bs:     make(map[failure.Proc]smrIdle1B),
 		topicIdle1B: opts.Name + "/idle1b",
 		topicDecs:   opts.Name + "/decs",
 	}
@@ -134,6 +151,9 @@ func New(n *node.Node, opts Options) *Log {
 			// Runs on the node loop as soon as this process learns the
 			// slot's decision.
 			OnDecide: func(v string) { l.recordDecision(slot, v) },
+			// Runs on the node loop the first time the slot leaves its
+			// virgin state, before the triggering event is processed.
+			OnActive: func() { l.onSlotActive(slot) },
 		}))
 	}
 	n.Handle(l.topicIdle1B, l.onIdle1B)
@@ -146,23 +166,31 @@ func New(n *node.Node, opts Options) *Log {
 	return l
 }
 
-// stepView enters view v at every slot, batching the idle slots' default
-// 1Bs into one message to the view's leader. Runs on the node loop.
+// stepView enters view v at every active slot (the prefix up to the
+// frontier), batching the default 1Bs of idle slots — stepped ones with
+// nothing to say, plus the whole virgin tail as one O(1) range — into one
+// message to the view's leader. Runs on the node loop.
 func (l *Log) stepView(v int64) {
 	if l.stopped {
 		return
 	}
+	l.view = v
 	var ranges [][2]int64
-	for s, inst := range l.slots {
-		if !inst.StepView(v) {
-			continue // active or decided: handled its own view entry
-		}
-		s64 := int64(s)
-		if k := len(ranges); k > 0 && ranges[k-1][1] == s64 {
-			ranges[k-1][1] = s64 + 1
+	addIdle := func(lo, hi int64) {
+		if k := len(ranges); k > 0 && ranges[k-1][1] == lo {
+			ranges[k-1][1] = hi
 		} else {
-			ranges = append(ranges, [2]int64{s64, s64 + 1})
+			ranges = append(ranges, [2]int64{lo, hi})
 		}
+	}
+	scan := l.frontier // activation during the scan must not extend it
+	for s := int64(0); s <= scan; s++ {
+		if l.slots[s].StepView(v) {
+			addIdle(s, s+1)
+		}
+	}
+	if tail := scan + 1; tail < int64(len(l.slots)) {
+		addIdle(tail, int64(len(l.slots)))
 	}
 	if len(ranges) == 0 {
 		return
@@ -171,23 +199,48 @@ func (l *Log) stepView(v int64) {
 	l.n.Send(leader, l.topicIdle1B, smrIdle1B{View: v, Ranges: ranges})
 }
 
-// onIdle1B unpacks a peer's batched default 1Bs (leader side). Slots this
-// process already knows decided are answered with their decisions instead —
-// that is how a healed or late process learns the log's history from one
-// message per view. Runs on the node loop.
+// onIdle1B records a peer's batched default 1Bs (leader side). Slots this
+// process already knows decided are answered with their decisions — that is
+// how a healed or late process learns the log's history from one message
+// per view. Defaults for slots active here are materialized into their
+// instances immediately; the rest of the ranges stay in idle1Bs and replay
+// on demand when a covered slot activates (onSlotActive), so the cost per
+// view is O(active slots), not O(capacity). Runs on the node loop.
 func (l *Log) onIdle1B(from failure.Proc, m wire.Message) {
 	var b smrIdle1B
 	if wire.Decode(m, &b) != nil || l.stopped {
 		return
 	}
+	// Keep the newest view's ranges per peer: same-view messages merge (a
+	// multi-part message must not clobber the ranges already stored, which
+	// later slot activations replay to assemble quorums), an older view's
+	// reordered straggler never regresses the entry, and a newer view
+	// replaces outright. Only the INCOMING ranges are materialized below;
+	// re-walking the merged set would replay every earlier range per
+	// message.
+	incoming := b.Ranges
+	if prev, ok := l.idle1Bs[from]; ok {
+		switch {
+		case prev.View == b.View:
+			merged := make([][2]int64, 0, len(prev.Ranges)+len(b.Ranges))
+			merged = append(merged, prev.Ranges...)
+			merged = append(merged, b.Ranges...)
+			b.Ranges = merged
+			l.idle1Bs[from] = b
+		case prev.View < b.View:
+			l.idle1Bs[from] = b
+		}
+	} else {
+		l.idle1Bs[from] = b
+	}
 	var decs []smrDecEntry
-	for _, r := range b.Ranges {
+	for _, r := range incoming {
 		lo, hi := r[0], r[1]
 		if lo < 0 {
 			lo = 0
 		}
-		if hi > int64(len(l.slots)) {
-			hi = int64(len(l.slots))
+		if hi > l.frontier+1 {
+			hi = l.frontier + 1 // virgin tail: materialized on activation
 		}
 		for s := lo; s < hi; s++ {
 			if v, ok := l.decided[s]; ok {
@@ -199,6 +252,43 @@ func (l *Log) onIdle1B(from failure.Proc, m wire.Message) {
 	}
 	if len(decs) > 0 {
 		l.n.Send(from, l.topicDecs, decs)
+	}
+}
+
+// onSlotActive runs when a slot's instance first leaves its virgin state
+// (consensus.Options.OnActive), before the triggering event is processed:
+// it extends the frontier, fast-forwards the instance into the current view
+// (its default 1B for this view was already claimed by stepView's range),
+// and replays the stored idle ranges of every peer that cover the slot so
+// the instance sees the same 1B set it would have under eager delivery.
+// Runs on the node loop.
+func (l *Log) onSlotActive(slot int64) {
+	if l.stopped {
+		return
+	}
+	if slot > l.frontier {
+		l.frontier = slot
+	}
+	inst := l.slots[slot]
+	if l.view > 0 {
+		// Fast-forward a virgin instance into the current view. Its default
+		// 1B for this view needs no fresh send: stepView's tail range
+		// [frontier+1, capacity) already covered every then-virgin slot at
+		// view entry, and an instance activated by a local proposal sends
+		// its own Mine-carrying 1B from StepView.
+		inst.StepView(l.view)
+	}
+	for from, b := range l.idle1Bs {
+		for _, r := range b.Ranges {
+			if slot >= r[0] && slot < r[1] {
+				if v, ok := l.decided[slot]; ok {
+					l.n.Send(from, l.topicDecs, []smrDecEntry{{Slot: slot, Val: v}})
+				} else {
+					inst.Default1B(from, b.View)
+				}
+				break
+			}
+		}
 	}
 }
 
@@ -223,6 +313,9 @@ func (l *Log) Capacity() int { return len(l.slots) }
 func (l *Log) recordDecision(slot int64, v string) {
 	if _, ok := l.decided[slot]; ok {
 		return
+	}
+	if slot > l.frontier {
+		l.frontier = slot
 	}
 	l.decided[slot] = v
 	for {

@@ -13,6 +13,14 @@ import (
 	"repro/internal/transport"
 )
 
+// Default simulated per-hop delay bounds of the mem transport, exported so
+// front ends (gqsload) can validate partial overrides against the bounds
+// the engine will actually use.
+const (
+	DefaultMinDelay = 10 * time.Microsecond
+	DefaultMaxDelay = 300 * time.Microsecond
+)
+
 // Config describes one load-generation run.
 type Config struct {
 	// Protocol selects the endpoint under load. Default register.
@@ -71,15 +79,23 @@ type Config struct {
 	// Otherwise clients on non-U_f nodes keep issuing and their post-fault
 	// operations time out into the error counts (the latency cliff).
 	RestrictToUf bool
-	// Slots is the SMR log capacity for the kv protocol (consensus instances
-	// pre-created per node; see the smr package comment). Idle slots no
-	// longer emit a per-view 1B message each — the whole log batches them
-	// into one message per view, and decided slots go silent — so capacity
-	// costs memory, not steady-state traffic; undersizing still surfaces as
-	// ErrLogFull write errors once the log fills. Default 256. Note that
-	// commit latency grows with slot index: an instance idle since startup
-	// is already in a long view when first used (see the E16 experiment
-	// note).
+	// Shards partitions the kv keyspace across this many independent
+	// quorum-system groups behind a consistent-hash ring (internal/shard):
+	// each shard is a full deployment with its own transport, propagators and
+	// SMR log, so aggregate kv throughput scales with the shard count while a
+	// fault degrades only one key range. Default 1 (a single group). Values
+	// above 1 require the kv protocol. With Pattern set, the pattern is
+	// injected into shard 0 only — the other shards are the fault-isolation
+	// control group, visible in the report's per-shard sections.
+	Shards int
+	// Slots is the total SMR log capacity for the kv protocol, divided
+	// evenly across Shards (each shard's log gets Slots/Shards consensus
+	// instances pre-created per node; see the smr package comment). Virgin
+	// slots beyond the log's activity frontier cost no per-view work or
+	// traffic at all, so capacity is effectively free until used;
+	// undersizing still surfaces as ErrLogFull write errors once the log
+	// fills. Default 4096 — commits are RTT-bound now, and a multi-second
+	// closed-loop run decides thousands of slots.
 	Slots int
 	// LatticePool is the number of pre-created single-shot lattice objects
 	// per run for the lattice protocol. Each object is a backing snapshot of
@@ -155,8 +171,11 @@ func (c Config) withDefaults() Config {
 	case c.FaultFrac < 0:
 		c.FaultFrac = 0 // explicit inject-at-start
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	if c.Slots == 0 {
-		c.Slots = 256
+		c.Slots = 4096
 	}
 	if c.LatticePool == 0 {
 		c.LatticePool = 8
@@ -176,10 +195,10 @@ func (c Config) withDefaults() Config {
 		c.ViewC = 5 * time.Millisecond
 	}
 	if c.MinDelay == 0 {
-		c.MinDelay = 10 * time.Microsecond
+		c.MinDelay = DefaultMinDelay
 	}
 	if c.MaxDelay == 0 {
-		c.MaxDelay = 300 * time.Microsecond
+		c.MaxDelay = DefaultMaxDelay
 	}
 	return c
 }
@@ -199,6 +218,12 @@ func (c Config) validate() error {
 	}
 	if c.ReadFraction < 0 || c.ReadFraction > 1 {
 		return fmt.Errorf("read fraction must be in [0,1], got %v", c.ReadFraction)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("shards must be at least 1, got %d", c.Shards)
+	}
+	if c.Shards > 1 && c.Protocol != ProtocolKV {
+		return fmt.Errorf("sharding requires the kv protocol, got %q with %d shards", c.Protocol, c.Shards)
 	}
 	if c.Pattern < 0 || c.Pattern > 4 {
 		return fmt.Errorf("pattern must be in 0..4, got %d", c.Pattern)
@@ -225,6 +250,14 @@ type opMetrics struct {
 	errs atomic.Uint64
 }
 
+// shardAware is implemented by targets that partition the keyspace; the
+// driver keeps one opMetrics pair per shard and the report merges the
+// histograms exactly (Histogram.Merge) instead of averaging percentiles.
+type shardAware interface {
+	shardCount() int
+	shardOf(key int) int
+}
+
 // Run executes the workload described by cfg and returns its report. The
 // context bounds the whole run (cancel it to stop early; operations in
 // flight finish or time out and the report covers what completed).
@@ -247,8 +280,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// Determine which nodes clients call.
 	qs, callers := callerNodes(cfg)
 
-	reads := &opMetrics{hist: NewHistogram()}
-	writes := &opMetrics{hist: NewHistogram()}
+	// One metrics pair per shard (a single pair for unsharded targets);
+	// the report merges the per-shard histograms bucket-exactly.
+	nshards := 1
+	sa, _ := tgt.(shardAware)
+	if sa != nil {
+		nshards = sa.shardCount()
+	}
+	reads := make([]*opMetrics, nshards)
+	writes := make([]*opMetrics, nshards)
+	for i := 0; i < nshards; i++ {
+		reads[i] = &opMetrics{hist: NewHistogram()}
+		writes[i] = &opMetrics{hist: NewHistogram()}
+	}
 	seconds := int(cfg.Duration/time.Second) + 1
 	series := make([]atomic.Uint64, seconds)
 
@@ -324,9 +368,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				if t0.Before(measureFrom) {
 					continue // warmup op
 				}
-				m := writes
+				shardIdx := 0
+				if sa != nil {
+					shardIdx = sa.shardOf(key)
+				}
+				m := writes[shardIdx]
 				if isRead {
-					m = reads
+					m = reads[shardIdx]
 				}
 				if oerr != nil {
 					if runCtx.Err() != nil {

@@ -144,7 +144,10 @@ func TestRunKV(t *testing.T) {
 	cfg.Protocol = ProtocolKV
 	cfg.Clients = 2
 	cfg.Duration = 400 * time.Millisecond
-	cfg.Slots = 64
+	// Commits are RTT-bound (leader forwarding): even a 400ms window with 2
+	// clients decides hundreds of slots, so capacity must be sized for the
+	// achieved rate, not the old view-bound one.
+	cfg.Slots = 2048
 	cfg.ViewC = 3 * time.Millisecond
 	// No warmup and a generous op timeout: every started op is recorded
 	// even when the race detector stretches latencies past the window.

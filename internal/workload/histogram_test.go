@@ -83,6 +83,66 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeExactAggregation checks the property multi-shard
+// reports rely on: merging per-shard histograms is bucket-exact — every
+// quantile of the merged histogram equals the quantile of one histogram fed
+// all observations directly. It also documents why merging is required:
+// averaging per-shard percentiles gives a different (wrong) answer for
+// skewed distributions.
+func TestHistogramMergeExactAggregation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shards := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	oracle := NewHistogram()
+	// Three deliberately different distributions: fast reads (~µs), slow
+	// writes (~ms), and a heavy tail (~100ms), as three shards would see.
+	sample := func(i int) time.Duration {
+		switch i {
+		case 0:
+			return time.Duration(1+rng.Intn(1000)) * time.Microsecond
+		case 1:
+			return time.Duration(1+rng.Intn(20)) * time.Millisecond
+		default:
+			return time.Duration(50+rng.Intn(100)) * time.Millisecond
+		}
+	}
+	for i, h := range shards {
+		for n := 0; n < 5000; n++ {
+			v := sample(i)
+			h.Record(v)
+			oracle.Record(v)
+		}
+	}
+	merged := NewHistogram()
+	for _, h := range shards {
+		merged.Merge(h)
+	}
+	if merged.Count() != oracle.Count() {
+		t.Fatalf("merged count %d != oracle %d", merged.Count(), oracle.Count())
+	}
+	if merged.Max() != oracle.Max() {
+		t.Errorf("merged max %v != oracle %v", merged.Max(), oracle.Max())
+	}
+	if merged.Mean() != oracle.Mean() {
+		t.Errorf("merged mean %v != oracle %v", merged.Mean(), oracle.Mean())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := merged.Quantile(q), oracle.Quantile(q); got != want {
+			t.Errorf("q=%v: merged %v != oracle %v (merge must be bucket-exact)", q, got, want)
+		}
+	}
+	// The naive alternative — averaging the shards' p99s — is off by a lot
+	// for skewed shards; guard that the merged quantile does not degenerate
+	// to it.
+	avgP99 := (shards[0].Quantile(0.99) + shards[1].Quantile(0.99) + shards[2].Quantile(0.99)) / 3
+	exact := oracle.Quantile(0.99)
+	if diff := float64(exact-avgP99) / float64(exact); diff < 0.2 {
+		t.Logf("note: distributions too similar to demonstrate averaging bias (diff %.2f)", diff)
+	}
+	if merged.Quantile(0.99) == avgP99 && exact != avgP99 {
+		t.Error("merged p99 equals the averaged p99s; merge is not aggregating buckets")
+	}
+}
+
 // TestHistogramConcurrentRecord exercises the lock-free Record path under
 // the race detector.
 func TestHistogramConcurrentRecord(t *testing.T) {

@@ -68,10 +68,19 @@ type Report struct {
 	ThroughputPerSec []uint64 `json:"throughput_per_sec"`
 
 	// Pattern and FaultAtSec record mid-run fault injection ("" when none).
+	// On a sharded run the pattern applies to shard 0 only.
 	Pattern    string  `json:"pattern,omitempty"`
 	FaultAtSec float64 `json:"fault_at_sec,omitempty"`
 	// Callers are the nodes client loops were assigned to.
 	Callers []int `json:"callers"`
+
+	// ShardCount and PerShard describe a sharded kv run (ShardCount > 1):
+	// one section per shard group, with the key range's own throughput and
+	// latency digest. The top-level Latency/Reads/Writes are the exact
+	// bucket-level merge of the per-shard histograms, not an average of
+	// their percentiles.
+	ShardCount int           `json:"shards,omitempty"`
+	PerShard   []ShardReport `json:"per_shard,omitempty"`
 
 	// Message-level counters of the simulated network (mem only).
 	MsgsSent      int64 `json:"msgs_sent,omitempty"`
@@ -79,11 +88,32 @@ type Report struct {
 	MsgsDropped   int64 `json:"msgs_dropped,omitempty"`
 }
 
-// buildReport assembles the report from the run's accumulators.
-func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers []int, reads, writes *opMetrics, series []atomic.Uint64, faultAt time.Duration, tgt target) *Report {
+// ShardReport is one shard group's section of a sharded run.
+type ShardReport struct {
+	Shard     int               `json:"shard"`
+	Ops       uint64            `json:"ops"`
+	OpsPerSec float64           `json:"ops_per_sec"`
+	Latency   LatencySummary    `json:"latency"`
+	Reads     LatencySummary    `json:"reads"`
+	Writes    LatencySummary    `json:"writes"`
+	Errors    map[string]uint64 `json:"errors"`
+}
+
+// buildReport assembles the report from the run's per-shard accumulators
+// (one element for unsharded runs). Global digests are exact bucket-level
+// merges of the shard histograms.
+func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers []int, reads, writes []*opMetrics, series []atomic.Uint64, faultAt time.Duration, tgt target) *Report {
+	allReads, allWrites := NewHistogram(), NewHistogram()
+	var readErrs, writeErrs uint64
+	for i := range reads {
+		allReads.Merge(reads[i].hist)
+		allWrites.Merge(writes[i].hist)
+		readErrs += reads[i].errs.Load()
+		writeErrs += writes[i].errs.Load()
+	}
 	all := NewHistogram()
-	all.Merge(reads.hist)
-	all.Merge(writes.hist)
+	all.Merge(allReads)
+	all.Merge(allWrites)
 
 	mode := "closed"
 	if cfg.Rate > 0 {
@@ -105,13 +135,33 @@ func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers [
 		TotalOps:     all.Count(),
 		OpsPerSec:    float64(all.Count()) / measured.Seconds(),
 		Latency:      Summarize(all),
-		Reads:        Summarize(reads.hist),
-		Writes:       Summarize(writes.hist),
+		Reads:        Summarize(allReads),
+		Writes:       Summarize(allWrites),
 		Errors: map[string]uint64{
-			"read":  reads.errs.Load(),
-			"write": writes.errs.Load(),
+			"read":  readErrs,
+			"write": writeErrs,
 		},
 		Callers: callers,
+	}
+	if len(reads) > 1 {
+		r.ShardCount = len(reads)
+		for i := range reads {
+			sh := NewHistogram()
+			sh.Merge(reads[i].hist)
+			sh.Merge(writes[i].hist)
+			r.PerShard = append(r.PerShard, ShardReport{
+				Shard:     i,
+				Ops:       sh.Count(),
+				OpsPerSec: float64(sh.Count()) / measured.Seconds(),
+				Latency:   Summarize(sh),
+				Reads:     Summarize(reads[i].hist),
+				Writes:    Summarize(writes[i].hist),
+				Errors: map[string]uint64{
+					"read":  reads[i].errs.Load(),
+					"write": writes[i].errs.Load(),
+				},
+			})
+		}
 	}
 	buckets := int((measured + time.Second - 1) / time.Second)
 	if buckets > len(series) {
@@ -137,10 +187,18 @@ func (r *Report) JSON() ([]byte, error) {
 
 // Text renders a human-readable summary.
 func (r *Report) Text(w io.Writer) {
-	fmt.Fprintf(w, "workload: %s over %s, %d nodes, %d clients (%s loop), %s keys=%d read=%.0f%%\n",
+	fmt.Fprintf(w, "workload: %s over %s, %d nodes, %d clients (%s loop), %s keys=%d read=%.0f%%",
 		r.Protocol, r.Net, r.Nodes, r.Clients, r.Mode, r.Dist, r.Keys, r.ReadFraction*100)
+	if r.ShardCount > 1 {
+		fmt.Fprintf(w, " shards=%d", r.ShardCount)
+	}
+	fmt.Fprintln(w)
 	if r.Pattern != "" {
-		fmt.Fprintf(w, "fault: pattern %s injected at t=%.1fs (callers %v)\n", r.Pattern, r.FaultAtSec, r.Callers)
+		if r.ShardCount > 1 {
+			fmt.Fprintf(w, "fault: pattern %s injected into shard 0 at t=%.1fs (callers %v)\n", r.Pattern, r.FaultAtSec, r.Callers)
+		} else {
+			fmt.Fprintf(w, "fault: pattern %s injected at t=%.1fs (callers %v)\n", r.Pattern, r.FaultAtSec, r.Callers)
+		}
 	}
 	fmt.Fprintf(w, "ops: %d in %.1fs = %.1f ops/sec (errors: read %d, write %d)\n",
 		r.TotalOps, r.DurationSec, r.OpsPerSec, r.Errors["read"], r.Errors["write"])
@@ -154,6 +212,10 @@ func (r *Report) Text(w io.Writer) {
 	row("all", r.Latency)
 	row("reads", r.Reads)
 	row("writes", r.Writes)
+	for _, s := range r.PerShard {
+		fmt.Fprintf(w, "shard %-2d n=%-7d %.1f ops/s p50=%.2fms p99=%.2fms (errors: read %d, write %d)\n",
+			s.Shard, s.Ops, s.OpsPerSec, s.Latency.P50Ms, s.Latency.P99Ms, s.Errors["read"], s.Errors["write"])
+	}
 	if len(r.ThroughputPerSec) > 0 {
 		fmt.Fprintf(w, "throughput/s:")
 		for _, c := range r.ThroughputPerSec {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/lattice"
 	"repro/internal/quorum"
+	"repro/internal/shard"
 	"repro/internal/transport"
 )
 
@@ -64,13 +65,10 @@ func quorumSystemFor(n int) (quorum.System, error) {
 	return qs, nil
 }
 
-// openCluster provisions the shared substrate through the core adoption
-// surface — the same path downstream deployments take.
-func openCluster(cfg Config) (*core.Cluster, error) {
-	qs, err := quorumSystemFor(cfg.Nodes)
-	if err != nil {
-		return nil, err
-	}
+// clusterOptions builds the core options for one shard group. Groups differ
+// only by simulator seed, so concurrent shards do not replay identical delay
+// sequences.
+func clusterOptions(cfg Config, qs quorum.System, shard int) ([]core.Option, error) {
 	opts := []core.Option{
 		core.WithQuorums(qs.Reads, qs.Writes),
 		core.WithTick(cfg.Tick),
@@ -85,13 +83,27 @@ func openCluster(cfg Config) (*core.Cluster, error) {
 		}
 		opts = append(opts, core.WithMem(
 			transport.WithDelay(delay),
-			transport.WithSeed(cfg.Seed),
+			transport.WithSeed(cfg.Seed+int64(shard)*104729),
 			transport.WithMode(transport.ModeRoute),
 		))
 	case NetTCP:
 		opts = append(opts, core.WithTCP())
 	default:
 		return nil, fmt.Errorf("unknown net %q (want %q or %q)", cfg.Net, NetMem, NetTCP)
+	}
+	return opts, nil
+}
+
+// openCluster provisions the shared substrate through the core adoption
+// surface — the same path downstream deployments take.
+func openCluster(cfg Config) (*core.Cluster, error) {
+	qs, err := quorumSystemFor(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := clusterOptions(cfg, qs, 0)
+	if err != nil {
+		return nil, err
 	}
 	return core.Open(qs.F, opts...)
 }
@@ -111,8 +123,12 @@ func (t *clusterTarget) close()                            { t.cl.Close() }
 //	register: write = Write, read = Read; key selects one of Keys registers
 //	snapshot: write = Update, read = Scan; key selects one of Keys objects
 //	lattice:  every op = Propose on the next object of a pre-created pool
-//	kv:       write = Set, read = Get (Sync+Get when SyncReads)
+//	kv:       write = Set, read = Get (Sync+Get when SyncReads); deploys
+//	          cfg.Shards independent groups behind a consistent-hash ring
 func newTarget(cfg Config) (target, error) {
+	if cfg.Protocol == ProtocolKV {
+		return newKVTarget(cfg)
+	}
 	cl, err := openCluster(cfg)
 	if err != nil {
 		return nil, err
@@ -155,23 +171,56 @@ func newTarget(cfg Config) (target, error) {
 			t.objs = append(t.objs, lc)
 		}
 		return t, nil
-	case ProtocolKV:
-		t := &kvTarget{clusterTarget: clusterTarget{cl: cl}, syncReads: cfg.SyncReads}
-		t.keys = make([]string, cfg.Keys)
-		for k := range t.keys {
-			t.keys[k] = fmt.Sprintf("key%d", k)
-		}
-		kc, err := cl.KV("wl")
-		if err != nil {
-			cl.Close()
-			return nil, err
-		}
-		t.kv = kc
-		return t, nil
 	default:
 		cl.Close()
 		return nil, fmt.Errorf("unknown protocol %q", cfg.Protocol)
 	}
+}
+
+// newKVTarget deploys the (possibly sharded) KV target: cfg.Shards
+// independent quorum-system groups behind a consistent-hash ring. One shard
+// is the plain single-group deployment. Config.Slots is the deployment's
+// total log capacity, divided evenly across shards: comparing shard counts
+// at a fixed -slots compares equal resource budgets (slot instances cost
+// startup work, memory and per-view batching at every node), so measured
+// speedups are scaling, not extra provisioning.
+func newKVTarget(cfg Config) (target, error) {
+	qs, err := quorumSystemFor(cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Slots = cfg.Slots / cfg.Shards
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	// Pre-flight the transport choice once; the per-shard closure below
+	// cannot surface errors.
+	if _, err := clusterOptions(cfg, qs, 0); err != nil {
+		return nil, err
+	}
+	st, err := shard.Open(qs.F, cfg.Shards,
+		shard.WithRingSeed(uint64(cfg.Seed)),
+		shard.WithGroupOptionsFunc(func(s int) []core.Option {
+			opts, _ := clusterOptions(cfg, qs, s)
+			return opts
+		}),
+	)
+	if err != nil {
+		return nil, err
+	}
+	kv, err := st.KV("wl")
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	t := &kvTarget{st: st, kv: kv, syncReads: cfg.SyncReads}
+	t.keys = make([]string, cfg.Keys)
+	t.keyShard = make([]int, cfg.Keys)
+	for k := range t.keys {
+		t.keys[k] = fmt.Sprintf("key%d", k)
+		t.keyShard[k] = kv.KeyShard(t.keys[k])
+	}
+	return t, nil
 }
 
 // --- register ---
@@ -247,22 +296,38 @@ func (t *latticeTarget) read(ctx context.Context, p, k int) error {
 	return t.propose(ctx, p, k)
 }
 
-// --- kv ---
+// --- kv (sharded) ---
 
+// kvTarget drives the sharded KV store. The driver pins each operation to a
+// node p within the key's shard group — every group has the same topology,
+// so the pinning stays meaningful at any shard count.
 type kvTarget struct {
-	clusterTarget
-	kv        *core.KVClient
+	st        *shard.Store
+	kv        *shard.KV
 	keys      []string // precomputed so the timed path does not format
+	keyShard  []int    // precomputed ring lookups
 	syncReads bool
 }
 
+// injector returns shard 0's fault injector: a mid-run pattern degrades one
+// key range while the remaining shards serve as the isolation control.
+func (t *kvTarget) injector() transport.FaultInjector { return t.st.Injector(0) }
+
+func (t *kvTarget) stats() (transport.Stats, bool) { return t.st.Stats() }
+
+func (t *kvTarget) close() { t.st.Close() }
+
+// shardCount and shardOf let the driver keep exact per-shard metrics.
+func (t *kvTarget) shardCount() int   { return t.st.Shards() }
+func (t *kvTarget) shardOf(k int) int { return t.keyShard[k] }
+
 func (t *kvTarget) write(ctx context.Context, p, k int, val string) error {
-	_, err := t.kv.At(failure.Proc(p)).Set(ctx, t.keys[k], val)
+	_, err := t.kv.Shard(t.keyShard[k]).At(failure.Proc(p)).Set(ctx, t.keys[k], val)
 	return err
 }
 
 func (t *kvTarget) read(ctx context.Context, p, k int) error {
-	ep := t.kv.At(failure.Proc(p))
+	ep := t.kv.Shard(t.keyShard[k]).At(failure.Proc(p))
 	if t.syncReads {
 		if err := ep.Sync(ctx); err != nil {
 			return err
