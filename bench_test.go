@@ -196,9 +196,40 @@ func BenchmarkE16_ReplicatedKV(b *testing.B) {
 // BenchmarkE17_Workload — the workload engine's scenario table (sustained
 // load, tail latency, U_f cliff).
 func BenchmarkE17_Workload(b *testing.B) {
+	skipHeavyBenchShort(b)
 	for i := 0; i < b.N; i++ {
 		t, err := harness.E17Workload(benchConfig())
 		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE18_ShardScaling — sharded KV throughput vs shard count at
+// ms-scale delays (multi-second workload runs per iteration).
+func BenchmarkE18_ShardScaling(b *testing.B) {
+	skipHeavyBenchShort(b)
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E18ShardScaling(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// BenchmarkE19_BatchingSweep — group-commit batch-size sweep at a pinned
+// 1ms one-way delay (multi-second workload runs per iteration).
+func BenchmarkE19_BatchingSweep(b *testing.B) {
+	skipHeavyBenchShort(b)
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E19BatchingSweep(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
+// skipHeavyBenchShort keeps the CI bench-smoke step (-benchtime 1x -short)
+// from starving on multi-second workload benchmarks; the bench-trend job
+// runs the ms-delay targets without -short and pins -benchtime instead.
+func skipHeavyBenchShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("multi-second workload benchmark skipped in -short mode")
 	}
 }
 
@@ -269,6 +300,61 @@ func BenchmarkWorkloadRegisterUnderF1(b *testing.B) {
 		Pattern: 1, RestrictToUf: true,
 	})
 }
+
+// --- ms-delay KV trend benchmarks (CI bench-trend job) ---
+//
+// These two targets are the committed throughput trajectory of the
+// replicated-log hot path: single-group KV writes at a pinned 1ms one-way
+// delay, unbatched vs group-committed at equal client concurrency. The CI
+// bench-trend job runs them with a pinned -benchtime, extracts the ops/sec
+// metric and fails the build if either regresses >30% against the
+// ci_baselines section of BENCH_batching.json (cmd/benchtrend). Keep the
+// configs in lockstep with those baselines: changing a knob here without
+// re-measuring the baseline makes the trend check meaningless.
+
+func benchKVWrite1ms(b *testing.B, batch int) {
+	skipHeavyBenchShort(b)
+	cfg := workload.Config{
+		Protocol:     workload.ProtocolKV,
+		Clients:      64,
+		Keys:         1024,
+		ReadFraction: -1, // write-only: the consensus pipeline is the subject
+		Seed:         7,
+		Slots:        4096,
+		MinDelay:     time.Millisecond,
+		MaxDelay:     time.Millisecond, // pinned: exactly 1ms per hop
+		Duration:     1500 * time.Millisecond,
+		Warmup:       300 * time.Millisecond,
+		OpTimeout:    20 * time.Second,
+	}
+	if batch > 1 {
+		cfg.Batch = batch
+		cfg.BatchWindow = time.Millisecond
+		cfg.Pipeline = 4
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := workload.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.TotalOps == 0 {
+			b.Fatal("workload completed no operations")
+		}
+		if errs := r.Errors["read"] + r.Errors["write"]; errs > 0 {
+			b.Fatalf("%d operation errors", errs)
+		}
+		b.ReportMetric(r.OpsPerSec, "ops/sec")
+		b.ReportMetric(r.Writes.P99Ms, "p99-ms")
+	}
+}
+
+// BenchmarkKVWrite1msUnbatched — the RTT-bound baseline: one consensus
+// round per Set.
+func BenchmarkKVWrite1msUnbatched(b *testing.B) { benchKVWrite1ms(b, 1) }
+
+// BenchmarkKVWrite1msBatched64 — group commit at batch 64, window 1ms,
+// pipeline 4: one round carries up to 64 Sets.
+func BenchmarkKVWrite1msBatched64(b *testing.B) { benchKVWrite1ms(b, 64) }
 
 // --- Micro-benchmarks for the substrates ---
 

@@ -1,0 +1,240 @@
+// Command benchtrend guards the committed performance trajectory: it parses
+// `go test -bench` output, extracts a custom throughput metric per
+// benchmark, compares each against the baselines committed in the repo's
+// BENCH_*.json files, and fails (non-zero exit) when any benchmark
+// regresses beyond the threshold. CI runs it after the ms-delay KV/batching
+// benchmarks and uploads the JSON report it writes as a workflow artifact,
+// so every PR carries its measured numbers next to the committed ones.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkKVWrite1ms -benchtime 2x . | tee bench.txt
+//	benchtrend -bench bench.txt -baseline BENCH_batching.json -report report.json
+//
+// Baseline files are JSON documents with a top-level "ci_baselines" object
+// mapping benchmark names (no -GOMAXPROCS suffix) to the committed metric
+// value; keys starting with "_" are comments. Multiple -baseline flags
+// merge, later files winning on duplicate names. A baseline with no
+// matching benchmark in the output is itself a failure — a renamed or
+// deleted benchmark must retire its baseline explicitly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrend:", err)
+		os.Exit(1)
+	}
+}
+
+// multiFlag collects repeated -baseline values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	benchPath := fs.String("bench", "", "go test -bench output to check ('-' = stdin)")
+	var baselines multiFlag
+	fs.Var(&baselines, "baseline", "baseline JSON file with a ci_baselines section (repeatable)")
+	reportPath := fs.String("report", "", "write the comparison report as JSON to this file")
+	threshold := fs.Float64("threshold", 0.30, "allowed fractional regression below baseline before failing")
+	metric := fs.String("metric", "ops/sec", "benchmark metric unit to extract")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchPath == "" {
+		return fmt.Errorf("missing -bench (go test -bench output file, or '-' for stdin)")
+	}
+	if len(baselines) == 0 {
+		return fmt.Errorf("missing -baseline (committed BENCH_*.json file)")
+	}
+	if *threshold < 0 || *threshold >= 1 {
+		return fmt.Errorf("-threshold must be in [0,1), got %v", *threshold)
+	}
+
+	var benchIn io.Reader
+	if *benchPath == "-" {
+		benchIn = os.Stdin
+	} else {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		benchIn = f
+	}
+	current, err := parseBenchOutput(benchIn, *metric)
+	if err != nil {
+		return err
+	}
+
+	base := map[string]float64{}
+	for _, path := range baselines {
+		if err := loadBaselines(path, base); err != nil {
+			return err
+		}
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("no ci_baselines entries found in %s", baselines.String())
+	}
+
+	rep := compare(current, base, *threshold, *metric)
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, string(raw))
+	if !rep.Pass {
+		return fmt.Errorf("throughput regression beyond %.0f%% (see report)", *threshold*100)
+	}
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line; the -N GOMAXPROCS
+// suffix is absent on single-CPU runners, so it is optional.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.*)$`)
+
+// parseBenchOutput extracts the named custom metric of every benchmark in
+// the output. Metrics repeat per iteration batch; the last value wins,
+// matching testing.B.ReportMetric semantics.
+func parseBenchOutput(r io.Reader, metric string) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		// fields alternate value/unit ("123456 ns/op 250.3 ops/sec ...").
+		for i := 0; i+1 < len(fields); i += 2 {
+			if fields[i+1] != metric {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad %s value %q", m[1], metric, fields[i])
+			}
+			out[m[1]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// loadBaselines merges path's ci_baselines section into base.
+func loadBaselines(path string, base map[string]float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		CIBaselines map[string]json.RawMessage `json:"ci_baselines"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for name, v := range doc.CIBaselines {
+		if strings.HasPrefix(name, "_") {
+			continue // comment key
+		}
+		var f float64
+		if err := json.Unmarshal(v, &f); err != nil {
+			return fmt.Errorf("%s: baseline %q is not a number", path, name)
+		}
+		base[name] = f
+	}
+	return nil
+}
+
+// Result is one benchmark's comparison against its committed baseline.
+type Result struct {
+	Name     string  `json:"name"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Ratio is current/baseline (1.0 = unchanged, <1 = slower).
+	Ratio float64 `json:"ratio"`
+	Pass  bool    `json:"pass"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// Report is the serialized outcome of one trend check.
+type Report struct {
+	Metric    string   `json:"metric"`
+	Threshold float64  `json:"threshold"`
+	Results   []Result `json:"results"`
+	Pass      bool     `json:"pass"`
+}
+
+// compare checks every baselined benchmark: present in the output and
+// within threshold of its committed value. Benchmarks without a baseline
+// are reported informationally (they always pass — committing a baseline is
+// the explicit act that puts a benchmark under guard).
+func compare(current, base map[string]float64, threshold float64, metric string) Report {
+	rep := Report{Metric: metric, Threshold: threshold, Pass: true}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base[name]
+		got, ok := current[name]
+		switch {
+		case !ok:
+			rep.Results = append(rep.Results, Result{
+				Name: name, Baseline: want, Pass: false,
+				Note: "benchmark missing from output (renamed or deleted? retire the baseline explicitly)",
+			})
+			rep.Pass = false
+		case want > 0 && got < want*(1-threshold):
+			rep.Results = append(rep.Results, Result{
+				Name: name, Baseline: want, Current: got, Ratio: got / want, Pass: false,
+				Note: fmt.Sprintf("regressed beyond the %.0f%% threshold", threshold*100),
+			})
+			rep.Pass = false
+		default:
+			r := Result{Name: name, Baseline: want, Current: got, Pass: true}
+			if want > 0 {
+				r.Ratio = got / want
+			}
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	extras := make([]string, 0, len(current))
+	for name := range current {
+		if _, ok := base[name]; !ok {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		rep.Results = append(rep.Results, Result{
+			Name: name, Current: current[name], Pass: true,
+			Note: "no committed baseline (informational)",
+		})
+	}
+	return rep
+}

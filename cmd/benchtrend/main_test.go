@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKVWrite1msUnbatched 	       2	2054665596 ns/op	       282.7 ops/sec	       830.5 p99-ms
+BenchmarkKVWrite1msBatched64-4 	       2	1895583016 ns/op	      7263 ops/sec	       186.6 p99-ms
+BenchmarkUnrelated-4 	  100	  12345 ns/op
+PASS
+ok  	repro	11.862s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleBench), "ops/sec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -N GOMAXPROCS suffix must be stripped whether present or not, and
+	// lines without the metric are skipped.
+	want := map[string]float64{
+		"BenchmarkKVWrite1msUnbatched": 282.7,
+		"BenchmarkKVWrite1msBatched64": 7263,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 1000, "Gone": 50}
+	current := map[string]float64{
+		"A":     75,   // within the 30% threshold (exactly 25% down)
+		"B":     600,  // 40% down: regression
+		"Extra": 9999, // no baseline: informational
+	}
+	rep := compare(current, base, 0.30, "ops/sec")
+	if rep.Pass {
+		t.Fatal("report passed despite a regression and a missing benchmark")
+	}
+	byName := map[string]Result{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+	}
+	if !byName["A"].Pass {
+		t.Errorf("A within threshold marked failing: %+v", byName["A"])
+	}
+	if byName["B"].Pass {
+		t.Errorf("B regressed 40%% but passed: %+v", byName["B"])
+	}
+	if byName["Gone"].Pass {
+		t.Errorf("missing benchmark passed: %+v", byName["Gone"])
+	}
+	if !byName["Extra"].Pass || byName["Extra"].Note == "" {
+		t.Errorf("unbaselined benchmark should pass informationally: %+v", byName["Extra"])
+	}
+	if r := byName["B"].Ratio; r < 0.59 || r > 0.61 {
+		t.Errorf("B ratio = %v, want 0.6", r)
+	}
+}
+
+func TestCompareBoundary(t *testing.T) {
+	base := map[string]float64{"A": 100}
+	// Exactly at the threshold floor passes; a hair below fails.
+	if rep := compare(map[string]float64{"A": 70}, base, 0.30, "x"); !rep.Pass {
+		t.Error("value exactly at the floor failed")
+	}
+	if rep := compare(map[string]float64{"A": 69.9}, base, 0.30, "x"); rep.Pass {
+		t.Error("value below the floor passed")
+	}
+}
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	bench := writeFile(t, dir, "bench.txt", sampleBench)
+	baseline := writeFile(t, dir, "base.json", `{
+		"other_stuff": {"nested": true},
+		"ci_baselines": {
+			"_comment": "ignored",
+			"BenchmarkKVWrite1msUnbatched": 280,
+			"BenchmarkKVWrite1msBatched64": 7000
+		}
+	}`)
+	report := filepath.Join(dir, "report.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"-bench", bench, "-baseline", baseline, "-report", report}, &out); err != nil {
+		t.Fatalf("healthy comparison failed: %v\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if !rep.Pass || len(rep.Results) != 2 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+
+	// A regressed baseline fails the run but still writes the report.
+	regressed := writeFile(t, dir, "regressed.json", `{
+		"ci_baselines": {"BenchmarkKVWrite1msUnbatched": 10000}
+	}`)
+	out.Reset()
+	err = run([]string{"-bench", bench, "-baseline", baseline, "-baseline", regressed, "-report", report}, &out)
+	if err == nil {
+		t.Fatal("regression not reported as failure")
+	}
+	raw, rerr := os.ReadFile(report)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil || rep.Pass {
+		t.Fatalf("failing report not written correctly: %v %+v", err, rep)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-bench", "x.txt"},
+		{"-bench", "x.txt", "-baseline", "b.json", "-threshold", "1.5"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// A baseline file without a ci_baselines section is an error, not a
+	// silent pass.
+	dir := t.TempDir()
+	bench := writeFile(t, dir, "bench.txt", sampleBench)
+	empty := writeFile(t, dir, "empty.json", `{"description": "no baselines here"}`)
+	if err := run([]string{"-bench", bench, "-baseline", empty}, &out); err == nil {
+		t.Error("baseline file without ci_baselines accepted")
+	}
+}

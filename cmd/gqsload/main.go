@@ -10,12 +10,14 @@
 //	        [-clients N] [-rate OPS] [-duration D] [-warmup D]
 //	        [-keys N] [-dist uniform|zipf] [-zipf-s S] [-readfrac F]
 //	        [-pattern 0..4] [-fault-at F] [-uf] [-nodes N] [-slots N]
-//	        [-shards N] [-sync-reads] [-seed N] [-json]
+//	        [-shards N] [-batch N] [-batch-window D] [-pipeline N]
+//	        [-sync-reads] [-seed N] [-json]
 //
 // Examples:
 //
 //	gqsload -protocol kv -net mem -clients 16 -dist zipf -duration 5s -json
 //	gqsload -protocol kv -shards 4 -clients 16 -duration 5s -json
+//	gqsload -protocol kv -batch 64 -pipeline 4 -readfrac 0 -duration 5s -json
 //	gqsload -protocol register -net tcp -clients 8 -rate 500 -duration 10s
 //	gqsload -protocol register -pattern 1 -fault-at 0.5 -duration 10s
 //
@@ -30,6 +32,12 @@
 // quorum-system groups behind a consistent-hash ring; the report gains
 // per-shard sections. Combined with -pattern, the fault is injected into
 // shard 0 only — the other shards demonstrate fault isolation.
+//
+// A -batch N run (kv only) enables group commit: Sets arriving within
+// -batch-window coalesce into one consensus round carrying up to N
+// commands, and -pipeline bounds how many batches stay in flight (and how
+// many writes each client keeps outstanding). This lifts the per-group
+// RTT ceiling on write throughput — see the README's batching section.
 //
 // Invalid flag combinations (a value out of range, or a flag that its
 // protocol/mode would silently ignore, like -shards with -protocol register
@@ -76,6 +84,9 @@ func run(args []string, w io.Writer) error {
 	faultAt := fs.Float64("fault-at", 0.5, "fraction of the run after which the pattern is injected (0 = at start)")
 	uf := fs.Bool("uf", false, "restrict clients to the pattern's termination component U_f")
 	shards := fs.Int("shards", 1, "independent quorum-system groups the kv keyspace is consistent-hashed across")
+	batch := fs.Int("batch", 0, "max Sets per group-commit consensus round (kv protocol; 0/1 = unbatched)")
+	batchWindow := fs.Duration("batch-window", 0, "group-commit coalescing window (kv; 0 = default 1ms when -batch is set)")
+	pipeline := fs.Int("pipeline", 0, "batches kept in flight / async writes outstanding per client (kv; 0 = default 4 when -batch is set)")
 	slots := fs.Int("slots", 0, "total SMR log capacity, divided across shards (kv protocol; 0 = default 4096)")
 	latticePool := fs.Int("lattice-pool", 0, "single-shot lattice object pool size (lattice protocol; 0 = default 8)")
 	syncReads := fs.Bool("sync-reads", false, "kv reads commit a Sync barrier before Get")
@@ -140,6 +151,15 @@ func run(args []string, w io.Writer) error {
 	if (set["slots"] || set["sync-reads"]) && *protocol != "kv" {
 		reject("-slots/-sync-reads apply to -protocol kv only (got %q)", *protocol)
 	}
+	if (set["batch"] || set["batch-window"] || set["pipeline"]) && *protocol != "kv" {
+		reject("-batch/-batch-window/-pipeline apply to -protocol kv only (got %q)", *protocol)
+	}
+	if *batch < 0 || *pipeline < 0 || *batchWindow < 0 {
+		reject("-batch/-batch-window/-pipeline must be non-negative")
+	}
+	if set["batch-window"] && *batch <= 1 {
+		reject("-batch-window needs group commit enabled (-batch > 1)")
+	}
 	if set["lattice-pool"] && *protocol != "lattice" {
 		reject("-lattice-pool applies to -protocol lattice only (got %q)", *protocol)
 	}
@@ -188,6 +208,9 @@ func run(args []string, w io.Writer) error {
 		RestrictToUf: *uf,
 		Shards:       *shards,
 		Slots:        *slots,
+		Batch:        *batch,
+		BatchWindow:  *batchWindow,
+		Pipeline:     *pipeline,
 		LatticePool:  *latticePool,
 		SyncReads:    *syncReads,
 		OpTimeout:    *opTimeout,

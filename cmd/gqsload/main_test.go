@@ -101,6 +101,11 @@ func TestRunFlagCombinationValidation(t *testing.T) {
 		{"min-delay above default max", []string{"-min-delay", "1ms", "-duration", "10ms"}},
 		{"inverted delay bounds", []string{"-min-delay", "2ms", "-max-delay", "1ms", "-duration", "10ms"}},
 		{"negative delay", []string{"-max-delay", "-1ms", "-duration", "10ms"}},
+		{"batch with register", []string{"-protocol", "register", "-batch", "16", "-duration", "10ms"}},
+		{"pipeline with snapshot", []string{"-protocol", "snapshot", "-pipeline", "4", "-duration", "10ms"}},
+		{"negative batch", []string{"-protocol", "kv", "-batch", "-1", "-duration", "10ms"}},
+		{"negative pipeline", []string{"-protocol", "kv", "-pipeline", "-2", "-duration", "10ms"}},
+		{"batch-window without batch", []string{"-protocol", "kv", "-batch-window", "2ms", "-duration", "10ms"}},
 	}
 	for _, tc := range bad {
 		err := run(tc.args, &bytes.Buffer{})
@@ -111,6 +116,38 @@ func TestRunFlagCombinationValidation(t *testing.T) {
 		if !strings.Contains(err.Error(), "invalid flags") {
 			t.Errorf("%s: rejected by the engine, not flag validation: %v", tc.name, err)
 		}
+	}
+}
+
+// TestRunBatchedJSON drives a tiny batched+pipelined kv run and checks the
+// report records the group-commit configuration and completes writes.
+func TestRunBatchedJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batched kv run skipped in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "kv", "-clients", "4", "-readfrac", "0",
+		"-batch", "8", "-batch-window", "2ms", "-pipeline", "4",
+		"-duration", "500ms", "-keys", "16", "-slots", "64",
+		"-seed", "3", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		TotalOps uint64 `json:"total_ops"`
+		Batch    int    `json:"batch"`
+		Pipeline int    `json:"pipeline"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if report.TotalOps == 0 {
+		t.Errorf("batched run completed no operations: %s", out.String())
+	}
+	if report.Batch != 8 || report.Pipeline != 4 {
+		t.Errorf("report missing batch configuration: %s", out.String())
 	}
 }
 

@@ -30,6 +30,12 @@
 //     access functions), NewSnapshot, NewLatticeAgreement, NewConsensus
 //     (Figure 6), and the replicated log / KV layer (NewReplicatedLog,
 //     NewReplicatedKV);
+//   - group-commit batching and pipelined appends on the log/KV hot path
+//     (WithBatch, WithPipeline, BatchOptions; KV SetMany/SetAsync with
+//     per-op completion): commands arriving within a window coalesce into
+//     one consensus round and consecutive batches' rounds overlap, lifting
+//     the per-group RTT ceiling ~20x at ms delays (see README "Batching &
+//     pipelining" and BENCH_batching.json);
 //   - the sharded KV surface (OpenSharded, ShardedStore, ShardedKV,
 //     ShardRing): the keyspace consistent-hashed (virtual nodes,
 //     deterministic seed) across N independent quorum-system groups, each a

@@ -148,6 +148,17 @@ type (
 	ReplicatedLogOptions = smr.Options
 	// ReplicatedKV is a linearizable key-value store over the replicated log.
 	ReplicatedKV = smr.KV
+	// BatchOptions configures group-commit batching and pipelined appends on
+	// a replicated log (ReplicatedLogOptions.Batch, or WithBatch/WithPipeline
+	// on a cluster).
+	BatchOptions = smr.BatchOptions
+	// AppendResult is the completion of a ReplicatedLog.AppendAsync: slot,
+	// index within the slot's batch, error.
+	AppendResult = smr.AppendResult
+	// SetResult is the completion of an asynchronous KV Set.
+	SetResult = smr.SetResult
+	// KVPair is one key=value write of a SetMany group commit.
+	KVPair = smr.KVPair
 )
 
 // Cluster is the high-level adoption surface: Open derives (or validates) a
@@ -195,6 +206,12 @@ var (
 	WithViewC = core.WithViewC
 	// WithSlots sets replicated log/KV capacity.
 	WithSlots = core.WithSlots
+	// WithBatch enables group-commit batching on provisioned logs/KV stores:
+	// commands arriving within the window (or until the op cap) coalesce
+	// into one consensus round. WithPipeline sets how many batches stay in
+	// flight across consecutive slots.
+	WithBatch    = core.WithBatch
+	WithPipeline = core.WithPipeline
 	// Fixed routes every operation to one process (no failover).
 	Fixed = core.Fixed
 	// RoundRobin spreads operations across all processes (the default).
@@ -299,6 +316,10 @@ var (
 	NewReplicatedLog = smr.New
 	// NewReplicatedKV installs a replicated key-value store on a node.
 	NewReplicatedKV = smr.NewKV
+	// SlotCommands expands a decided log slot value into its ordered
+	// commands (a group-commit batch yields all of them, any other value
+	// yields itself).
+	SlotCommands = smr.SlotCommands
 	// EncodeSet / EncodeVec build lattice elements.
 	EncodeSet = lattice.EncodeSet
 	EncodeVec = lattice.EncodeVec

@@ -366,7 +366,9 @@ func (lc *LogClient) Append(ctx context.Context, cmd string) (int64, error) {
 }
 
 // Get returns the decision of a slot, blocking until it is decided at the
-// routed process.
+// routed process. With the cluster's batching enabled a slot's decision may
+// be an opaque group-commit value carrying several commands; expand it with
+// smr.SlotCommands (re-exported as gqs.SlotCommands).
 func (lc *LogClient) Get(ctx context.Context, slot int64) (string, error) {
 	var v string
 	err := lc.do(ctx, func(ctx context.Context, p int) error {
@@ -407,6 +409,50 @@ func (kc *KVClient) Set(ctx context.Context, key, val string) (int64, error) {
 		return err
 	})
 	return slot, err
+}
+
+// SetMany commits every pair at one routed process and returns the slot of
+// each pair, aligned with the input order. With the cluster's batching
+// enabled (WithBatch), the pairs coalesce into as few group commits as the
+// batch caps allow — a k-write call costs ~1 consensus round instead of k.
+// The pairs are concurrent writes: only pairs sharing one group commit are
+// ordered among themselves (see smr.KV.SetMany for the ordering contract).
+// Like Set it never fails over; the routed attempt's partial results are
+// final (committed pairs keep their slots, failed pairs report slot -1,
+// the first error is returned).
+func (kc *KVClient) SetMany(ctx context.Context, pairs []smr.KVPair) ([]int64, error) {
+	var slots []int64
+	err := kc.doNoFailover(ctx, func(ctx context.Context, p int) error {
+		s, err := kc.eps[p].SetMany(ctx, pairs)
+		slots = s
+		return err
+	})
+	return slots, err
+}
+
+// SetAsync submits key=val at the routed process and returns a channel
+// receiving its completion — the write's slot AND its real index within
+// that slot's group commit, so results pair with LogClient.Get +
+// smr.SlotCommands. One client can keep several writes in flight
+// (pipelined group commits) instead of serializing on each decision.
+// Routing, metrics and the no-failover rule match Set; the channel is
+// buffered, so abandoning it leaks nothing. (The routed client relays the
+// endpoint's completion through one goroutine to record metrics; drivers
+// pinning endpoints with At get the endpoint's adapter-free channel.)
+func (kc *KVClient) SetAsync(ctx context.Context, key, val string) <-chan smr.SetResult {
+	out := make(chan smr.SetResult, 1)
+	go func() {
+		var res smr.SetResult
+		err := kc.doNoFailover(ctx, func(ctx context.Context, p int) error {
+			res = <-kc.eps[p].SetAsync(ctx, key, val)
+			return res.Err
+		})
+		if err != nil && res.Err == nil {
+			res = smr.SetResult{Err: err} // routing failure before any attempt
+		}
+		out <- res
+	}()
+	return out
 }
 
 // Get returns key's value in the decided prefix at the routed process.

@@ -57,6 +57,7 @@ type config struct {
 	tick          time.Duration
 	viewC         time.Duration
 	slots         int
+	batch         smr.BatchOptions
 }
 
 // Option configures Open.
@@ -110,6 +111,37 @@ func WithSlots(n int) Option {
 	return func(c *config) { c.slots = n }
 }
 
+// WithBatch enables group-commit batching on the replicated logs (and KV
+// stores) provisioned by this cluster: commands arriving within window
+// coalesce into one consensus instance carrying up to maxOps commands (zero
+// accepts the smr defaults), amortizing the round trip over the batch. See
+// smr.BatchOptions; combine with WithPipeline to overlap consecutive
+// batches' rounds.
+func WithBatch(window time.Duration, maxOps int) Option {
+	return func(c *config) {
+		c.batch.Window = window
+		c.batch.MaxOps = maxOps
+		if window <= 0 && maxOps <= 0 {
+			// Explicit zeros still opt in: WithBatch(0, 0) means "batching on
+			// with defaults" rather than a no-op.
+			c.batch.MaxOps = smr.DefaultBatchMaxOps
+		}
+	}
+}
+
+// WithPipeline sets how many append batches a provisioned log keeps in
+// flight concurrently (consecutive slots pipelining their consensus
+// rounds). Implies WithBatch's defaults when batching was not otherwise
+// configured.
+func WithPipeline(n int) Option {
+	return func(c *config) {
+		c.batch.Pipeline = n
+		if c.batch.MaxOps == 0 && c.batch.Window == 0 {
+			c.batch.MaxOps = smr.DefaultBatchMaxOps
+		}
+	}
+}
+
 // objKey identifies a provisioned object: two kinds may share a name.
 type objKey struct {
 	kind, name string
@@ -131,6 +163,7 @@ type Cluster struct {
 	tick  time.Duration
 	viewC time.Duration
 	slots int
+	batch smr.BatchOptions
 
 	mu      sync.Mutex
 	objects map[objKey]Object
@@ -178,6 +211,7 @@ func Open(failProne failure.System, opts ...Option) (*Cluster, error) {
 		tick:    cfg.tick,
 		viewC:   cfg.viewC,
 		slots:   cfg.slots,
+		batch:   cfg.batch,
 		objects: make(map[objKey]Object),
 		pending: make(map[objKey]*pendingObj),
 	}
@@ -534,6 +568,7 @@ func (c *Cluster) Log(name string) (*LogClient, error) {
 			eps = append(eps, smr.New(nd, smr.Options{
 				Name: "log/" + name, Slots: c.slots,
 				Reads: c.QS.Reads, Writes: c.QS.Writes, ViewC: c.viewC,
+				Batch: c.batch,
 			}))
 		}
 		lc := &LogClient{eps: eps}
@@ -559,6 +594,7 @@ func (c *Cluster) KV(name string) (*KVClient, error) {
 			eps = append(eps, smr.NewKV(nd, smr.Options{
 				Name: "kv/" + name, Slots: c.slots,
 				Reads: c.QS.Reads, Writes: c.QS.Writes, ViewC: c.viewC,
+				Batch: c.batch,
 			}))
 		}
 		kc := &KVClient{eps: eps}

@@ -551,6 +551,7 @@ func runAll(w io.Writer, cfg Config, render func(*Table, io.Writer)) error {
 		{"E16", func() (*Table, error) { return E16ReplicatedKV(cfg) }},
 		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
 		{"E18", func() (*Table, error) { return E18ShardScaling(cfg) }},
+		{"E19", func() (*Table, error) { return E19BatchingSweep(cfg) }},
 	}
 	for _, e := range exps {
 		tbl, err := e.run()

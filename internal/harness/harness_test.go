@@ -131,6 +131,7 @@ func TestHeavyClusterExperiments(t *testing.T) {
 		{"E16", func() (*Table, error) { return E16ReplicatedKV(cfg) }},
 		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
 		{"E18", func() (*Table, error) { return E18ShardScaling(cfg) }},
+		{"E19", func() (*Table, error) { return E19BatchingSweep(cfg) }},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/smr"
 	"repro/internal/transport"
 )
 
@@ -236,6 +237,71 @@ func (kv *KV) SetPolicy(p core.Policy) {
 // the committed position globally.
 func (kv *KV) Set(ctx context.Context, key, val string) (int64, error) {
 	return kv.forKey(key).Set(ctx, key, val)
+}
+
+// SetAsync submits key=val in the key's shard and returns a channel
+// receiving its completion (see core.KVClient.SetAsync): pipelined writes
+// to one shard share group commits when the groups were opened with
+// batching (core.WithBatch via WithGroupOptions).
+func (kv *KV) SetAsync(ctx context.Context, key, val string) <-chan smr.SetResult {
+	return kv.forKey(key).SetAsync(ctx, key, val)
+}
+
+// SetMany commits every pair, grouped by owning shard: each shard's pairs
+// go through that shard's SetMany (coalescing into its group commits), all
+// shards concurrently. The returned slots align with the input order and
+// are per-shard positions — (KeyShard(pair.Key), slot) identifies a commit
+// globally. The pairs are concurrent writes (see smr.KV.SetMany for the
+// ordering contract). Committed pairs keep their slots on partial failure,
+// failed pairs report slot -1; the joined shard errors are returned.
+func (kv *KV) SetMany(ctx context.Context, pairs []smr.KVPair) ([]int64, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	type idxPair struct {
+		idx  int
+		pair smr.KVPair
+	}
+	byShard := make(map[int][]idxPair)
+	for i, p := range pairs {
+		s := kv.store.ring.Shard(p.Key)
+		byShard[s] = append(byShard[s], idxPair{idx: i, pair: p})
+	}
+	slots := make([]int64, len(pairs))
+	for i := range slots {
+		slots[i] = -1 // failed or unreached pairs stay unambiguous
+	}
+	var (
+		mu   sync.Mutex
+		errs []error
+		wg   sync.WaitGroup
+	)
+	for s, group := range byShard {
+		wg.Add(1)
+		go func(s int, group []idxPair) {
+			defer wg.Done()
+			sub := make([]smr.KVPair, len(group))
+			for i, g := range group {
+				sub[i] = g.pair
+			}
+			got, err := kv.shards[s].SetMany(ctx, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			for i, g := range group {
+				if i < len(got) {
+					slots[g.idx] = got[i]
+				}
+			}
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", s, err))
+			}
+		}(s, group)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return slots, errors.Join(errs...)
+	}
+	return slots, nil
 }
 
 // Get returns key's value from the decided prefix of a routed process in the

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lincheck"
 	"repro/internal/quorum"
+	"repro/internal/smr"
 	"repro/internal/transport"
 )
 
@@ -252,5 +253,68 @@ func TestShardedStoreStats(t *testing.T) {
 	stats, ok := st.Stats()
 	if !ok || stats.Sent == 0 {
 		t.Errorf("aggregated stats missing: ok=%v %+v", ok, stats)
+	}
+}
+
+// TestShardedSetMany covers the cross-shard batched write path: one call
+// groups pairs by owning shard, commits each group through that shard's
+// group commits, and reports per-pair slots in input order.
+func TestShardedSetMany(t *testing.T) {
+	qs := quorum.Figure1()
+	st, err := Open(qs.F, 2,
+		WithRingSeed(7),
+		WithGroupOptions(
+			core.WithQuorums(qs.Reads, qs.Writes),
+			core.WithSlots(48),
+			core.WithViewC(5*time.Millisecond),
+			core.WithTick(time.Millisecond),
+			core.WithBatch(2*time.Millisecond, 8),
+		),
+		WithGroupOptionsFunc(func(shard int) []core.Option {
+			return []core.Option{core.WithMem(transport.WithSeed(int64(11 + shard)))}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	kv, err := st.KV("many")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keysPerShard(t, st)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	pairs := []smr.KVPair{
+		{Key: keys[0], Val: "a0"},
+		{Key: keys[1], Val: "b0"},
+		{Key: keys[0], Val: "a1"},
+		{Key: keys[1], Val: "b1"},
+	}
+	slots, err := kv.SetMany(ctx, pairs)
+	if err != nil {
+		t.Fatalf("setmany: %v", err)
+	}
+	if len(slots) != len(pairs) {
+		t.Fatalf("got %d slots for %d pairs", len(slots), len(pairs))
+	}
+	for i, want := range map[string]string{keys[0]: "a1", keys[1]: "b1"} {
+		v, ok, err := kv.SyncGet(ctx, i)
+		if err != nil || !ok || v != want {
+			t.Fatalf("syncget %q = %q/%v/%v, want %q", i, v, ok, err, want)
+		}
+	}
+	// Async set routes by key like Set.
+	res := <-kv.SetAsync(ctx, keys[1], "b2")
+	if res.Err != nil {
+		t.Fatalf("setasync: %v", res.Err)
+	}
+	v, ok, err := kv.SyncGet(ctx, keys[1])
+	if err != nil || !ok || v != "b2" {
+		t.Fatalf("syncget after setasync = %q/%v/%v", v, ok, err)
+	}
+	if _, err := kv.SetMany(ctx, nil); err != nil {
+		t.Fatalf("empty setmany: %v", err)
 	}
 }

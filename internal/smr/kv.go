@@ -45,13 +45,74 @@ func (kv *KV) nextID() string {
 	return fmt.Sprintf("p%d-%d", kv.nodeID, kv.seq.Add(1))
 }
 
-// Set commits key=val and returns the log slot it occupies.
+// Set commits key=val and returns the log slot it occupies. Under batching
+// the slot may be shared with other commands of the same group commit.
 func (kv *KV) Set(ctx context.Context, key, val string) (int64, error) {
 	cmd, err := json.Marshal(kvCommand{ID: kv.nextID(), Key: key, Val: val})
 	if err != nil {
 		return 0, fmt.Errorf("encode kv command: %w", err)
 	}
 	return kv.log.Append(ctx, string(cmd))
+}
+
+// SetResult is the completion of an asynchronous Set: the slot the write's
+// batch occupies, its index within the batch, and any error. It is the
+// log-level AppendResult — the alias keeps SetAsync adapter-free (the
+// channel the caller reads is the batcher's own completion channel, no
+// per-write relay goroutine on the hot path).
+type SetResult = AppendResult
+
+// SetAsync submits key=val and returns a channel receiving its completion,
+// letting one client keep several writes in flight so consecutive group
+// commits pipeline instead of serializing on each decision. The channel is
+// buffered; abandoning it leaks nothing, but ctx does not withdraw a
+// buffered write on the batching path — a submitted write will be proposed
+// and may commit regardless (see Log.AppendAsync); use the synchronous Set
+// when a canceled write must be safely retriable.
+func (kv *KV) SetAsync(ctx context.Context, key, val string) <-chan SetResult {
+	cmd, err := json.Marshal(kvCommand{ID: kv.nextID(), Key: key, Val: val})
+	if err != nil {
+		out := make(chan SetResult, 1)
+		out <- SetResult{Err: fmt.Errorf("encode kv command: %w", err)}
+		return out
+	}
+	return kv.log.AppendAsync(ctx, string(cmd))
+}
+
+// KVPair is one key=value write of a SetMany.
+type KVPair struct {
+	Key, Val string
+}
+
+// SetMany commits every pair, coalescing them into as few group commits as
+// the log's batch configuration allows (one, when they fit a single batch),
+// and returns the slot of each pair, aligned with the input order. Without
+// batching the writes still overlap (each runs its own consensus round
+// concurrently). The pairs are CONCURRENT writes: pairs sharing one group
+// commit preserve input order within their slot, but pairs split across
+// batches (or across unbatched rounds) may commit in either order — exactly
+// like concurrent Sets. Callers needing a total order across same-key
+// writes issue sequential Sets (a Set started after another completed
+// always commits above it). On error the committed pairs keep their slots
+// and failed pairs report slot -1; the first error is returned.
+func (kv *KV) SetMany(ctx context.Context, pairs []KVPair) ([]int64, error) {
+	chans := make([]<-chan SetResult, len(pairs))
+	for i, p := range pairs {
+		chans[i] = kv.SetAsync(ctx, p.Key, p.Val)
+	}
+	slots := make([]int64, len(pairs))
+	var firstErr error
+	for i, ch := range chans {
+		res := <-ch
+		slots[i] = res.Slot
+		if res.Err != nil {
+			slots[i] = -1
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+		}
+	}
+	return slots, firstErr
 }
 
 // Get returns the value of key in the decided prefix at this process, and

@@ -17,9 +17,14 @@
 // unbounded log would need slot-generic 1B messages — a protocol extension
 // beyond the paper.)
 //
-// The log is intentionally simple — no batching, no leader leases, no log
-// compaction — because its purpose here is to exercise the consensus
-// substrate, not to compete with production SMR systems.
+// The hot path supports group commit: with Options.Batch enabled, commands
+// arriving within a short window coalesce into one ordered batch that a
+// single consensus instance decides as one opaque value, and up to a
+// configurable number of batches pipeline across consecutive slots (see
+// batch.go). Consensus value semantics are untouched — a batch is one value
+// — so the paper's safety argument carries over unchanged. There are still
+// no leader leases and no log compaction; the log exercises the consensus
+// substrate rather than competing with production SMR systems on features.
 package smr
 
 import (
@@ -43,11 +48,13 @@ var ErrStopped = errors.New("replicated log stopped")
 var ErrLogFull = errors.New("replicated log full (all slots decided)")
 
 // DefaultSlots is the default log capacity. Sized for sustained workloads
-// (the workload engine's kv driver appends one slot per Set); deployments
-// expecting more traffic set Options.Slots explicitly — each slot is a
-// pre-created consensus instance at every process (see the package
-// comment). Idle slots batch their view participation into one message per
-// process per view, so capacity costs memory, not steady-state traffic.
+// (unbatched, the workload engine's kv driver appends one slot per Set;
+// with group commit a slot carries a whole batch, stretching the same
+// capacity by the batch size); deployments expecting more traffic set
+// Options.Slots explicitly — each slot is a pre-created consensus instance
+// at every process (see the package comment). Idle slots batch their view
+// participation into one message per process per view, so capacity costs
+// memory, not steady-state traffic.
 const DefaultSlots = 128
 
 // Options configures a log endpoint.
@@ -62,6 +69,10 @@ type Options struct {
 	Reads, Writes []graph.BitSet
 	// ViewC is the per-slot consensus view-duration constant.
 	ViewC time.Duration
+	// Batch configures group-commit batching and pipelined appends. The
+	// zero value disables batching (every Append runs its own consensus
+	// round, the pre-batching behavior).
+	Batch BatchOptions
 }
 
 // smrIdle1B batches the default 1B messages of every idle slot at one
@@ -90,10 +101,19 @@ type Log struct {
 	topicIdle1B string
 	topicDecs   string
 
+	// batch is the group-commit append buffer, nil when batching is off.
+	batch *batcher
+
 	// Loop-confined state.
 	decided map[int64]string
 	next    int64 // lowest slot this process has not observed decided
-	waiters map[int64][]chan string
+	// claimNext is the next slot a pipelined batch proposal claims; it never
+	// trails next and never hands two local batches the same slot.
+	claimNext int64
+	waiters   map[int64][]chan string
+	// prefixWaiters holds batch completions gated on the decided prefix
+	// covering their slot (awaitPrefix): key k fires when next exceeds k.
+	prefixWaiters map[int64][]chan struct{}
 	// view is the current view as driven by the shared synchronizer.
 	view int64
 	// frontier is the highest slot with any local activity (-1 when none):
@@ -134,13 +154,17 @@ func New(n *node.Node, opts Options) *Log {
 		opts.ViewC = 25 * time.Millisecond
 	}
 	l := &Log{
-		n:           n,
-		decided:     make(map[int64]string),
-		waiters:     make(map[int64][]chan string),
-		frontier:    -1,
-		idle1Bs:     make(map[failure.Proc]smrIdle1B),
-		topicIdle1B: opts.Name + "/idle1b",
-		topicDecs:   opts.Name + "/decs",
+		n:             n,
+		decided:       make(map[int64]string),
+		waiters:       make(map[int64][]chan string),
+		prefixWaiters: make(map[int64][]chan struct{}),
+		frontier:      -1,
+		idle1Bs:       make(map[failure.Proc]smrIdle1B),
+		topicIdle1B:   opts.Name + "/idle1b",
+		topicDecs:     opts.Name + "/decs",
+	}
+	if opts.Batch.enabled() {
+		l.batch = newBatcher(l, opts.Batch)
 	}
 	for s := 0; s < opts.Slots; s++ {
 		slot := int64(s)
@@ -328,14 +352,62 @@ func (l *Log) recordDecision(slot int64, v string) {
 		ch <- v
 	}
 	delete(l.waiters, slot)
+	for k, ws := range l.prefixWaiters {
+		if k < l.next {
+			for _, ch := range ws {
+				close(ch)
+			}
+			delete(l.prefixWaiters, k)
+		}
+	}
 }
 
-// Append commits cmd to the log and returns the slot it occupies: it tries
-// successive slots until cmd itself is decided. Commands must be unique
-// (callers tag them with client ids); duplicates would be committed twice.
+// awaitPrefix blocks until this process's decided prefix covers slot (next >
+// slot) or the log stops. Batch completions gate on it so a returned Append
+// implies a locally decided prefix through its slot — the invariant the KV
+// Sync barrier's freshness argument rests on (see batch.go).
+func (l *Log) awaitPrefix(slot int64) {
+	ch := make(chan struct{})
+	wait := false
+	l.n.Call(func() {
+		if l.stopped || l.next > slot {
+			return
+		}
+		wait = true
+		l.prefixWaiters[slot] = append(l.prefixWaiters[slot], ch)
+	})
+	if wait {
+		<-ch
+	}
+}
+
+// Append commits cmd to the log and returns the slot it occupies. Commands
+// must be unique (callers tag them with client ids); duplicates would be
+// committed twice. With batching enabled the command coalesces into a group
+// commit and the returned slot may be shared with other commands (use
+// AppendAsync for the index within the batch); otherwise it tries
+// successive slots until cmd itself is decided, alone in its slot.
+//
+// Canceling ctx abandons the wait. A command still buffered (never cut
+// into a batch) is withdrawn and cannot commit, so a caller may safely
+// retry it; a command whose batch was already proposed may still commit
+// afterwards — the same in-flight semantics as the unbatched path, where a
+// retried command risks double commit.
 func (l *Log) Append(ctx context.Context, cmd string) (int64, error) {
-	if cmd == "" {
-		return 0, errors.New("empty command")
+	if err := checkCmd(cmd); err != nil {
+		return 0, err
+	}
+	if l.batch != nil {
+		ch := l.batch.enqueue(cmd)
+		select {
+		case res := <-ch:
+			return res.Slot, res.Err
+		case <-ctx.Done():
+			// Withdraw the command if it has not been cut into a batch yet;
+			// an op already in flight keeps the may-still-commit semantics.
+			l.batch.remove(ch)
+			return 0, ctx.Err()
+		}
 	}
 	for {
 		var (
@@ -374,8 +446,51 @@ func (l *Log) Append(ctx context.Context, cmd string) (int64, error) {
 	}
 }
 
+// checkCmd validates a command for Append: non-empty, and not opening with
+// the reserved batch-marker byte (a command that parsed as a batch would
+// corrupt DecidedPrefix's flattening).
+func checkCmd(cmd string) error {
+	if cmd == "" {
+		return errors.New("empty command")
+	}
+	if cmd[0] == 0x01 {
+		return errors.New("command starts with the reserved batch-marker byte 0x01")
+	}
+	return nil
+}
+
+// AppendAsync submits cmd and returns a channel that receives its
+// completion: the slot the command's batch occupies, its index within the
+// batch, and any error. The channel is buffered; abandoning it leaks
+// nothing. On the batching path ctx does NOT withdraw the command — the
+// async surface trades cancellation for a zero-overhead completion channel
+// (no per-op goroutine), so a submitted command will be proposed and may
+// commit even if the caller stops listening; a caller that needs
+// withdraw-on-cancel for safe retries uses the synchronous Append. With
+// batching disabled it falls back to a goroutine running Append (index 0),
+// which does honor ctx, so callers can pipeline against either
+// configuration.
+func (l *Log) AppendAsync(ctx context.Context, cmd string) <-chan AppendResult {
+	if err := checkCmd(cmd); err != nil {
+		done := make(chan AppendResult, 1)
+		done <- AppendResult{Err: err}
+		return done
+	}
+	if l.batch != nil {
+		return l.batch.enqueue(cmd)
+	}
+	done := make(chan AppendResult, 1)
+	go func() {
+		slot, err := l.Append(ctx, cmd)
+		done <- AppendResult{Slot: slot, Err: err}
+	}()
+	return done
+}
+
 // Get returns the decision of a slot, blocking until it is decided at this
-// process.
+// process. Under batching a slot's decision may be an opaque group-commit
+// value carrying several commands; SlotCommands expands it (DecidedPrefix
+// already flattens the whole prefix back into the per-command sequence).
 func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
 	if slot < 0 || slot >= int64(len(l.slots)) {
 		return "", fmt.Errorf("slot %d out of range [0,%d)", slot, len(l.slots))
@@ -408,9 +523,11 @@ func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
 }
 
 // DecidedPrefix returns the decided commands of slots [0, k) where k is the
-// first undecided slot at this process. The context bounds the wait for the
-// event loop (a loaded loop services the request only after the work ahead
-// of it); it returns ErrStopped after the log's node has stopped.
+// first undecided slot at this process, flattening group-commit batches
+// back into their ordered per-command sequence (one decided slot may
+// contribute several commands). The context bounds the wait for the event
+// loop (a loaded loop services the request only after the work ahead of
+// it); it returns ErrStopped after the log's node has stopped.
 func (l *Log) DecidedPrefix(ctx context.Context) ([]string, error) {
 	ch := make(chan []string, 1)
 	err := l.n.CallCtx(ctx, func() {
@@ -430,12 +547,37 @@ func (l *Log) DecidedPrefix(ctx context.Context) ([]string, error) {
 		}
 		return nil, err
 	}
-	return <-ch, nil
+	raw := <-ch
+	out := make([]string, 0, len(raw))
+	for s, v := range raw {
+		cmds, err := SlotCommands(v)
+		if err != nil {
+			return nil, fmt.Errorf("corrupt batch in slot %d: %w", s, err)
+		}
+		out = append(out, cmds...)
+	}
+	return out, nil
 }
 
-// Stop terminates the shared view synchronizer and every slot instance,
-// and releases blocked calls.
+// SlotCommands expands a decided slot value into its ordered commands: a
+// group-commit value yields the batch's commands (AppendResult.Index is the
+// position within this slice), any other value yields itself. It is the
+// public decoder for values read back through Get on a batching log.
+func SlotCommands(v string) ([]string, error) {
+	if !wire.IsBatch(v) {
+		return []string{v}, nil
+	}
+	return wire.DecodeBatch(v)
+}
+
+// Stop drains the append buffer (buffered commands get a bounded commit
+// attempt — the close-time flush of group commit), then terminates the
+// shared view synchronizer and every slot instance, and releases blocked
+// calls.
 func (l *Log) Stop() {
+	if l.batch != nil {
+		l.batch.drainAndClose(5 * time.Second)
+	}
 	l.sync.Stop()
 	l.n.Call(func() {
 		l.stopped = true
@@ -444,6 +586,12 @@ func (l *Log) Stop() {
 				close(ch)
 			}
 			delete(l.waiters, slot)
+		}
+		for slot, ws := range l.prefixWaiters {
+			for _, ch := range ws {
+				close(ch)
+			}
+			delete(l.prefixWaiters, slot)
 		}
 	})
 	for _, c := range l.slots {

@@ -86,6 +86,53 @@ func Marshal(topic string, body any) ([]byte, error) {
 	return out, nil
 }
 
+// batchMagic prefixes a group-committed command batch travelling as one
+// opaque consensus value (see smr's group commit). Byte 0x01 cannot open a
+// JSON document, so a batch is always distinguishable from the JSON-encoded
+// single commands the SMR layers store; callers of EncodeBatch must not
+// feed it commands that themselves start with 0x01.
+const batchMagic = "\x01b1"
+
+// EncodeBatch packs an ordered command batch into one opaque value using
+// the pooled encoder (one pass, no intermediate slices). The encoding is
+// batchMagic followed by the JSON array of commands; order is preserved.
+func EncodeBatch(cmds []string) (string, error) {
+	for i, c := range cmds {
+		if len(c) > 0 && c[0] == batchMagic[0] {
+			return "", fmt.Errorf("batch command %d starts with the reserved batch-marker byte 0x01", i)
+		}
+	}
+	e := encPool.Get().(*encoder)
+	e.buf.Reset()
+	e.buf.WriteString(batchMagic)
+	if err := e.js.Encode(cmds); err != nil {
+		encPool.Put(e)
+		return "", fmt.Errorf("marshal command batch: %w", err)
+	}
+	e.buf.Truncate(e.buf.Len() - 1) // drop the Encoder's trailing newline
+	out := e.buf.String()           // String copies; the pooled buffer may be reused
+	encPool.Put(e)
+	return out, nil
+}
+
+// IsBatch reports whether a decided value is a batch produced by
+// EncodeBatch rather than a single command.
+func IsBatch(v string) bool {
+	return len(v) >= len(batchMagic) && v[:len(batchMagic)] == batchMagic
+}
+
+// DecodeBatch unpacks a batch value into its ordered commands.
+func DecodeBatch(v string) ([]string, error) {
+	if !IsBatch(v) {
+		return nil, fmt.Errorf("not a batch value (missing marker)")
+	}
+	var cmds []string
+	if err := json.Unmarshal([]byte(v[len(batchMagic):]), &cmds); err != nil {
+		return nil, fmt.Errorf("unmarshal command batch: %w", err)
+	}
+	return cmds, nil
+}
+
 // Unmarshal decodes a payload into its envelope.
 func Unmarshal(payload []byte) (Message, error) {
 	var m Message

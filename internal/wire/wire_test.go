@@ -80,3 +80,74 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Batch values round-trip exactly and are always distinguishable from the
+// JSON-encoded single commands the SMR layers store.
+func TestBatchRoundTrip(t *testing.T) {
+	for _, cmds := range [][]string{
+		{"one"},
+		{"a", "b", "c"},
+		{`{"id":"p0-1","key":"k","val":"v"}`, `{"id":"p1-9","key":"k2","val":""}`},
+		{"", "with \"quotes\" and \\ slashes", "<html>&stuff"},
+	} {
+		v, err := EncodeBatch(cmds)
+		if err != nil {
+			t.Fatalf("encode %v: %v", cmds, err)
+		}
+		if !IsBatch(v) {
+			t.Fatalf("encoded batch not recognized: %q", v)
+		}
+		got, err := DecodeBatch(v)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(cmds) {
+			t.Fatalf("decode %v = %v", cmds, got)
+		}
+		for i := range cmds {
+			if got[i] != cmds[i] {
+				t.Fatalf("cmd %d: %q != %q", i, got[i], cmds[i])
+			}
+		}
+	}
+}
+
+func TestBatchRejections(t *testing.T) {
+	if IsBatch(`{"id":"p0-1"}`) || IsBatch("") || IsBatch("\x01") {
+		t.Error("non-batch value classified as batch")
+	}
+	if _, err := EncodeBatch([]string{"ok", "\x01nested"}); err == nil {
+		t.Error("command opening with the batch marker accepted")
+	}
+	if _, err := DecodeBatch("plain"); err == nil {
+		t.Error("plain value decoded as batch")
+	}
+	if _, err := DecodeBatch("\x01b1{corrupt"); err == nil {
+		t.Error("corrupt batch payload decoded")
+	}
+}
+
+// Quick property: any marker-free command set survives the batch codec.
+func TestBatchQuickRoundTrip(t *testing.T) {
+	f := func(a, b, c string) bool {
+		cmds := []string{a, b, c}
+		v, err := EncodeBatch(cmds)
+		if err != nil {
+			// Only the reserved marker byte may be rejected.
+			for _, s := range cmds {
+				if len(s) > 0 && s[0] == 0x01 {
+					return true
+				}
+			}
+			return false
+		}
+		got, err := DecodeBatch(v)
+		if err != nil || len(got) != 3 {
+			return false
+		}
+		return got[0] == a && got[1] == b && got[2] == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

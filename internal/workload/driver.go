@@ -97,6 +97,22 @@ type Config struct {
 	// fills. Default 4096 — commits are RTT-bound now, and a multi-second
 	// closed-loop run decides thousands of slots.
 	Slots int
+	// Batch caps the commands per group commit of the kv protocol's SMR
+	// logs (core.WithBatch): Sets arriving within BatchWindow coalesce into
+	// one consensus round carrying the whole batch, amortizing the RTT that
+	// otherwise bounds per-group write throughput. 0 or 1 runs unbatched
+	// (one consensus round per Set, the pre-batching behavior). Requires kv.
+	Batch int
+	// BatchWindow is the group-commit coalescing window. Zero accepts the
+	// default 1ms when Batch enables batching.
+	BatchWindow time.Duration
+	// Pipeline is the in-flight window: the kv logs keep up to this many
+	// batches in flight across consecutive slots, and when above 1 each
+	// driver client issues writes asynchronously with up to Pipeline
+	// outstanding instead of blocking on every decision (pipelined mode,
+	// open or closed loop). Zero accepts the default 4 when Batch enables
+	// batching; 1 keeps clients synchronous.
+	Pipeline int
 	// LatticePool is the number of pre-created single-shot lattice objects
 	// per run for the lattice protocol. Each object is a backing snapshot of
 	// Nodes segment registers at every node; with delta propagation idle
@@ -177,6 +193,14 @@ func (c Config) withDefaults() Config {
 	if c.Slots == 0 {
 		c.Slots = 4096
 	}
+	if c.Batch > 1 {
+		if c.BatchWindow == 0 {
+			c.BatchWindow = time.Millisecond
+		}
+		if c.Pipeline == 0 {
+			c.Pipeline = 4
+		}
+	}
 	if c.LatticePool == 0 {
 		c.LatticePool = 8
 	}
@@ -224,6 +248,17 @@ func (c Config) validate() error {
 	}
 	if c.Shards > 1 && c.Protocol != ProtocolKV {
 		return fmt.Errorf("sharding requires the kv protocol, got %q with %d shards", c.Protocol, c.Shards)
+	}
+	if c.Batch < 0 || c.Pipeline < 0 || c.BatchWindow < 0 {
+		return fmt.Errorf("batch, batch window and pipeline must be non-negative, got %d/%v/%d", c.Batch, c.BatchWindow, c.Pipeline)
+	}
+	if (c.Batch > 1 || c.BatchWindow > 0 || c.Pipeline > 1) && c.Protocol != ProtocolKV {
+		return fmt.Errorf("batching/pipelining requires the kv protocol, got %q", c.Protocol)
+	}
+	if c.BatchWindow > 0 && c.Batch <= 1 {
+		// The engine only enables group commit when Batch > 1; a bare window
+		// would be silently ignored, which this config surface never does.
+		return fmt.Errorf("batch window %v requires group commit (Batch > 1), got batch %d", c.BatchWindow, c.Batch)
 	}
 	if c.Pattern < 0 || c.Pattern > 4 {
 		return fmt.Errorf("pattern must be in 0..4, got %d", c.Pattern)
@@ -325,7 +360,46 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		defer timer.Stop()
 	}
 
-	var wg sync.WaitGroup
+	// record books one completed operation into the measured-window
+	// accumulators; warmup operations and run-cancellation errors are
+	// dropped. Shared by the synchronous path and the pipelined completion
+	// goroutines.
+	record := func(isRead bool, key int, t0 time.Time, lat time.Duration, oerr error) {
+		if t0.Before(measureFrom) {
+			return // warmup op
+		}
+		shardIdx := 0
+		if sa != nil {
+			shardIdx = sa.shardOf(key)
+		}
+		m := writes[shardIdx]
+		if isRead {
+			m = reads[shardIdx]
+		}
+		if oerr != nil {
+			if runCtx.Err() != nil {
+				return // run canceled, not a protocol failure
+			}
+			m.errs.Add(1)
+			return
+		}
+		m.hist.Record(lat)
+		idx := int(t0.Sub(measureFrom) / time.Second)
+		if idx >= 0 && idx < len(series) {
+			series[idx].Add(1)
+		}
+	}
+
+	// Pipelined mode: writes issue asynchronously with up to cfg.Pipeline
+	// outstanding per client, so consecutive group commits overlap instead
+	// of each client serializing on one decision per op.
+	at, _ := tgt.(asyncTarget)
+	pipelined := cfg.Pipeline > 1 && at != nil
+
+	var (
+		wg    sync.WaitGroup
+		opsWG sync.WaitGroup // in-flight async completions
+	)
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(client int) {
@@ -336,6 +410,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				return // unreachable: parameters pre-flighted above
 			}
 			p := callers[client%len(callers)]
+			var inflight chan struct{}
+			if pipelined {
+				inflight = make(chan struct{}, cfg.Pipeline)
+			}
 			for op := 0; ; op++ {
 				if runCtx.Err() != nil {
 					return
@@ -355,6 +433,31 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				if !isRead {
 					val = fmt.Sprintf("c%d-%d", client, op) // before t0: not part of the measured op
 				}
+				if pipelined && !isRead {
+					select {
+					case inflight <- struct{}{}:
+					case <-runCtx.Done():
+						return
+					}
+					opCtx, opCancel := context.WithTimeout(runCtx, cfg.OpTimeout)
+					t0 := time.Now()
+					ch := at.writeAsync(opCtx, p, key, val)
+					opsWG.Add(1)
+					go func(key int, t0 time.Time) {
+						defer opsWG.Done()
+						defer func() { <-inflight }()
+						defer opCancel()
+						var oerr error
+						select {
+						case res := <-ch:
+							oerr = res.Err
+						case <-opCtx.Done():
+							oerr = opCtx.Err()
+						}
+						record(false, key, t0, time.Since(t0), oerr)
+					}(key, t0)
+					continue
+				}
 				opCtx, opCancel := context.WithTimeout(runCtx, cfg.OpTimeout)
 				t0 := time.Now()
 				var oerr error
@@ -365,33 +468,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 				}
 				lat := time.Since(t0)
 				opCancel()
-				if t0.Before(measureFrom) {
-					continue // warmup op
-				}
-				shardIdx := 0
-				if sa != nil {
-					shardIdx = sa.shardOf(key)
-				}
-				m := writes[shardIdx]
-				if isRead {
-					m = reads[shardIdx]
-				}
-				if oerr != nil {
-					if runCtx.Err() != nil {
-						return // run canceled, not a protocol failure
-					}
-					m.errs.Add(1)
-					continue
-				}
-				m.hist.Record(lat)
-				idx := int(t0.Sub(measureFrom) / time.Second)
-				if idx >= 0 && idx < len(series) {
-					series[idx].Add(1)
-				}
+				record(isRead, key, t0, lat, oerr)
 			}
 		}(c)
 	}
 	wg.Wait()
+	opsWG.Wait()
 
 	// An interrupted run measured less than the configured window; report
 	// rates over the window that actually elapsed. Cancellation during

@@ -194,6 +194,44 @@ func TestRunLattice(t *testing.T) {
 	}
 }
 
+// TestRunKVBatchedPipelined drives the group-commit path end to end: Sets
+// coalesce into shared consensus rounds, clients keep several writes in
+// flight, and the run completes without errors while the report records the
+// batch configuration.
+func TestRunKVBatchedPipelined(t *testing.T) {
+	if raceEnabled {
+		t.Skip("kv writes are full consensus decisions; race-mode scheduling starves them on small runners")
+	}
+	cfg := fastCfg()
+	cfg.Protocol = ProtocolKV
+	cfg.Clients = 4
+	cfg.Duration = 400 * time.Millisecond
+	cfg.Slots = 2048
+	cfg.ViewC = 3 * time.Millisecond
+	cfg.ReadFraction = -1 // write-only: every op exercises the batcher
+	cfg.Batch = 8
+	cfg.BatchWindow = time.Millisecond
+	cfg.Pipeline = 4
+	cfg.Warmup = 0
+	cfg.OpTimeout = 30 * time.Second
+	r, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+	if r.Errors["write"] != 0 {
+		t.Errorf("write errors: %v", r.Errors)
+	}
+	if r.Batch != 8 || r.Pipeline != 4 {
+		t.Errorf("report lost the batch configuration: batch=%d pipeline=%d", r.Batch, r.Pipeline)
+	}
+	if r.Writes.Count != r.TotalOps {
+		t.Errorf("write-only run recorded %d writes of %d ops", r.Writes.Count, r.TotalOps)
+	}
+}
+
 // TestRunValidation checks config validation surfaces bad setups.
 func TestRunValidation(t *testing.T) {
 	bad := []Config{
@@ -205,6 +243,11 @@ func TestRunValidation(t *testing.T) {
 		{RestrictToUf: true},
 		{Dist: "pareto"},
 		{ReadFraction: 1.5},
+		{Batch: -1},
+		{Pipeline: -3},
+		{Protocol: ProtocolRegister, Batch: 8},
+		{Protocol: ProtocolSnapshot, Pipeline: 4},
+		{Protocol: ProtocolKV, BatchWindow: 2 * time.Millisecond},
 	}
 	for i, cfg := range bad {
 		cfg.Duration = 10 * time.Millisecond

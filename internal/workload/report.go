@@ -54,6 +54,12 @@ type Report struct {
 	DurationSec  float64 `json:"duration_sec"`
 	WarmupSec    float64 `json:"warmup_sec,omitempty"`
 
+	// Batch, BatchWindowMs and Pipeline record the kv group-commit
+	// configuration in force (zero when unbatched / synchronous clients).
+	Batch         int     `json:"batch,omitempty"`
+	BatchWindowMs float64 `json:"batch_window_ms,omitempty"`
+	Pipeline      int     `json:"pipeline,omitempty"`
+
 	TotalOps  uint64  `json:"total_ops"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 
@@ -132,6 +138,7 @@ func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers [
 		Seed:         cfg.Seed,
 		DurationSec:  measured.Seconds(),
 		WarmupSec:    cfg.Warmup.Seconds(),
+		Pipeline:     cfg.Pipeline,
 		TotalOps:     all.Count(),
 		OpsPerSec:    float64(all.Count()) / measured.Seconds(),
 		Latency:      Summarize(all),
@@ -142,6 +149,10 @@ func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers [
 			"write": writeErrs,
 		},
 		Callers: callers,
+	}
+	if cfg.Batch > 1 {
+		r.Batch = cfg.Batch
+		r.BatchWindowMs = msf(cfg.BatchWindow)
 	}
 	if len(reads) > 1 {
 		r.ShardCount = len(reads)
@@ -191,6 +202,9 @@ func (r *Report) Text(w io.Writer) {
 		r.Protocol, r.Net, r.Nodes, r.Clients, r.Mode, r.Dist, r.Keys, r.ReadFraction*100)
 	if r.ShardCount > 1 {
 		fmt.Fprintf(w, " shards=%d", r.ShardCount)
+	}
+	if r.Batch > 1 {
+		fmt.Fprintf(w, " batch=%d/%.1fms pipeline=%d", r.Batch, r.BatchWindowMs, r.Pipeline)
 	}
 	fmt.Fprintln(w)
 	if r.Pattern != "" {

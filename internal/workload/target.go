@@ -10,6 +10,7 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/quorum"
 	"repro/internal/shard"
+	"repro/internal/smr"
 	"repro/internal/transport"
 )
 
@@ -50,6 +51,17 @@ type target interface {
 	close()
 }
 
+// asyncTarget is implemented by targets whose writes can be issued without
+// blocking on completion; the driver's pipelined mode (Config.Pipeline > 1)
+// keeps several in flight per client so consecutive group commits overlap.
+type asyncTarget interface {
+	// writeAsync issues one mutating operation at node p on key k and
+	// returns a channel receiving its completion (the endpoint's own
+	// buffered channel — no per-op adapter goroutine on the hot path; the
+	// driver's completion goroutine reads the error out of the result).
+	writeAsync(ctx context.Context, p, k int, val string) <-chan smr.SetResult
+}
+
 // quorumSystemFor returns the GQS to deploy: the paper's Figure-1 system for
 // 4 processes, and the derived canonical system of the crash-minority
 // threshold model otherwise.
@@ -74,6 +86,11 @@ func clusterOptions(cfg Config, qs quorum.System, shard int) ([]core.Option, err
 		core.WithTick(cfg.Tick),
 		core.WithViewC(cfg.ViewC),
 		core.WithSlots(cfg.Slots),
+	}
+	if cfg.Batch > 1 {
+		opts = append(opts,
+			core.WithBatch(cfg.BatchWindow, cfg.Batch),
+			core.WithPipeline(cfg.Pipeline))
 	}
 	switch cfg.Net {
 	case NetMem:
@@ -324,6 +341,10 @@ func (t *kvTarget) shardOf(k int) int { return t.keyShard[k] }
 func (t *kvTarget) write(ctx context.Context, p, k int, val string) error {
 	_, err := t.kv.Shard(t.keyShard[k]).At(failure.Proc(p)).Set(ctx, t.keys[k], val)
 	return err
+}
+
+func (t *kvTarget) writeAsync(ctx context.Context, p, k int, val string) <-chan smr.SetResult {
+	return t.kv.Shard(t.keyShard[k]).At(failure.Proc(p)).SetAsync(ctx, t.keys[k], val)
 }
 
 func (t *kvTarget) read(ctx context.Context, p, k int) error {
