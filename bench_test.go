@@ -223,6 +223,16 @@ func BenchmarkE19_BatchingSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkE20_ReadPathSweep — barrier-per-read vs leased linearizable
+// reads at ms-scale delays (multi-second workload runs per iteration).
+func BenchmarkE20_ReadPathSweep(b *testing.B) {
+	skipHeavyBenchShort(b)
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E20ReadPathSweep(benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
 // skipHeavyBenchShort keeps the CI bench-smoke step (-benchtime 1x -short)
 // from starving on multi-second workload benchmarks; the bench-trend job
 // runs the ms-delay targets without -short and pins -benchtime instead.
@@ -355,6 +365,55 @@ func BenchmarkKVWrite1msUnbatched(b *testing.B) { benchKVWrite1ms(b, 1) }
 // BenchmarkKVWrite1msBatched64 — group commit at batch 64, window 1ms,
 // pipeline 4: one round carries up to 64 Sets.
 func BenchmarkKVWrite1msBatched64(b *testing.B) { benchKVWrite1ms(b, 64) }
+
+// --- ms-delay KV read-path trend benchmarks (CI bench-trend job) ---
+//
+// The committed trajectory of the linearizable read path: a read-heavy
+// (0.95) Zipf mix at a pinned 1ms one-way delay, barrier-per-read vs leased
+// local reads (internal/lease). Baselines live in the ci_baselines section
+// of BENCH_reads.json; the same lockstep rule as the write targets applies.
+
+func benchKVRead1ms(b *testing.B, lease time.Duration) {
+	skipHeavyBenchShort(b)
+	cfg := workload.Config{
+		Protocol:     workload.ProtocolKV,
+		Clients:      64,
+		Keys:         1024,
+		ReadFraction: 0.95,
+		Dist:         workload.DistZipf,
+		SyncReads:    true, // every read is linearizable in both variants
+		Lease:        lease,
+		Seed:         7,
+		Slots:        4096,
+		MinDelay:     time.Millisecond,
+		MaxDelay:     time.Millisecond, // pinned: exactly 1ms per hop
+		Duration:     1500 * time.Millisecond,
+		Warmup:       300 * time.Millisecond,
+		OpTimeout:    20 * time.Second,
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := workload.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.TotalOps == 0 {
+			b.Fatal("workload completed no operations")
+		}
+		if errs := r.Errors["read"] + r.Errors["write"]; errs > 0 {
+			b.Fatalf("%d operation errors", errs)
+		}
+		b.ReportMetric(r.OpsPerSec, "ops/sec")
+		b.ReportMetric(r.Reads.P99Ms, "p99-ms")
+	}
+}
+
+// BenchmarkKVRead1msBarrier — the barrier-per-read baseline: every read
+// commits its own private Sync no-op before the local Get.
+func BenchmarkKVRead1msBarrier(b *testing.B) { benchKVRead1ms(b, 0) }
+
+// BenchmarkKVRead1msLeased — reads at each group's holder are leased local
+// reads (no consensus round); reads elsewhere share coalesced barriers.
+func BenchmarkKVRead1msLeased(b *testing.B) { benchKVRead1ms(b, time.Second) }
 
 // --- Micro-benchmarks for the substrates ---
 

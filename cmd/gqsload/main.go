@@ -11,13 +11,14 @@
 //	        [-keys N] [-dist uniform|zipf] [-zipf-s S] [-readfrac F]
 //	        [-pattern 0..4] [-fault-at F] [-uf] [-nodes N] [-slots N]
 //	        [-shards N] [-batch N] [-batch-window D] [-pipeline N]
-//	        [-sync-reads] [-seed N] [-json]
+//	        [-sync-reads] [-lease D] [-seed N] [-json]
 //
 // Examples:
 //
 //	gqsload -protocol kv -net mem -clients 16 -dist zipf -duration 5s -json
 //	gqsload -protocol kv -shards 4 -clients 16 -duration 5s -json
 //	gqsload -protocol kv -batch 64 -pipeline 4 -readfrac 0 -duration 5s -json
+//	gqsload -protocol kv -lease 1s -readfrac 0.95 -dist zipf -duration 5s -json
 //	gqsload -protocol register -net tcp -clients 8 -rate 500 -duration 10s
 //	gqsload -protocol register -pattern 1 -fault-at 0.5 -duration 10s
 //
@@ -38,6 +39,12 @@
 // commands, and -pipeline bounds how many batches stay in flight (and how
 // many writes each client keeps outstanding). This lifts the per-group
 // RTT ceiling on write throughput — see the README's batching section.
+//
+// A -lease D run (kv only) grants each shard group's process 0 a read
+// lease of duration D: reads at a holder are served locally with no
+// consensus round while the lease is in force, and reads elsewhere share
+// coalesced read barriers. Implies -sync-reads (leased reads are
+// linearizable reads). See the README's read-path section.
 //
 // Invalid flag combinations (a value out of range, or a flag that its
 // protocol/mode would silently ignore, like -shards with -protocol register
@@ -79,7 +86,7 @@ func run(args []string, w io.Writer) error {
 	dist := fs.String("dist", "uniform", "key distribution: uniform or zipf")
 	zipfS := fs.Float64("zipf-s", 0, "zipf skew exponent (default 1.1)")
 	zipfV := fs.Float64("zipf-v", 0, "zipf rank offset (default 1)")
-	readfrac := fs.Float64("readfrac", 0.5, "fraction of operations taking the read path (0 = write-only)")
+	readfrac := fs.Float64("readfrac", workload.DefaultReadFraction, "fraction of operations taking the read path (default 0.5; an explicit 0 = write-only)")
 	pattern := fs.Int("pattern", 0, "failure pattern to inject mid-run: 0 = none, 1..4 = f1..f4 of Figure 1")
 	faultAt := fs.Float64("fault-at", 0.5, "fraction of the run after which the pattern is injected (0 = at start)")
 	uf := fs.Bool("uf", false, "restrict clients to the pattern's termination component U_f")
@@ -90,6 +97,7 @@ func run(args []string, w io.Writer) error {
 	slots := fs.Int("slots", 0, "total SMR log capacity, divided across shards (kv protocol; 0 = default 4096)")
 	latticePool := fs.Int("lattice-pool", 0, "single-shot lattice object pool size (lattice protocol; 0 = default 8)")
 	syncReads := fs.Bool("sync-reads", false, "kv reads commit a Sync barrier before Get")
+	leaseDur := fs.Duration("lease", 0, "read-lease duration: leased local reads at each shard's holder, shared barriers elsewhere (kv; implies -sync-reads; 0 = off)")
 	seed := fs.Int64("seed", 1, "RNG seed (keys, op mix, simulated delays)")
 	minDelay := fs.Duration("min-delay", 0, "simulated per-hop delay lower bound (mem transport; 0 = default 10µs)")
 	maxDelay := fs.Duration("max-delay", 0, "simulated per-hop delay upper bound (mem transport; 0 = default 300µs)")
@@ -148,8 +156,11 @@ func run(args []string, w io.Writer) error {
 	if set["fault-at"] && *pattern == 0 {
 		reject("-fault-at needs a failure pattern (-pattern 1..4)")
 	}
-	if (set["slots"] || set["sync-reads"]) && *protocol != "kv" {
-		reject("-slots/-sync-reads apply to -protocol kv only (got %q)", *protocol)
+	if (set["slots"] || set["sync-reads"] || set["lease"]) && *protocol != "kv" {
+		reject("-slots/-sync-reads/-lease apply to -protocol kv only (got %q)", *protocol)
+	}
+	if *leaseDur < 0 {
+		reject("-lease must be non-negative (0 = no read lease), got %v", *leaseDur)
 	}
 	if (set["batch"] || set["batch-window"] || set["pipeline"]) && *protocol != "kv" {
 		reject("-batch/-batch-window/-pipeline apply to -protocol kv only (got %q)", *protocol)
@@ -213,6 +224,7 @@ func run(args []string, w io.Writer) error {
 		Pipeline:     *pipeline,
 		LatticePool:  *latticePool,
 		SyncReads:    *syncReads,
+		Lease:        *leaseDur,
 		OpTimeout:    *opTimeout,
 		MinDelay:     *minDelay,
 		MaxDelay:     *maxDelay,

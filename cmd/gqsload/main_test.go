@@ -106,6 +106,8 @@ func TestRunFlagCombinationValidation(t *testing.T) {
 		{"negative batch", []string{"-protocol", "kv", "-batch", "-1", "-duration", "10ms"}},
 		{"negative pipeline", []string{"-protocol", "kv", "-pipeline", "-2", "-duration", "10ms"}},
 		{"batch-window without batch", []string{"-protocol", "kv", "-batch-window", "2ms", "-duration", "10ms"}},
+		{"lease with register", []string{"-protocol", "register", "-lease", "1s", "-duration", "10ms"}},
+		{"negative lease", []string{"-protocol", "kv", "-lease", "-1s", "-duration", "10ms"}},
 	}
 	for _, tc := range bad {
 		err := run(tc.args, &bytes.Buffer{})

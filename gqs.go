@@ -6,6 +6,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/lattice"
+	"repro/internal/lease"
 	"repro/internal/node"
 	"repro/internal/quorum"
 	"repro/internal/register"
@@ -159,6 +160,17 @@ type (
 	SetResult = smr.SetResult
 	// KVPair is one key=value write of a SetMany group commit.
 	KVPair = smr.KVPair
+	// LeaseManager is one process's endpoint of the read-lease protocol:
+	// time-bounded leases committed through the log let the holder serve
+	// linearizable reads locally, no consensus round (see internal/lease).
+	LeaseManager = lease.Manager
+	// LeaseOptions configures a lease manager (holder, duration, skew).
+	LeaseOptions = lease.Options
+	// LeaseMetrics is a snapshot of a lease manager's counters.
+	LeaseMetrics = lease.Metrics
+	// ReadBarrier coalesces concurrent linearizable-read barriers at one
+	// process into shared Sync no-op commits.
+	ReadBarrier = lease.Barrier
 )
 
 // Cluster is the high-level adoption surface: Open derives (or validates) a
@@ -212,6 +224,13 @@ var (
 	// flight across consecutive slots.
 	WithBatch    = core.WithBatch
 	WithPipeline = core.WithPipeline
+	// WithLease enables leased local reads on provisioned KV stores: the
+	// holder process (WithLeaseHolder, default 0) serves SyncGet from its
+	// applied state with no consensus round while its committed,
+	// clock-skew-guarded lease is valid; on lease loss reads fall back to
+	// the shared-barrier path.
+	WithLease       = core.WithLease
+	WithLeaseHolder = core.WithLeaseHolder
 	// Fixed routes every operation to one process (no failover).
 	Fixed = core.Fixed
 	// RoundRobin spreads operations across all processes (the default).
@@ -259,6 +278,10 @@ var (
 	WithRingSeed         = shard.WithRingSeed
 	WithGroupOptions     = shard.WithGroupOptions
 	WithGroupOptionsFunc = shard.WithGroupOptionsFunc
+	// WithShardLease enables per-shard read leases: each group runs an
+	// independent lease, so a fault in one shard lapses only that shard's
+	// fast read path.
+	WithShardLease = shard.WithLease
 )
 
 // Workload engine: sustained load generation with tail-latency metrics over

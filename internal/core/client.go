@@ -11,6 +11,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/failure"
 	"repro/internal/lattice"
+	"repro/internal/lease"
 	"repro/internal/register"
 	"repro/internal/smr"
 	"repro/internal/snapshot"
@@ -388,10 +389,59 @@ func (lc *LogClient) At(p failure.Proc) *smr.Log {
 
 // --- replicated KV ---
 
-// KVClient operates a named linearizable replicated key-value store.
+// KVClient operates a named linearizable replicated key-value store. Its
+// linearizable reads (Sync, SyncGet, SyncGetMany) take the fastest safe
+// path available: a leased local read at the holder when the cluster was
+// opened WithLease and the lease is valid, else a shared read barrier —
+// concurrent barrier reads at one process coalesce onto a single Sync
+// no-op commit. Both fall out of the lease package; see its doc for the
+// linearizability argument.
 type KVClient struct {
 	client
 	eps []*smr.KV
+	// barriers coalesce concurrent barrier reads per process (always
+	// present).
+	barriers []*lease.Barrier
+	// leases are the per-process lease managers; nil without WithLease.
+	leases []*lease.Manager
+	// holder indexes the lease-holding process (WithLeaseHolder).
+	holder int
+}
+
+// LeaseManager returns the lease manager of process p, or nil when the
+// cluster was opened without WithLease (for introspection: Holding,
+// Metrics).
+func (kc *KVClient) LeaseManager(p failure.Proc) *lease.Manager {
+	if kc.leases == nil {
+		return nil
+	}
+	return kc.leases[kc.at(p, len(kc.leases))]
+}
+
+// ReadBarrier returns the shared read-barrier coalescer of process p (for
+// introspection and pinned drivers).
+func (kc *KVClient) ReadBarrier(p failure.Proc) *lease.Barrier {
+	return kc.barriers[kc.at(p, len(kc.barriers))]
+}
+
+// tryLeased attempts the leased local read at the holder. done=false — no
+// lease configured, not currently valid at the read's linearization point,
+// or the holder endpoint failed — routes the caller to the barrier path.
+// Successful fast-path reads are recorded in the client metrics like any
+// other operation.
+func (kc *KVClient) tryLeased(ctx context.Context, key string) (val string, found, done bool) {
+	if kc.leases == nil || kc.closed.Load() {
+		return "", false, false
+	}
+	start := time.Now()
+	v, ok, served, err := kc.leases[kc.holder].Read(ctx, key)
+	if !served || err != nil {
+		return "", false, false
+	}
+	kc.ops.Add(1)
+	kc.succs.Add(1)
+	kc.latNanos.Add(int64(time.Since(start)))
+	return v, ok, true
 }
 
 // Set commits key=val and returns the log slot it occupies. Like
@@ -476,26 +526,33 @@ func (kc *KVClient) Get(ctx context.Context, key string) (string, bool, error) {
 	return val, found, err
 }
 
-// Sync commits a barrier no-op at the routed process. Note that Sync and a
-// following Get route independently; use SyncGet when the barrier must
-// cover the read.
+// Sync waits out a read barrier at the routed process: concurrent Syncs
+// there share one no-op commit (see lease.Barrier); a lone Sync still
+// commits exactly one barrier. Note that Sync and a following Get route
+// independently; use SyncGet when the barrier must cover the read.
 func (kc *KVClient) Sync(ctx context.Context) error {
 	return kc.do(ctx, func(ctx context.Context, p int) error {
-		return kc.eps[p].Sync(ctx)
+		return kc.barriers[p].Sync(ctx)
 	})
 }
 
-// SyncGet performs a linearizable read: it routes to one process, commits a
-// barrier no-op there, and reads key from that same process's decided
-// prefix — which then includes every Set completed before SyncGet was
-// invoked, regardless of where it was committed.
+// SyncGet performs a linearizable read. With a valid lease (WithLease) it
+// is served locally from the holder's applied state, no consensus round;
+// otherwise it routes to one process, waits out a shared read barrier
+// there, and reads key from that process's decided prefix — which then
+// includes every Set completed before SyncGet was invoked, regardless of
+// where it was committed. Lease loss degrades to the barrier path
+// transparently.
 func (kc *KVClient) SyncGet(ctx context.Context, key string) (string, bool, error) {
+	if v, ok, done := kc.tryLeased(ctx, key); done {
+		return v, ok, nil
+	}
 	var (
 		val   string
 		found bool
 	)
 	err := kc.do(ctx, func(ctx context.Context, p int) error {
-		if err := kc.eps[p].Sync(ctx); err != nil {
+		if err := kc.barriers[p].Sync(ctx); err != nil {
 			return err
 		}
 		v, ok, err := kc.eps[p].Get(ctx, key)
@@ -507,16 +564,26 @@ func (kc *KVClient) SyncGet(ctx context.Context, key string) (string, bool, erro
 	return val, found, err
 }
 
-// SyncGetMany performs one linearizable multi-key read: it routes to a
-// single process, commits a single barrier no-op there, and reads every key
-// from that process's decided prefix — which then includes every Set
-// completed before SyncGetMany was invoked. Missing keys are absent from the
-// result. One barrier amortizes across all keys, so a k-key read costs one
-// commit instead of k.
+// SyncGetMany performs one linearizable multi-key read. With a valid lease
+// it is one atomic multi-key lookup at the holder; otherwise it routes to a
+// single process, waits out one shared read barrier there, and reads every
+// key from that process's decided prefix — which then includes every Set
+// completed before SyncGetMany was invoked. Missing keys are absent from
+// the result. One barrier amortizes across all keys, so a k-key read costs
+// at most one commit instead of k.
 func (kc *KVClient) SyncGetMany(ctx context.Context, keys []string) (map[string]string, error) {
+	if kc.leases != nil && !kc.closed.Load() {
+		start := time.Now()
+		if m, served, err := kc.leases[kc.holder].ReadMany(ctx, keys); served && err == nil {
+			kc.ops.Add(1)
+			kc.succs.Add(1)
+			kc.latNanos.Add(int64(time.Since(start)))
+			return m, nil
+		}
+	}
 	var out map[string]string
 	err := kc.do(ctx, func(ctx context.Context, p int) error {
-		if err := kc.eps[p].Sync(ctx); err != nil {
+		if err := kc.barriers[p].Sync(ctx); err != nil {
 			return err
 		}
 		m := make(map[string]string, len(keys))

@@ -30,6 +30,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/lattice"
+	"repro/internal/lease"
 	"repro/internal/node"
 	"repro/internal/qaf"
 	"repro/internal/quorum"
@@ -58,6 +59,8 @@ type config struct {
 	viewC         time.Duration
 	slots         int
 	batch         smr.BatchOptions
+	lease         time.Duration
+	leaseHolder   failure.Proc
 }
 
 // Option configures Open.
@@ -142,6 +145,37 @@ func WithPipeline(n int) Option {
 	}
 }
 
+// WithLease enables leased local reads on the KV stores provisioned by
+// this cluster: one process (WithLeaseHolder, default process 0) maintains
+// a time-bounded read lease through committed log entries and serves
+// KVClient.SyncGet reads from its applied state with no consensus round
+// while the lease is valid; on lease loss (partition, missed renewal)
+// reads transparently fall back to the shared-barrier path. While a lease
+// is in force, write completions gate on the holder having applied them —
+// the read/write trade the lease buys. d is the lease duration; zero
+// accepts lease.DefaultDuration. See the lease package for the protocol
+// and its linearizability argument.
+func WithLease(d time.Duration) Option {
+	return func(c *config) {
+		c.lease = d
+		if d <= 0 {
+			c.lease = lease.DefaultDuration
+		}
+	}
+}
+
+// WithLeaseHolder picks the process that holds read leases (default
+// process 0). Implies WithLease's default duration when WithLease was not
+// otherwise given.
+func WithLeaseHolder(p failure.Proc) Option {
+	return func(c *config) {
+		c.leaseHolder = p
+		if c.lease <= 0 {
+			c.lease = lease.DefaultDuration
+		}
+	}
+}
+
 // objKey identifies a provisioned object: two kinds may share a name.
 type objKey struct {
 	kind, name string
@@ -160,10 +194,12 @@ type Cluster struct {
 	nodes   []*node.Node
 	props   []*qaf.Propagator
 
-	tick  time.Duration
-	viewC time.Duration
-	slots int
-	batch smr.BatchOptions
+	tick        time.Duration
+	viewC       time.Duration
+	slots       int
+	batch       smr.BatchOptions
+	lease       time.Duration
+	leaseHolder failure.Proc
 
 	mu      sync.Mutex
 	objects map[objKey]Object
@@ -206,14 +242,19 @@ func Open(failProne failure.System, opts ...Option) (*Cluster, error) {
 		return nil, fmt.Errorf("quorum system: %w", err)
 	}
 
+	if cfg.lease > 0 && (int(cfg.leaseHolder) < 0 || int(cfg.leaseHolder) >= n) {
+		return nil, fmt.Errorf("WithLeaseHolder: process %d out of range [0,%d)", cfg.leaseHolder, n)
+	}
 	c := &Cluster{
-		QS:      qs,
-		tick:    cfg.tick,
-		viewC:   cfg.viewC,
-		slots:   cfg.slots,
-		batch:   cfg.batch,
-		objects: make(map[objKey]Object),
-		pending: make(map[objKey]*pendingObj),
+		QS:          qs,
+		tick:        cfg.tick,
+		viewC:       cfg.viewC,
+		slots:       cfg.slots,
+		batch:       cfg.batch,
+		lease:       cfg.lease,
+		leaseHolder: cfg.leaseHolder,
+		objects:     make(map[objKey]Object),
+		pending:     make(map[objKey]*pendingObj),
 	}
 	if c.tick <= 0 {
 		c.tick = 2 * time.Millisecond
@@ -587,6 +628,9 @@ func (c *Cluster) Log(name string) (*LogClient, error) {
 
 // KV provisions (or returns) the named linearizable replicated key-value
 // store and its client. Capacity of the backing log comes from WithSlots.
+// Every KV client coalesces concurrent SyncGet barriers per process
+// (shared read barriers); with WithLease the configured holder additionally
+// serves leased local reads.
 func (c *Cluster) KV(name string) (*KVClient, error) {
 	obj, err := c.provision(KindKV, name, func() Object {
 		eps := make([]*smr.KV, 0, c.N())
@@ -597,8 +641,33 @@ func (c *Cluster) KV(name string) (*KVClient, error) {
 				Batch: c.batch,
 			}))
 		}
-		kc := &KVClient{eps: eps}
+		kc := &KVClient{eps: eps, holder: int(c.leaseHolder)}
+		if c.lease > 0 {
+			// One manager per process, wired before the store takes
+			// traffic: every process gates appends on the holder while a
+			// lease is in force, the holder runs the renewal loop.
+			kc.leases = make([]*lease.Manager, len(eps))
+			for i, nd := range c.nodes {
+				kc.leases[i] = lease.NewManager(nd, eps[i], lease.Options{
+					Name:     "lease/kv/" + name,
+					Holder:   c.leaseHolder,
+					Duration: c.lease,
+				})
+			}
+		}
+		kc.barriers = make([]*lease.Barrier, len(eps))
+		for i, ep := range eps {
+			kc.barriers[i] = lease.NewBarrier(ep.Sync)
+		}
 		kc.init(c, KindKV, name, func() {
+			for _, b := range kc.barriers {
+				b.Close()
+			}
+			// Managers lapse leases and release gated appends before the
+			// endpoints stop.
+			for _, m := range kc.leases {
+				m.Stop()
+			}
 			for _, e := range eps {
 				e.Stop()
 			}

@@ -546,6 +546,97 @@ func TestBatchedKVLincheck(t *testing.T) {
 	}
 }
 
+// TestLeasedKVLincheckUnderFaults is the read-linearizability-under-faults
+// check of the lease read path: a read-heavy skewed mix runs first against a
+// valid lease at process 3 (reads served locally at the holder, writes gated
+// on it), then pattern f1 is injected — which crashes the holder outright,
+// forcing lease expiry across the partition — and the mix continues from
+// U_f1 = {0, 1} with every read transparently on the shared-barrier
+// fallback. The combined history, spanning the lease -> fallback transition,
+// must be linearizable per key (lincheck.CheckKVHistory).
+func TestLeasedKVLincheckUnderFaults(t *testing.T) {
+	c := openFigure1(t, WithSlots(512),
+		WithLease(300*time.Millisecond), WithLeaseHolder(3))
+	kv, err := c.KV("leased-lin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxSec(t, 120)
+
+	lm := kv.LeaseManager(3)
+	deadline := time.Now().Add(10 * time.Second)
+	for !lm.Holding() {
+		if !time.Now().Before(deadline) {
+			t.Fatal("holder never acquired the lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	keys := []string{"alpha", "beta", "gamma"}
+	// Zipf-ish skew: alpha takes most of the traffic, so concurrent clients
+	// genuinely contend on one hot key.
+	skew := []int{0, 0, 0, 0, 0, 0, 1, 1, 2, 0}
+	h := lincheck.NewHistory()
+	const clients, opsPer = 4, 10
+	phase := func(base int) {
+		var wg sync.WaitGroup
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				for op := 0; op < opsPer; op++ {
+					k := keys[skew[(cl*3+op)%len(skew)]]
+					if op%10 == cl%10 { // ~0.9 read fraction
+						val := fmt.Sprintf("c%d-%d", base+cl, op)
+						id := h.BeginKV(base+cl, lincheck.KindWrite, k, val)
+						if _, err := kv.Set(ctx, k, val); err != nil {
+							h.Discard(id)
+							t.Errorf("client %d set: %v", cl, err)
+							return
+						}
+						h.End(id, "", 0, 0)
+					} else {
+						id := h.BeginKV(base+cl, lincheck.KindRead, k, "")
+						v, _, err := kv.SyncGet(ctx, k)
+						if err != nil {
+							h.Discard(id)
+							t.Errorf("client %d syncget: %v", cl, err)
+							return
+						}
+						h.End(id, v, 0, 0)
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+	}
+
+	phase(0) // lease in force: holder serves leased local reads
+	if lm.Metrics().LocalReads == 0 {
+		t.Fatal("no read took the lease fast path while the lease was valid")
+	}
+
+	// f1 crashes the holder: renewals stop, the lease must lapse within one
+	// duration, and reads fall back without a linearizability gap.
+	if err := c.InjectPattern(c.QS.F.Patterns[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for lm.Holding() {
+		if !time.Now().Before(deadline) {
+			t.Fatal("partitioned holder never lost the lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	kv.SetPolicy(HealthyUf()) // post-fault ops stay inside U_f1
+
+	phase(clients) // lease lapsed: every read on the shared-barrier fallback
+
+	if err := lincheck.CheckKVHistory(h.Ops()); err != nil {
+		t.Fatalf("leased+fallback history not linearizable per key: %v", err)
+	}
+}
+
 // TestKVClientSetManyBatched covers the routed SetMany surface: one call
 // coalesces into group commits and every pair lands.
 func TestKVClientSetManyBatched(t *testing.T) {

@@ -552,6 +552,7 @@ func runAll(w io.Writer, cfg Config, render func(*Table, io.Writer)) error {
 		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
 		{"E18", func() (*Table, error) { return E18ShardScaling(cfg) }},
 		{"E19", func() (*Table, error) { return E19BatchingSweep(cfg) }},
+		{"E20", func() (*Table, error) { return E20ReadPathSweep(cfg) }},
 	}
 	for _, e := range exps {
 		tbl, err := e.run()

@@ -132,6 +132,7 @@ func TestHeavyClusterExperiments(t *testing.T) {
 		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
 		{"E18", func() (*Table, error) { return E18ShardScaling(cfg) }},
 		{"E19", func() (*Table, error) { return E19BatchingSweep(cfg) }},
+		{"E20", func() (*Table, error) { return E20ReadPathSweep(cfg) }},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

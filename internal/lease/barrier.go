@@ -1,0 +1,120 @@
+package lease
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBarrierClosed is returned by Sync after Close.
+var ErrBarrierClosed = errors.New("read barrier closed")
+
+// Barrier coalesces concurrent linearizable-read barriers at one process
+// into shared Sync no-op commits — the read-side analogue of the log's
+// append buffer. A caller arriving while a barrier is in flight joins the
+// NEXT one, never the in-flight one: a barrier only covers readers that
+// arrived before it started (the same invocation-order rule the KV Sync
+// freshness argument rests on), so joining an already-proposed barrier
+// could miss a write that completed just before the reader arrived. Under N
+// concurrent readers each wave costs one shared commit instead of N, and a
+// lone reader still pays exactly one barrier with no added latency.
+type Barrier struct {
+	sync   func(ctx context.Context) error
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu sync.Mutex
+	// next is the round the next flush will commit a barrier for; nil when
+	// no reader is waiting to be covered.
+	next *barrierRound
+	// active reports whether a flusher goroutine is running.
+	active bool
+	closed bool
+
+	readers, rounds atomic.Uint64
+}
+
+// barrierRound is one shared barrier: everyone selecting on done shares the
+// same commit and error.
+type barrierRound struct {
+	done chan struct{}
+	err  error
+}
+
+// BarrierMetrics is a point-in-time snapshot of a barrier's counters.
+type BarrierMetrics struct {
+	// Readers counts Sync calls; Rounds counts barrier commits actually
+	// issued. Readers/Rounds is the coalescing factor.
+	Readers, Rounds uint64
+}
+
+// NewBarrier wraps a process's barrier commit (typically smr.KV.Sync of
+// one endpoint) in a coalescer.
+func NewBarrier(sync func(ctx context.Context) error) *Barrier {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Barrier{sync: sync, ctx: ctx, cancel: cancel}
+}
+
+// Sync waits for a barrier that starts after this call: after it returns
+// nil, the process's decided prefix includes every write that completed
+// before Sync was invoked. Concurrent callers share one commit. Canceling
+// ctx abandons the wait (the shared round continues for the others).
+func (b *Barrier) Sync(ctx context.Context) error {
+	b.readers.Add(1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBarrierClosed
+	}
+	r := b.next
+	if r == nil {
+		r = &barrierRound{done: make(chan struct{})}
+		b.next = r
+	}
+	if !b.active {
+		b.active = true
+		go b.flush()
+	}
+	b.mu.Unlock()
+	select {
+	case <-r.done:
+		return r.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// flush commits rounds until no reader is waiting: it detaches the forming
+// round before proposing, so arrivals during the commit form the next
+// round rather than joining a barrier that already started.
+func (b *Barrier) flush() {
+	for {
+		b.mu.Lock()
+		r := b.next
+		b.next = nil
+		if r == nil {
+			b.active = false
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+		b.rounds.Add(1)
+		r.err = b.sync(b.ctx)
+		close(r.done)
+	}
+}
+
+// Metrics returns a snapshot of the barrier's counters.
+func (b *Barrier) Metrics() BarrierMetrics {
+	return BarrierMetrics{Readers: b.readers.Load(), Rounds: b.rounds.Load()}
+}
+
+// Close rejects subsequent Syncs and cancels the in-flight commit, failing
+// its waiters.
+func (b *Barrier) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cancel()
+}

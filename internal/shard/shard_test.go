@@ -112,6 +112,71 @@ func TestShardedKVRouting(t *testing.T) {
 	}
 }
 
+// TestShardedLeasedReads opens the store with per-shard read leases and
+// checks every shard's holder (process 0 of its own group) independently
+// reaches Holding and that routed SyncGets stay correct — some served from
+// lease fast paths, the rest over shared barriers.
+func TestShardedLeasedReads(t *testing.T) {
+	qs := quorum.Figure1()
+	st, err := Open(qs.F, 2,
+		WithRingSeed(7),
+		WithLease(500*time.Millisecond),
+		WithGroupOptions(
+			core.WithQuorums(qs.Reads, qs.Writes),
+			core.WithSlots(64),
+			core.WithViewC(5*time.Millisecond),
+			core.WithTick(time.Millisecond),
+		),
+		WithGroupOptionsFunc(func(shard int) []core.Option {
+			return []core.Option{core.WithMem(transport.WithSeed(int64(11 + shard)))}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	kv, err := st.KV("leased")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keysPerShard(t, st)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	for s := 0; s < kv.Shards(); s++ {
+		lm := kv.Shard(s).LeaseManager(0)
+		if lm == nil {
+			t.Fatalf("shard %d has no lease manager", s)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for !lm.Holding() {
+			if !time.Now().Before(deadline) {
+				t.Fatalf("shard %d holder never acquired its lease", s)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for i, k := range keys {
+			want := fmt.Sprintf("r%d-v%d", round, i)
+			if _, err := kv.Set(ctx, k, want); err != nil {
+				t.Fatalf("set %q: %v", k, err)
+			}
+			v, ok, err := kv.SyncGet(ctx, k)
+			if err != nil || !ok || v != want {
+				t.Fatalf("syncget %q = %q/%v/%v, want %q", k, v, ok, err, want)
+			}
+		}
+	}
+	var local uint64
+	for s := 0; s < kv.Shards(); s++ {
+		local += kv.Shard(s).LeaseManager(0).Metrics().LocalReads
+	}
+	if local == 0 {
+		t.Fatal("no routed read took any shard's lease fast path")
+	}
+}
+
 // TestShardedFaultIsolation injects the paper's f1 into shard 0 only and
 // checks both key ranges keep completing operations: shard 0 because
 // HealthyUf confines its routing to U_f1, the other shards because their

@@ -338,6 +338,10 @@ func (b *batcher) propose(batch []pendingOp) {
 		// retry, and the stopping endpoint rejects all further reads, so no
 		// caller can observe the weakened invariant through it.
 		l.awaitPrefix(slot)
+		// The append gate (SetGate) runs under the same decided-prefix
+		// invariant as the unbatched path: once per batch, after the local
+		// prefix covers the batch's slot, before any completion is sent.
+		l.runGate(slot)
 		for i, op := range batch {
 			op.done <- AppendResult{Slot: slot, Index: i}
 		}

@@ -3,6 +3,7 @@ package smr
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -13,31 +14,82 @@ import (
 type kvCommand struct {
 	// ID makes commands unique across clients (Append requires uniqueness).
 	ID string `json:"id"`
-	// Key and Val describe a set operation.
+	// Key and Val describe a set operation. An empty Key is a no-op entry
+	// (the Sync barrier, or a Meta carrier).
 	Key string `json:"key"`
 	Val string `json:"val"`
+	// Meta carries an opaque control payload through the log's total order
+	// (lease grants and renewals; see AppendMeta). A Meta entry mutates no
+	// KV state; it is delivered in commit order to the observer installed
+	// with SetMetaObserver.
+	Meta string `json:"meta,omitempty"`
 }
 
 // KV is a linearizable replicated key-value store built on the replicated
-// log: every Set is a log append; Get replays the locally decided prefix.
-// Gets are linearizable with respect to Sets observed at this process
-// (serving the decided prefix); a reader needing freshness across processes
-// calls Sync first, which commits a no-op barrier.
+// log: every Set is a log append; Get serves the incrementally maintained
+// applied state of the locally decided prefix. Gets are linearizable with
+// respect to Sets observed at this process; a reader needing freshness
+// across processes calls Sync first, which commits a no-op barrier (or uses
+// the lease fast path, see internal/lease and GetIf).
 type KV struct {
 	log    *Log
 	nodeID int
 	seq    atomic.Int64
+
+	// Applied state, confined to the node loop: applySlot folds each slot
+	// in as the decided prefix advances (Log.OnCommit), so a read is one
+	// map lookup instead of an O(history) prefix replay with a JSON decode
+	// per entry. cursor is the apply cursor — the next slot to fold — and
+	// always equals the log's first locally undecided slot.
+	applied map[string]string
+	cursor  int64
+	corrupt error
+	onMeta  func(slot int64, meta string)
 }
 
 // NewKV installs a replicated KV endpoint on the node. All processes of one
-// store must use the same options.
+// store must use the same options. Options.OnCommit is owned by the KV's
+// apply loop and must be left unset.
 func NewKV(n *node.Node, opts Options) *KV {
 	if opts.Name == "" {
 		opts.Name = "kv"
 	}
-	return &KV{
-		log:    New(n, opts),
-		nodeID: int(n.ID()),
+	kv := &KV{
+		nodeID:  int(n.ID()),
+		applied: make(map[string]string),
+	}
+	opts.OnCommit = kv.applySlot
+	kv.log = New(n, opts)
+	return kv
+}
+
+// applySlot folds one newly decided slot into the applied map. Runs on the
+// node loop, in slot order, exactly once per slot (Log.OnCommit). A corrupt
+// entry poisons the endpoint's reads (first error wins) rather than being
+// skipped silently — the pre-refactor Get failed the same way.
+func (kv *KV) applySlot(slot int64, v string) {
+	kv.cursor = slot + 1
+	cmds, err := SlotCommands(v)
+	if err != nil {
+		if kv.corrupt == nil {
+			kv.corrupt = fmt.Errorf("corrupt batch in slot %d: %w", slot, err)
+		}
+		return
+	}
+	for _, raw := range cmds {
+		var cmd kvCommand
+		if err := json.Unmarshal([]byte(raw), &cmd); err != nil {
+			if kv.corrupt == nil {
+				kv.corrupt = fmt.Errorf("corrupt log entry in slot %d: %w", slot, err)
+			}
+			continue
+		}
+		if cmd.Key != "" {
+			kv.applied[cmd.Key] = cmd.Val
+		}
+		if cmd.Meta != "" && kv.onMeta != nil {
+			kv.onMeta(slot, cmd.Meta)
+		}
 	}
 }
 
@@ -116,29 +168,88 @@ func (kv *KV) SetMany(ctx context.Context, pairs []KVPair) ([]int64, error) {
 }
 
 // Get returns the value of key in the decided prefix at this process, and
-// whether it was present. The context makes the read path cancellable, like
-// every other quorum operation in the library (the local prefix is served by
-// the node's event loop, which may be busy with protocol work).
+// whether it was present. It is one lookup in the incrementally applied
+// state (see applySlot), not a prefix replay. The context makes the read
+// path cancellable, like every other quorum operation in the library (the
+// applied state is served by the node's event loop, which may be busy with
+// protocol work).
 func (kv *KV) Get(ctx context.Context, key string) (string, bool, error) {
 	var (
 		val   string
 		found bool
+		cerr  error
 	)
-	prefix, err := kv.log.DecidedPrefix(ctx)
+	err := kv.log.n.CallCtx(ctx, func() {
+		cerr = kv.corrupt
+		val, found = kv.applied[key]
+	})
 	if err != nil {
+		if errors.Is(err, node.ErrStopped) {
+			return "", false, ErrStopped
+		}
 		return "", false, err
 	}
-	for _, raw := range prefix {
-		var cmd kvCommand
-		if err := json.Unmarshal([]byte(raw), &cmd); err != nil {
-			return "", false, fmt.Errorf("corrupt log entry: %w", err)
-		}
-		if cmd.Key == key {
-			val = cmd.Val
-			found = true
-		}
+	if cerr != nil {
+		return "", false, cerr
 	}
 	return val, found, nil
+}
+
+// GetIf is Get guarded by a predicate evaluated on the node loop in the
+// same loop step as the lookup: served reports whether ok() held and the
+// read was performed. It is the leased-read hook — the lease manager passes
+// its validity check, so lease expiry and the read are decided atomically
+// at the read's linearization point (a lease that expires between check and
+// lookup cannot serve a stale value).
+func (kv *KV) GetIf(ctx context.Context, key string, ok func() bool) (val string, found, served bool, err error) {
+	var cerr error
+	err = kv.log.n.CallCtx(ctx, func() {
+		if !ok() {
+			return
+		}
+		served = true
+		cerr = kv.corrupt
+		val, found = kv.applied[key]
+	})
+	if err != nil {
+		if errors.Is(err, node.ErrStopped) {
+			err = ErrStopped
+		}
+		return "", false, false, err
+	}
+	if cerr != nil {
+		return "", false, true, cerr
+	}
+	return val, found, served, nil
+}
+
+// GetManyIf is GetIf over several keys in one loop step: one guard check,
+// one atomic multi-key lookup. Missing keys are absent from the result.
+func (kv *KV) GetManyIf(ctx context.Context, keys []string, ok func() bool) (m map[string]string, served bool, err error) {
+	var cerr error
+	err = kv.log.n.CallCtx(ctx, func() {
+		if !ok() {
+			return
+		}
+		served = true
+		cerr = kv.corrupt
+		m = make(map[string]string, len(keys))
+		for _, k := range keys {
+			if v, found := kv.applied[k]; found {
+				m[k] = v
+			}
+		}
+	})
+	if err != nil {
+		if errors.Is(err, node.ErrStopped) {
+			err = ErrStopped
+		}
+		return nil, false, err
+	}
+	if cerr != nil {
+		return nil, true, cerr
+	}
+	return m, served, nil
 }
 
 // Sync commits a barrier no-op: after it returns, this process's decided
@@ -151,6 +262,40 @@ func (kv *KV) Sync(ctx context.Context) error {
 	}
 	_, err = kv.log.Append(ctx, string(cmd))
 	return err
+}
+
+// AppendMeta commits an opaque control entry carrying meta through the
+// log's total order and returns its slot. The entry mutates no KV state;
+// every process delivers it, in commit order, to the observer installed
+// with SetMetaObserver. The lease manager commits grants and renewals this
+// way, so lease state transitions are ordered against the writes they
+// guard by the log itself.
+func (kv *KV) AppendMeta(ctx context.Context, meta string) (int64, error) {
+	cmd, err := json.Marshal(kvCommand{ID: kv.nextID(), Meta: meta})
+	if err != nil {
+		return 0, fmt.Errorf("encode kv meta entry: %w", err)
+	}
+	return kv.log.Append(ctx, string(cmd))
+}
+
+// SetMetaObserver installs the observer for Meta entries (AppendMeta). It
+// runs on the node loop as the decided prefix advances, in commit order;
+// install it before the store takes traffic. Nil removes the observer.
+func (kv *KV) SetMetaObserver(fn func(slot int64, meta string)) {
+	kv.log.n.Call(func() { kv.onMeta = fn })
+}
+
+// SetGate installs the append-completion gate on the underlying log (see
+// Log.SetGate): every Set, SetAsync, SetMany, Sync and AppendMeta
+// completion runs the gate after the local decided prefix covers its slot.
+func (kv *KV) SetGate(gate func(slot int64)) { kv.log.SetGate(gate) }
+
+// WaitApplied blocks until this process's applied state covers slot — i.e.
+// a Get here observes every command up to and including it — the context is
+// done, or the endpoint stops. The lease manager's holder side answers
+// writers' visibility asks with it.
+func (kv *KV) WaitApplied(ctx context.Context, slot int64) error {
+	return kv.log.WaitPrefix(ctx, slot)
 }
 
 // Stop releases the underlying log.

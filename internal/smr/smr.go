@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/consensus"
@@ -73,6 +74,15 @@ type Options struct {
 	// zero value disables batching (every Append runs its own consensus
 	// round, the pre-batching behavior).
 	Batch BatchOptions
+	// OnCommit, when set, runs on the node loop for every slot the decided
+	// prefix advances over — in slot order, exactly once per slot, with the
+	// slot's raw decided value (an opaque group-commit batch under
+	// batching; expand with SlotCommands). Layers keeping derived state
+	// over the log (the KV's applied map) fold slots in here instead of
+	// replaying the prefix per read. It fires before the slot's prefix
+	// waiters are released, so an append completion observes every
+	// OnCommit effect up to its slot.
+	OnCommit func(slot int64, v string)
 }
 
 // smrIdle1B batches the default 1B messages of every idle slot at one
@@ -103,6 +113,17 @@ type Log struct {
 
 	// batch is the group-commit append buffer, nil when batching is off.
 	batch *batcher
+
+	// onCommit is Options.OnCommit (may be nil). Invoked on the node loop
+	// as the decided prefix advances.
+	onCommit func(slot int64, v string)
+
+	// gate, when installed (SetGate), is consulted by every append
+	// completion after the local decided prefix covers the appended slot:
+	// the append does not return until the gate does. The lease manager
+	// uses it to hold write completions until the leaseholder has applied
+	// the write, the invariant leased local reads rest on.
+	gate atomic.Pointer[func(slot int64)]
 
 	// Loop-confined state.
 	decided map[int64]string
@@ -155,6 +176,7 @@ func New(n *node.Node, opts Options) *Log {
 	}
 	l := &Log{
 		n:             n,
+		onCommit:      opts.OnCommit,
 		decided:       make(map[int64]string),
 		waiters:       make(map[int64][]chan string),
 		prefixWaiters: make(map[int64][]chan struct{}),
@@ -343,8 +365,16 @@ func (l *Log) recordDecision(slot int64, v string) {
 	}
 	l.decided[slot] = v
 	for {
-		if _, ok := l.decided[l.next]; !ok {
+		v, ok := l.decided[l.next]
+		if !ok {
 			break
+		}
+		// Fold the slot into derived state BEFORE advancing next (and
+		// before the prefix waiters below are released): an append
+		// completion gated on the prefix must observe every commit effect
+		// up to its slot.
+		if l.onCommit != nil {
+			l.onCommit(l.next, v)
 		}
 		l.next++
 	}
@@ -378,6 +408,70 @@ func (l *Log) awaitPrefix(slot int64) {
 	})
 	if wait {
 		<-ch
+	}
+}
+
+// SetGate installs (or, with nil, removes) the append-completion gate:
+// after an append's local decided prefix covers its slot, the gate runs
+// with the slot and the append returns only when the gate does. At most
+// one gate is supported; the lease manager installs one to hold write
+// completions until the leaseholder has applied the written slot (see
+// internal/lease for the protocol and why this keeps leased local reads
+// linearizable). The gate must not call back into the log's node loop
+// synchronously — it runs on append completion goroutines.
+func (l *Log) SetGate(gate func(slot int64)) {
+	if gate == nil {
+		l.gate.Store(nil)
+		return
+	}
+	l.gate.Store(&gate)
+}
+
+// runGate consults the installed append gate, if any.
+func (l *Log) runGate(slot int64) {
+	if g := l.gate.Load(); g != nil {
+		(*g)(slot)
+	}
+}
+
+// WaitPrefix blocks until this process's decided prefix covers slot
+// (DecidedPrefix would include it), the context is done, or the log stops.
+// It is the exported form of the completion invariant's wait: the lease
+// manager's holder side answers "have you applied slot s yet?" with it.
+func (l *Log) WaitPrefix(ctx context.Context, slot int64) error {
+	ch := make(chan struct{})
+	wait, stopped := false, false
+	l.n.Call(func() {
+		if l.stopped {
+			stopped = true
+			return
+		}
+		if l.next > slot {
+			return
+		}
+		wait = true
+		l.prefixWaiters[slot] = append(l.prefixWaiters[slot], ch)
+	})
+	if stopped {
+		return ErrStopped
+	}
+	if !wait {
+		return nil
+	}
+	select {
+	case <-ch:
+		// Both a prefix advance and Stop close the channel; only the
+		// former satisfies the wait.
+		covered := false
+		l.n.Call(func() { covered = l.next > slot })
+		if !covered {
+			return ErrStopped
+		}
+		return nil
+	case <-ctx.Done():
+		// The registered waiter stays behind; recordDecision or Stop
+		// closes its channel eventually, which no one observes.
+		return ctx.Err()
 	}
 }
 
@@ -435,6 +529,10 @@ func (l *Log) Append(ctx context.Context, cmd string) (int64, error) {
 			}
 		})
 		if v == cmd {
+			// The sequential walk guarantees the local prefix covers the
+			// slot here (the bump above), matching the batched path's
+			// awaitPrefix; the gate, if any, runs under the same invariant.
+			l.runGate(slot)
 			return slot, nil
 		}
 		// Slot was taken by a competing command; retry on the next one.

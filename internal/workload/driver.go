@@ -21,6 +21,12 @@ const (
 	DefaultMaxDelay = 300 * time.Microsecond
 )
 
+// DefaultReadFraction is the read mix a zero Config.ReadFraction selects.
+// The field is a float whose zero value must mean "default", so write-only
+// runs are requested with any negative value rather than 0; front ends
+// (gqsload -readfrac) surface the same convention.
+const DefaultReadFraction = 0.5
+
 // Config describes one load-generation run.
 type Config struct {
 	// Protocol selects the endpoint under load. Default register.
@@ -61,8 +67,10 @@ type Config struct {
 	// ~ (ZipfV+k)^-ZipfS). Zero accepts defaults (1.1, 1).
 	ZipfS, ZipfV float64
 	// ReadFraction is the probability an operation takes the read path.
-	// Zero accepts the default 0.5; any negative value means write-only
-	// (0% reads). Ignored by the lattice protocol (every op proposes).
+	// Zero accepts DefaultReadFraction (0.5); any negative value means
+	// write-only (0% reads) — the zero value cannot itself mean write-only
+	// without making every default-constructed Config write-only. Ignored
+	// by the lattice protocol (every op proposes).
 	ReadFraction float64
 	// Seed makes key choice, read/write mix and simulated delays
 	// deterministic. Default 1.
@@ -119,9 +127,18 @@ type Config struct {
 	// pool objects cost nothing on the wire, so the pool can be sized to
 	// the expected proposal count per node. Default 8.
 	LatticePool int
-	// SyncReads makes kv reads commit a Sync barrier before Get, making them
-	// linearizable across nodes (and as expensive as a write).
+	// SyncReads makes kv reads linearizable across nodes: each read commits
+	// a Sync barrier before Get (as expensive as a write), except where a
+	// read lease (Lease) lets the leaseholder skip the barrier.
 	SyncReads bool
+	// Lease, when positive, grants node 0 of every shard group a read lease
+	// of this duration (core.WithLease): reads at the leaseholder are served
+	// locally with no barrier while the lease is in force, and reads route
+	// through the leased/shared-barrier path (KVClient.SyncGet) instead of
+	// a pinned per-read barrier. Implies SyncReads — leased reads are
+	// linearizable, so comparing them against non-linearizable local reads
+	// would be meaningless. Requires the kv protocol.
+	Lease time.Duration
 	// OpTimeout bounds each operation; timed-out operations land in the
 	// error counts. Default 2s for register, 5s for snapshot, lattice and
 	// kv, whose operations cost multiple quorum rounds (or a consensus
@@ -174,9 +191,12 @@ func (c Config) withDefaults() Config {
 	}
 	switch {
 	case c.ReadFraction == 0:
-		c.ReadFraction = 0.5
+		c.ReadFraction = DefaultReadFraction
 	case c.ReadFraction < 0:
 		c.ReadFraction = 0 // explicit write-only
+	}
+	if c.Lease > 0 {
+		c.SyncReads = true // leased reads are linearizable reads
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -254,6 +274,12 @@ func (c Config) validate() error {
 	}
 	if (c.Batch > 1 || c.BatchWindow > 0 || c.Pipeline > 1) && c.Protocol != ProtocolKV {
 		return fmt.Errorf("batching/pipelining requires the kv protocol, got %q", c.Protocol)
+	}
+	if c.Lease < 0 {
+		return fmt.Errorf("lease duration must be non-negative, got %v", c.Lease)
+	}
+	if c.Lease > 0 && c.Protocol != ProtocolKV {
+		return fmt.Errorf("read leases require the kv protocol, got %q", c.Protocol)
 	}
 	if c.BatchWindow > 0 && c.Batch <= 1 {
 		// The engine only enables group commit when Batch > 1; a bare window

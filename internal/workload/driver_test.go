@@ -232,6 +232,38 @@ func TestRunKVBatchedPipelined(t *testing.T) {
 	}
 }
 
+// TestRunKVLeased drives the leased read path end to end: the run deploys
+// with a read lease, reads route through leased local reads at the holder or
+// shared barriers elsewhere, and completes without errors.
+func TestRunKVLeased(t *testing.T) {
+	if raceEnabled {
+		t.Skip("kv writes are full consensus decisions; race-mode scheduling starves them on small runners")
+	}
+	cfg := fastCfg()
+	cfg.Protocol = ProtocolKV
+	cfg.Clients = 4
+	cfg.Duration = 400 * time.Millisecond
+	cfg.Slots = 2048
+	cfg.ViewC = 3 * time.Millisecond
+	cfg.ReadFraction = 0.9
+	cfg.Lease = 300 * time.Millisecond
+	cfg.Warmup = 0
+	cfg.OpTimeout = 30 * time.Second
+	r, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+	if errs := r.Errors["read"] + r.Errors["write"]; errs > 0 {
+		t.Errorf("op errors: %v", r.Errors)
+	}
+	if r.Reads.Count == 0 {
+		t.Fatal("read-heavy leased run recorded no reads")
+	}
+}
+
 // TestRunValidation checks config validation surfaces bad setups.
 func TestRunValidation(t *testing.T) {
 	bad := []Config{
@@ -248,6 +280,8 @@ func TestRunValidation(t *testing.T) {
 		{Protocol: ProtocolRegister, Batch: 8},
 		{Protocol: ProtocolSnapshot, Pipeline: 4},
 		{Protocol: ProtocolKV, BatchWindow: 2 * time.Millisecond},
+		{Protocol: ProtocolRegister, Lease: time.Second},
+		{Protocol: ProtocolKV, Lease: -time.Second},
 	}
 	for i, cfg := range bad {
 		cfg.Duration = 10 * time.Millisecond

@@ -92,6 +92,12 @@ func clusterOptions(cfg Config, qs quorum.System, shard int) ([]core.Option, err
 			core.WithBatch(cfg.BatchWindow, cfg.Batch),
 			core.WithPipeline(cfg.Pipeline))
 	}
+	if cfg.Lease > 0 {
+		// Every shard group grants its own lease to its process 0 (the core
+		// default holder): with clients spread round robin across nodes, 1/n
+		// of reads land at a holder and go local.
+		opts = append(opts, core.WithLease(cfg.Lease))
+	}
 	switch cfg.Net {
 	case NetMem:
 		delay := transport.DelayModel(transport.UniformDelay{Min: cfg.MinDelay, Max: cfg.MaxDelay})
@@ -140,7 +146,8 @@ func (t *clusterTarget) close()                            { t.cl.Close() }
 //	register: write = Write, read = Read; key selects one of Keys registers
 //	snapshot: write = Update, read = Scan; key selects one of Keys objects
 //	lattice:  every op = Propose on the next object of a pre-created pool
-//	kv:       write = Set, read = Get (Sync+Get when SyncReads); deploys
+//	kv:       write = Set, read = Get (Sync+Get when SyncReads; leased
+//	          local read or shared barrier when Lease > 0); deploys
 //	          cfg.Shards independent groups behind a consistent-hash ring
 func newTarget(cfg Config) (target, error) {
 	if cfg.Protocol == ProtocolKV {
@@ -230,7 +237,7 @@ func newKVTarget(cfg Config) (target, error) {
 		st.Close()
 		return nil, err
 	}
-	t := &kvTarget{st: st, kv: kv, syncReads: cfg.SyncReads}
+	t := &kvTarget{st: st, kv: kv, syncReads: cfg.SyncReads, lease: cfg.Lease > 0}
 	t.keys = make([]string, cfg.Keys)
 	t.keyShard = make([]int, cfg.Keys)
 	for k := range t.keys {
@@ -324,6 +331,7 @@ type kvTarget struct {
 	keys      []string // precomputed so the timed path does not format
 	keyShard  []int    // precomputed ring lookups
 	syncReads bool
+	lease     bool
 }
 
 // injector returns shard 0's fault injector: a mid-run pattern degrades one
@@ -348,7 +356,27 @@ func (t *kvTarget) writeAsync(ctx context.Context, p, k int, val string) <-chan 
 }
 
 func (t *kvTarget) read(ctx context.Context, p, k int) error {
-	ep := t.kv.Shard(t.keyShard[k]).At(failure.Proc(p))
+	c := t.kv.Shard(t.keyShard[k])
+	if t.lease {
+		// Pinned linearizable read through the lease surface: a leased
+		// local read when p holds the shard's valid lease, otherwise p's
+		// shared read barrier (concurrent readers coalesce onto one Sync
+		// commit) followed by a local Get. Kept distinct from the plain
+		// sync-read path below, which pays one private barrier per read —
+		// that path is the honest baseline leased reads are measured
+		// against.
+		if lm := c.LeaseManager(failure.Proc(p)); lm != nil {
+			if _, _, served, err := lm.Read(ctx, t.keys[k]); served {
+				return err
+			}
+		}
+		if err := c.ReadBarrier(failure.Proc(p)).Sync(ctx); err != nil {
+			return err
+		}
+		_, _, err := c.At(failure.Proc(p)).Get(ctx, t.keys[k])
+		return err
+	}
+	ep := c.At(failure.Proc(p))
 	if t.syncReads {
 		if err := ep.Sync(ctx); err != nil {
 			return err
