@@ -74,7 +74,7 @@ func BenchmarkE03_ClassicalEquivalence(b *testing.B) {
 // majority system.
 func BenchmarkE04_ClassicalQAF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E04ClassicalQAF(benchConfig())
+		t, err := harness.E04ClassicalQAF(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -83,7 +83,7 @@ func BenchmarkE04_ClassicalQAF(b *testing.B) {
 // Figure-1 patterns with real-time-ordering verification.
 func BenchmarkE05_GeneralizedQAF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E05GeneralizedQAF(benchConfig())
+		t, err := harness.E05GeneralizedQAF(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -92,7 +92,7 @@ func BenchmarkE05_GeneralizedQAF(b *testing.B) {
 // under f1 (full checker-based validation runs in the test suite).
 func BenchmarkE06_RegisterLinearizability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E06Register(benchConfig())
+		t, err := harness.E06Register(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -100,7 +100,7 @@ func BenchmarkE06_RegisterLinearizability(b *testing.B) {
 // BenchmarkE07_Snapshot — atomic snapshot update/scan under f1.
 func BenchmarkE07_Snapshot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E07Snapshot(benchConfig())
+		t, err := harness.E07Snapshot(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -109,7 +109,7 @@ func BenchmarkE07_Snapshot(b *testing.B) {
 // f1 with validity/comparability verification.
 func BenchmarkE08_LatticeAgreement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E08LatticeAgreement(benchConfig())
+		t, err := harness.E08LatticeAgreement(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -125,7 +125,7 @@ func BenchmarkE09_ViewSyncOverlap(b *testing.B) {
 // BenchmarkE10_Consensus — Figure 6 consensus under all Figure-1 patterns.
 func BenchmarkE10_Consensus(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E10Consensus(benchConfig())
+		t, err := harness.E10Consensus(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -134,7 +134,7 @@ func BenchmarkE10_Consensus(b *testing.B) {
 // synchrony.
 func BenchmarkE10b_ConsensusGST(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E10bConsensusGST(benchConfig())
+		t, err := harness.E10bConsensusGST(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -143,7 +143,7 @@ func BenchmarkE10b_ConsensusGST(b *testing.B) {
 // stall-vs-complete comparison plus failure-free overhead.
 func BenchmarkE11_BaselineComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E11BaselineComparison(benchConfig())
+		t, err := harness.E11BaselineComparison(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -161,7 +161,7 @@ func BenchmarkE12_ThresholdSweep(b *testing.B) {
 // periodic propagation.
 func BenchmarkE13_PropagationBatching(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E13PropagationBatching(benchConfig())
+		t, err := harness.E13PropagationBatching(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -170,7 +170,7 @@ func BenchmarkE13_PropagationBatching(b *testing.B) {
 // transitivity simulation.
 func BenchmarkE14_TransportModes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E14TransportModes(benchConfig())
+		t, err := harness.E14TransportModes(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -188,7 +188,7 @@ func BenchmarkE15_ScenarioCatalog(b *testing.B) {
 // failure-free and under pattern f1.
 func BenchmarkE16_ReplicatedKV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E16ReplicatedKV(benchConfig())
+		t, err := harness.E16ReplicatedKV(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -198,7 +198,7 @@ func BenchmarkE16_ReplicatedKV(b *testing.B) {
 func BenchmarkE17_Workload(b *testing.B) {
 	skipHeavyBenchShort(b)
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E17Workload(benchConfig())
+		t, err := harness.E17Workload(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -208,7 +208,7 @@ func BenchmarkE17_Workload(b *testing.B) {
 func BenchmarkE18_ShardScaling(b *testing.B) {
 	skipHeavyBenchShort(b)
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E18ShardScaling(benchConfig())
+		t, err := harness.E18ShardScaling(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -218,7 +218,7 @@ func BenchmarkE18_ShardScaling(b *testing.B) {
 func BenchmarkE19_BatchingSweep(b *testing.B) {
 	skipHeavyBenchShort(b)
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E19BatchingSweep(benchConfig())
+		t, err := harness.E19BatchingSweep(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }
@@ -228,7 +228,7 @@ func BenchmarkE19_BatchingSweep(b *testing.B) {
 func BenchmarkE20_ReadPathSweep(b *testing.B) {
 	skipHeavyBenchShort(b)
 	for i := 0; i < b.N; i++ {
-		t, err := harness.E20ReadPathSweep(benchConfig())
+		t, err := harness.E20ReadPathSweep(context.Background(), benchConfig())
 		requireTable(b, t, err)
 	}
 }

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/harness"
 )
@@ -30,8 +32,10 @@ func run(args []string) error {
 		return err
 	}
 	cfg := harness.Config{Seed: *seed}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
 	if *markdown {
-		return harness.RunAllMarkdown(os.Stdout, cfg)
+		return harness.RunAllMarkdown(ctx, os.Stdout, cfg)
 	}
-	return harness.RunAll(os.Stdout, cfg)
+	return harness.RunAll(ctx, os.Stdout, cfg)
 }

@@ -1,0 +1,36 @@
+// Command gqsvet is this repository's protocol-invariant checker: a
+// `go vet -vettool` bundling the analyzers under internal/analysis.
+//
+//	go build -o bin/gqsvet ./cmd/gqsvet
+//	go vet -vettool=$PWD/bin/gqsvet ./...
+//
+// The analyzers encode invariants the general-purpose linters cannot
+// know:
+//
+//	clockuse     protocol packages read time only through clock.Clock
+//	handlerblock node message handlers never block the event loop
+//	ctxflow      library code accepts and propagates context
+//	lockheld     no blocking operation while a sync mutex is held
+//
+// A finding is either fixed or waived in place with
+// `//lint:allow <analyzer> <justification>`; the justification is
+// mandatory, so each waiver records its review. CI runs gqsvet in the
+// checks job; see the README's "Static analysis" section.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/clockuse"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/handlerblock"
+	"repro/internal/analysis/lockheld"
+)
+
+func main() {
+	analysis.Main(
+		clockuse.Analyzer,
+		handlerblock.Analyzer,
+		ctxflow.Analyzer,
+		lockheld.Analyzer,
+	)
+}

@@ -50,6 +50,14 @@
 //     full deployment with its own SMR log and injectable failure pattern —
 //     aggregate throughput scales with the shard count, faults degrade only
 //     one key range, and routing policies compose per shard;
+//   - protocol-invariant static analysis (cmd/gqsvet, internal/analysis):
+//     a custom `go vet -vettool` enforcing the invariants the protocols
+//     rest on — injectable clocks in protocol packages (internal/clock;
+//     clockuse), non-blocking node handlers (handlerblock), context
+//     propagation through every exported wait (ctxflow), and no blocking
+//     under a held mutex (lockheld) — with in-code justified waivers
+//     (//lint:allow) and fixture-tested analyzers (see README "Static
+//     analysis");
 //   - the workload engine (RunWorkload, WorkloadConfig, WorkloadReport):
 //     open- and closed-loop load generation over any endpoint and either
 //     transport, with Zipfian or uniform key distributions, sharded kv

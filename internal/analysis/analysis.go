@@ -1,0 +1,174 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// go/analysis vocabulary (golang.org/x/tools is not vendored here), just
+// large enough to host gqsvet's protocol-invariant analyzers and drive
+// them under `go vet -vettool`. An Analyzer inspects one type-checked
+// package at a time and reports Diagnostics; the unitchecker-protocol
+// driver lives in unit.go, the fixture test harness in the antest
+// subpackage, and the analyzers themselves in sibling subpackages
+// (clockuse, handlerblock, ctxflow, lockheld).
+//
+// # Suppressions
+//
+// A finding can be waived in place with
+//
+//	//lint:allow <analyzer> <justification>
+//
+// trailing the flagged line (same-line only, so a directive can never
+// leak onto a neighboring statement). The justification is
+// mandatory: a bare //lint:allow directive is itself reported, so every
+// suppression in the tree carries its reviewed reason. Directives name
+// exactly one analyzer; suppressing two findings on one line takes two
+// directives.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, selection flags and
+	// //lint:allow directives. It must be a valid flag name.
+	Name string
+	// Doc is the one-paragraph description shown by usage text.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report or
+	// pass.Reportf. A non-nil error aborts the whole gqsvet run (driver
+	// failure, not a finding).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos       token.Pos
+	line      int
+	analyzer  string
+	justified bool
+}
+
+// collectAllows parses every //lint:allow directive in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []allowDirective {
+	var out []allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				// Fixture files append `// want ...` expectations to the
+				// flagged line; they are harness markup, not justification.
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				fields := strings.Fields(text)
+				d := allowDirective{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				d.justified = len(fields) > 1
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyAllows drops diagnostics covered by a justified //lint:allow for
+// name on the same line, and appends one diagnostic per
+// directive that names this analyzer but carries no justification. It
+// returns the surviving list.
+func applyAllows(fset *token.FileSet, allows []allowDirective, name string, diags []Diagnostic) []Diagnostic {
+	covered := make(map[int]bool) // source lines with a justified allow
+	var out []Diagnostic
+	for _, a := range allows {
+		if a.analyzer != name {
+			continue
+		}
+		if !a.justified {
+			out = append(out, Diagnostic{
+				Pos: a.pos,
+				Message: fmt.Sprintf(
+					"//lint:allow %s without a justification; state why the invariant is safe to waive here", name),
+			})
+			continue
+		}
+		covered[a.line] = true
+	}
+	for _, d := range diags {
+		if covered[fset.Position(d.Pos).Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// RunAnalyzer executes a on the package, applying //lint:allow
+// suppression, and returns the surviving diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	diags = applyAllows(fset, collectAllows(fset, files), a.Name, diags)
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	// Insertion sort: diagnostic lists are short and mostly ordered.
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && diagLess(fset, diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+func diagLess(fset *token.FileSet, a, b Diagnostic) bool {
+	pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Offset < pb.Offset
+}
+
+// IsTestFile reports whether the file's name (per fset) ends in _test.go.
+// The analyzers enforce runtime-code invariants; tests synchronize with
+// wall time and block deliberately, so each analyzer skips test files.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,251 @@
+// Package antest is the fixture harness for this repository's analyzers —
+// a small stand-in for golang.org/x/tools/go/analysis/analysistest. A
+// test lays out packages under testdata/src/<importpath>/ (a GOPATH-style
+// tree, so fixtures can fake internal packages such as repro/internal/node
+// with just the API surface the analyzer matches on) and marks expected
+// findings with trailing comments:
+//
+//	time.Sleep(d) // want `raw time\.Sleep`
+//
+// Each `want` takes one or more Go string literals, each a regular
+// expression; every diagnostic on that line must match exactly one
+// pending expectation and vice versa. Standard-library imports resolve
+// through the source importer, so fixtures may use time, context, sync
+// and friends without any build step.
+package antest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer's (suppression-
+// filtered) diagnostics against its want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{root: root, pkgs: make(map[string]*loadedPkg)}
+	for _, path := range pkgpaths {
+		runOne(t, ld, a, path)
+	}
+}
+
+func runOne(t *testing.T, ld *loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	lp, err := ld.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := analysis.RunAnalyzer(a, sharedFset, lp.files, lp.pkg, lp.info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+
+	wants, err := collectWants(lp.files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := sharedFset.Position(d.Pos)
+		key := lineKey{file: pos.Filename, line: pos.Line}
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+// sharedFset and sharedStdImporter are process-wide: the source importer
+// type-checks each stdlib package from source once, and every fixture
+// load in the test binary reuses that work.
+var (
+	sharedFset        = token.NewFileSet()
+	sharedStdImporter = sync.OnceValue(func() types.Importer {
+		return importer.ForCompiler(sharedFset, "source", nil)
+	})
+)
+
+type loadedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	root string
+	pkgs map[string]*loadedPkg
+}
+
+// load parses and type-checks the fixture package at importpath,
+// resolving imports first against the fixture tree and then the standard
+// library.
+func (ld *loader) load(importpath string) (*loadedPkg, error) {
+	if lp, ok := ld.pkgs[importpath]; ok {
+		if lp == nil {
+			return nil, fmt.Errorf("import cycle through %q", importpath)
+		}
+		return lp, nil
+	}
+	ld.pkgs[importpath] = nil // cycle marker
+
+	dir := filepath.Join(ld.root, filepath.FromSlash(importpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewTypesInfo()
+	tconf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if _, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil {
+				lp, err := ld.load(path)
+				if err != nil {
+					return nil, err
+				}
+				return lp.pkg, nil
+			}
+			return sharedStdImporter().Import(path)
+		}),
+	}
+	pkg, err := tconf.Check(importpath, sharedFset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{files: files, pkg: pkg, info: info}
+	ld.pkgs[importpath] = lp
+	return lp, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type wantRe struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet map[lineKey][]*wantRe
+
+func (ws wantSet) match(key lineKey, msg string) bool {
+	for _, w := range ws[key] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses `// want "re" ...` comments into per-line
+// expectation sets.
+func collectWants(files []*ast.File) (wantSet, error) {
+	ws := make(wantSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := sharedFset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					lit, tail, err := cutStringLit(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want comment: %v", pos, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern: %v", pos, err)
+					}
+					ws[key] = append(ws[key], &wantRe{re: re})
+					rest = strings.TrimSpace(tail)
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+// cutStringLit splits one leading Go string literal (quoted or
+// backquoted) off s, returning its value and the remainder.
+func cutStringLit(s string) (lit, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty pattern")
+	}
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated raw string in %q", s)
+		}
+		return s[1 : 1+end], s[end+2:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				val, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", "", err
+				}
+				return val, s[i+1:], nil
+			}
+		}
+		return "", "", fmt.Errorf("unterminated string in %q", s)
+	default:
+		return "", "", fmt.Errorf("pattern must be a quoted or backquoted string: %q", s)
+	}
+}

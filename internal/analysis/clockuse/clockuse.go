@@ -1,0 +1,79 @@
+// Package clockuse forbids raw wall-clock and timer calls in the
+// protocol packages. Lease safety rests on a clock-skew argument, view
+// synchronization on timer growth, batching on flush windows: every one
+// of those time readings must flow through an injectable clock.Clock so
+// the fake clock can drive protocol tests deterministically, and so
+// reviewers can find each point where real time enters the protocols.
+// Test files are exempt (they may bound waits with wall time); runtime
+// code in internal/{consensus,smr,lease,qaf,viewsync} is not.
+package clockuse
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// protocolPkgs are the import-path suffixes whose runtime code must use
+// clock.Clock. internal/clock itself, transport, node and the harness are
+// deliberately absent: they are either the clock's implementation or
+// infrastructure whose timing is not part of a protocol's correctness
+// argument.
+var protocolPkgs = []string{
+	"internal/consensus",
+	"internal/smr",
+	"internal/lease",
+	"internal/qaf",
+	"internal/viewsync",
+}
+
+// bannedTimeFuncs are the time-package entry points that read or act on
+// the process clock. time.Duration arithmetic and time.Time comparisons
+// remain free — only acquiring a reading or arming a real timer is gated.
+var bannedTimeFuncs = []string{
+	"Now", "Since", "Until", "Sleep",
+	"After", "Tick", "NewTimer", "NewTicker", "AfterFunc",
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockuse",
+	Doc: "protocol packages must read time through an injectable clock.Clock\n\n" +
+		"Raw time.Now/Sleep/After/NewTimer/... in internal/{consensus,smr,lease,qaf,viewsync}\n" +
+		"make lease windows and view timeouts untestable; route them through internal/clock.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !isProtocolPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if analysis.IsPkgFunc(fn, "time", bannedTimeFuncs...) {
+				pass.Reportf(call.Pos(),
+					"raw time.%s in protocol package %s; inject a clock.Clock (internal/clock) so tests control time",
+					fn.Name(), pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isProtocolPkg(path string) bool {
+	for _, p := range protocolPkgs {
+		if path == p || len(path) > len(p) && path[len(path)-len(p)-1] == '/' && path[len(path)-len(p):] == p {
+			return true
+		}
+	}
+	return false
+}

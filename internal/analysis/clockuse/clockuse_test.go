@@ -1,0 +1,11 @@
+package clockuse
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+)
+
+func TestClockuse(t *testing.T) {
+	antest.Run(t, Analyzer, "repro/internal/lease", "repro/internal/graph")
+}

@@ -1,0 +1,10 @@
+// Package graph is the clockuse negative fixture: not a protocol
+// package, so raw time use is out of the analyzer's jurisdiction.
+package graph
+
+import "time"
+
+func Fine() time.Time {
+	time.Sleep(time.Nanosecond)
+	return time.Now()
+}

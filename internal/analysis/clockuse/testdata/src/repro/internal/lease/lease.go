@@ -1,0 +1,36 @@
+// Package lease is a clockuse fixture standing in for the real protocol
+// package: every raw time call below must be caught, the clock-injected
+// and arithmetic-only uses must not.
+package lease
+
+import "time"
+
+type clockIface interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+func bad(deadline time.Time) {
+	_ = time.Now()                   // want `raw time\.Now in protocol package lease`
+	time.Sleep(time.Millisecond)     // want `raw time\.Sleep`
+	<-time.After(time.Millisecond)   // want `raw time\.After`
+	t := time.NewTimer(time.Second)  // want `raw time\.NewTimer`
+	t.Stop()                         // method on *time.Timer: fine
+	_ = time.NewTicker(time.Second)  // want `raw time\.NewTicker`
+	_ = time.Since(deadline)         // want `raw time\.Since`
+	_ = time.Until(deadline)         // want `raw time\.Until`
+	_ = time.AfterFunc(0, func() {}) // want `raw time\.AfterFunc`
+	allowed := time.Now()            //lint:allow clockuse fixture: reviewed wall-clock read
+	_ = allowed
+	bare := time.Now() //lint:allow clockuse // want `raw time\.Now` `without a justification`
+	_ = bare
+}
+
+func good(c clockIface, d time.Duration) {
+	// Duration arithmetic and readings through the injected clock are the
+	// sanctioned shapes.
+	_ = c.Now().Add(3 * d)
+	<-c.After(d)
+	_ = time.Duration(42) * time.Millisecond
+	_ = time.Unix(0, 0) // constructing instants is not reading the clock
+}

@@ -1,0 +1,107 @@
+// Package ctxflow enforces context discipline in library code. Three
+// rules, all below cmd/ (that is: in every non-main package, outside
+// tests):
+//
+//  1. No context.Background() or context.TODO(). A library function that
+//     mints its own root context cuts the caller's cancellation off at
+//     that call; the ctx must flow in from outside. The one sanctioned
+//     exception — the lifetime root of a long-lived component, canceled
+//     by its Stop — is waived explicitly with //lint:allow ctxflow and a
+//     justification.
+//
+//  2. A function that already has a context.Context parameter must not
+//     call the ctx-less rendezvous Node.Call; CallCtx exists precisely
+//     so the caller's deadline propagates into the event-loop wait.
+//
+//  3. An exported function with no context.Context parameter must not
+//     block: bare channel operations, selects without default,
+//     WaitGroup.Wait, time.Sleep or Node.Call in its synchronous body
+//     mean callers cannot bound the wait. Stop/Close are exempt by
+//     convention (io.Closer has no ctx; shutdown is expected to drain).
+package ctxflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "library code must accept and propagate context, not mint or drop it\n\n" +
+		"No context.Background/TODO below cmd/; functions holding a ctx use CallCtx\n" +
+		"rather than Call; exported blocking entry points take a ctx (Stop/Close exempt).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		// Rule 1 applies everywhere in the file, including helper code
+		// outside function declarations.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.CalleeFunc(pass.TypesInfo, call); analysis.IsPkgFunc(fn, "context", "Background", "TODO") {
+				pass.Reportf(call.Pos(),
+					"context.%s in library code; accept a ctx from the caller (component-lifetime roots: //lint:allow ctxflow <why>)",
+					fn.Name())
+			}
+			return true
+		})
+
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasContextParam(pass.TypesInfo, fd) {
+				checkCallWithCtx(pass, fd)
+			} else if fd.Name.IsExported() && fd.Name.Name != "Stop" && fd.Name.Name != "Close" {
+				checkExportedBlocking(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCallWithCtx flags Node.Call reached synchronously from a function
+// that has a ctx to propagate.
+func checkCallWithCtx(pass *analysis.Pass, fd *ast.FuncDecl) {
+	invoked := analysis.InvokedFuncLits(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.FuncLit:
+			return invoked[n]
+		case *ast.CallExpr:
+			if analysis.IsMethodOn(analysis.CalleeFunc(pass.TypesInfo, n), "internal/node", "Node", "Call") {
+				pass.Reportf(n.Pos(), "%s has a ctx but calls Node.Call; use CallCtx(ctx, ...) so the caller's deadline reaches the event-loop wait", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkExportedBlocking flags blocking operations in an exported,
+// ctx-less function.
+func checkExportedBlocking(pass *analysis.Pass, fd *ast.FuncDecl) {
+	for _, op := range analysis.FindBlockingOps(pass.Fset, pass.TypesInfo, fd.Body, analysis.BlockingConfig{}) {
+		// Node.CallCtx implies a ctx was obtained somehow; if it was
+		// minted locally rule 1 already fires, so reporting it again
+		// here would only double up.
+		if op.What == "node.Node.CallCtx" {
+			continue
+		}
+		pass.Reportf(op.Pos, "exported %s blocks (%s) but has no context.Context parameter; callers cannot bound or cancel the wait", fd.Name.Name, op.What)
+	}
+}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+)
+
+func TestCtxflow(t *testing.T) {
+	antest.Run(t, Analyzer, "repro/internal/lib", "repro/cmd/tool")
+}

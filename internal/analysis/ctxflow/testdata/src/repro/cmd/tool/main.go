@@ -1,0 +1,17 @@
+// Command tool is the negative fixture: main packages sit at the top of
+// the call tree and legitimately mint root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	block()
+}
+
+func block() {
+	ch := make(chan struct{})
+	close(ch)
+	<-ch
+}

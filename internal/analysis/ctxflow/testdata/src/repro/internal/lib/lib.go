@@ -1,0 +1,87 @@
+// Package lib exercises the three ctxflow rules in a library package.
+package lib
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+)
+
+type Server struct {
+	n    *node.Node
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// NewServer shows both sides of rule 1: a minted root is flagged unless
+// it carries a reviewed waiver.
+func NewServer(n *node.Node) *Server {
+	s := &Server{n: n, done: make(chan struct{})}
+	s.ctx, s.cancel = context.WithCancel(context.Background()) //lint:allow ctxflow fixture: component-lifetime root, canceled in Stop
+	_ = context.TODO()                                         // want `context\.TODO in library code`
+	bad := context.Background()                                // want `context\.Background in library code`
+	_ = bad
+	return s
+}
+
+// Query has a ctx: the ctx-less rendezvous is rule 2's target.
+func (s *Server) Query(ctx context.Context, fn func()) error {
+	s.n.Call(fn) // want `Query has a ctx but calls Node\.Call; use CallCtx`
+	return s.n.CallCtx(ctx, fn)
+}
+
+// Await is rule 3: exported, blocking, no ctx to bound the wait.
+func (s *Server) Await() {
+	<-s.done    // want `exported Await blocks \(channel receive\) but has no context\.Context`
+	s.wg.Wait() // want `exported Await blocks \(sync\.WaitGroup\.Wait\)`
+}
+
+// Pause is rule 3 with a sleep.
+func Pause() {
+	time.Sleep(time.Millisecond) // want `exported Pause blocks \(time\.Sleep\)`
+}
+
+// Stop and Close are the conventional ctx-less shutdown points.
+func (s *Server) Stop() {
+	s.cancel()
+	<-s.done
+	s.wg.Wait()
+}
+
+func (s *Server) Close() error {
+	<-s.done
+	return nil
+}
+
+// await is unexported: internal helpers may block, their exported
+// callers carry the ctx.
+func (s *Server) await() {
+	<-s.done
+}
+
+// TryPoll never blocks: select with default is fine without a ctx, and
+// handing work to a goroutine is the sanctioned offload.
+func (s *Server) TryPoll() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+	}
+	go func() { s.wg.Wait() }()
+	return false
+}
+
+// WaitCtx blocks, but the ctx makes that the caller's choice.
+func (s *Server) WaitCtx(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,102 @@
+// Package handlerblock forbids blocking operations in node message
+// handlers. Every handler runs on its node's single event-loop
+// goroutine: a handler that parks — a bare channel send or receive, a
+// select with no default, time.Sleep, WaitGroup.Wait — stalls dispatch
+// for the whole process, and a handler that re-enters the loop
+// synchronously (Node.Call, Node.CallCtx, Node.Stop) deadlocks it
+// outright. The analyzer finds functions registered via Node.Handle or
+// Node.HandlePrefix (function literals, named functions and same-package
+// method values) and walks their synchronously executed statements;
+// goroutines a handler spawns, and select statements with a default
+// case, are the sanctioned shapes for deferred or conditional work.
+package handlerblock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "handlerblock",
+	Doc: "node message handlers must not block the event loop\n\n" +
+		"Handlers registered with Node.Handle/HandlePrefix run on the node's only\n" +
+		"dispatch goroutine; blocking there stalls the process, Call/CallCtx/Stop\n" +
+		"deadlock it. Offload to a goroutine or use select with a default case.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Map package-level functions and methods to their declarations so a
+	// registration by name or method value resolves to a body to inspect.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	checked := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if !analysis.IsMethodOn(callee, "internal/node", "Node", "Handle", "HandlePrefix") {
+				return true
+			}
+			name, body := resolveHandler(pass.TypesInfo, decls, call.Args[1])
+			if body == nil || checked[body] {
+				return true
+			}
+			checked[body] = true
+			for _, op := range analysis.FindBlockingOps(pass.Fset, pass.TypesInfo, body, analysis.BlockingConfig{}) {
+				pass.Reportf(op.Pos, "%s in node handler %s blocks the event loop; offload to a goroutine or use select with default", op.What, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resolveHandler maps the handler argument of a registration call to the
+// body to inspect: a function literal inline, or the same-package
+// declaration of a named function or method value. Handlers held in
+// variables or declared in other packages are out of reach and skipped.
+func resolveHandler(info *types.Info, decls map[*types.Func]*ast.FuncDecl, arg ast.Expr) (string, ast.Node) {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return "(literal)", e.Body
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			if d := decls[fn]; d != nil && d.Body != nil {
+				return fn.Name(), d.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			if d := decls[fn]; d != nil && d.Body != nil {
+				return fn.Name(), d.Body
+			}
+		}
+	case *ast.CallExpr:
+		// A conversion like node.Handler(h): look through to the operand.
+		if len(e.Args) == 1 {
+			if _, isConv := info.Types[e.Fun]; isConv && analysis.CalleeFunc(info, e) == nil {
+				return resolveHandler(info, decls, e.Args[0])
+			}
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,11 @@
+package handlerblock
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+)
+
+func TestHandlerblock(t *testing.T) {
+	antest.Run(t, Analyzer, "repro/internal/proto")
+}

@@ -1,0 +1,23 @@
+// Package node is a fixture stand-in exposing just the API surface the
+// handlerblock and ctxflow analyzers match on: the Node type's
+// registration, rendezvous and messaging methods. The analyzers identify
+// it by the "internal/node" import-path suffix and the Node type name.
+package node
+
+import "context"
+
+type Message struct {
+	Topic string
+}
+
+type Handler func(from int, m Message)
+
+type Node struct{}
+
+func (n *Node) Handle(topic string, h Handler)               {}
+func (n *Node) HandlePrefix(prefix string, h Handler)        {}
+func (n *Node) Do(fn func())                                 {}
+func (n *Node) Call(fn func())                               {}
+func (n *Node) CallCtx(ctx context.Context, fn func()) error { return nil }
+func (n *Node) Send(to int, topic string, body any)          {}
+func (n *Node) Stop()                                        {}

@@ -1,0 +1,89 @@
+// Package proto exercises every handlerblock shape: blocking operations
+// in registered handlers (literals, named functions, method values,
+// conversions) must be caught; goroutine offloads, selects with default,
+// and unregistered functions must not.
+package proto
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/node"
+)
+
+type endpoint struct {
+	n    *node.Node
+	ch   chan int
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (e *endpoint) install() {
+	e.n.Handle("t/literal", func(from int, m node.Message) {
+		e.ch <- from                 // want `channel send in node handler \(literal\)`
+		<-e.stop                     // want `channel receive in node handler \(literal\)`
+		time.Sleep(time.Millisecond) // want `time\.Sleep in node handler \(literal\)`
+	})
+	e.n.Handle("t/method", e.onMsg)
+	e.n.HandlePrefix("t/", e.onAny)
+	e.n.Handle("t/func", freeHandler)
+	e.n.Handle("t/conv", node.Handler(e.onConv))
+	e.n.Handle("t/good", e.onGood)
+}
+
+func (e *endpoint) onMsg(from int, m node.Message) {
+	e.n.Call(func() {}) // want `node\.Node\.Call in node handler onMsg`
+	e.n.Stop()          // want `node\.Node\.Stop in node handler onMsg`
+	e.wg.Wait()         // want `sync\.WaitGroup\.Wait in node handler onMsg`
+}
+
+func (e *endpoint) onAny(from int, m node.Message) {
+	select { // want `select without default case in node handler onAny`
+	case v := <-e.ch:
+		_ = v
+	case <-e.stop:
+	}
+}
+
+func freeHandler(from int, m node.Message) {
+	ch := make(chan int)
+	for range ch { // want `range over channel in node handler freeHandler`
+	}
+}
+
+func (e *endpoint) onConv(from int, m node.Message) {
+	e.ch <- from // want `channel send in node handler onConv`
+}
+
+// onGood is the false-positive gauntlet: everything here is loop-safe.
+func (e *endpoint) onGood(from int, m node.Message) {
+	// Non-blocking send: select with default is the sanctioned shape.
+	select {
+	case e.ch <- from:
+	default:
+	}
+	// Blocking work on its own goroutine is fine.
+	go func() {
+		e.ch <- from
+		e.wg.Wait()
+		e.n.Call(func() {})
+	}()
+	// A literal merely defined (stored, passed) does not run on the loop.
+	cb := func() { <-e.stop }
+	e.n.Do(cb)
+	// Sends and closes that cannot block.
+	close(e.stop)
+	e.n.Send(from, "t/reply", nil)
+}
+
+// notAHandler blocks freely: it is never registered.
+func (e *endpoint) notAHandler() {
+	<-e.stop
+	e.wg.Wait()
+}
+
+func (e *endpoint) allowed() {
+	e.n.Handle("t/allowed", func(from int, m node.Message) {
+		<-e.stop //lint:allow handlerblock fixture: reviewed rendezvous, loop is quiescent here
+	})
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is dynamic (function-typed variable, interface
+// value of unknown type) or a type conversion.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether f is the package-level function pkgpath.name
+// (pkgpath matched by full path or "/"-boundary suffix, so fixture
+// stand-ins for internal packages match too).
+func IsPkgFunc(f *types.Func, pkgpath string, names ...string) bool {
+	if f == nil || f.Pkg() == nil || f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	if !pathMatches(f.Pkg().Path(), pkgpath) {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMethodOn reports whether f is a method named one of names on the
+// (possibly pointer-receiver) named type pkgpath.typename.
+func IsMethodOn(f *types.Func, pkgpath, typename string, names ...string) bool {
+	if f == nil {
+		return false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Name() != typename || !pathMatches(named.Obj().Pkg().Path(), pkgpath) {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// pathMatches reports whether got is path or ends in "/"+path.
+func pathMatches(got, path string) bool {
+	return got == path || strings.HasSuffix(got, "/"+path)
+}
+
+// HasContextParam reports whether the function declaration takes a
+// context.Context parameter.
+func HasContextParam(info *types.Info, decl *ast.FuncDecl) bool {
+	obj, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if named, ok := params.At(i).Type().(*types.Named); ok {
+			o := named.Obj()
+			if o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExprString renders a (small) expression for diagnostics.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// InvokedFuncLits returns the function literals under root that are
+// called at their definition site (func(){...}()) — the only literals
+// whose bodies execute synchronously with the enclosing code.
+func InvokedFuncLits(root ast.Node) map[*ast.FuncLit]bool {
+	invoked := make(map[*ast.FuncLit]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+		}
+		return true
+	})
+	return invoked
+}
+
+// A BlockingOp is one operation that can park the calling goroutine.
+type BlockingOp struct {
+	Pos  token.Pos
+	What string // human-readable description for diagnostics
+}
+
+// BlockingConfig tunes FindBlockingOps per analyzer.
+type BlockingConfig struct {
+	// AllowCondWait exempts sync.Cond.Wait — legal (required, even)
+	// while holding the Cond's mutex, so the lockheld analyzer must not
+	// flag it.
+	AllowCondWait bool
+}
+
+// FindBlockingOps reports the operations under root that can block the
+// calling goroutine: channel sends and receives outside a select with a
+// default case, selects without a default case, ranging over a channel,
+// time.Sleep, sync.WaitGroup.Wait, sync.Cond.Wait (unless exempted), and
+// the node event-loop rendezvous Call/CallCtx/Stop (which additionally
+// deadlock when reached from the loop itself). Code that runs on another
+// goroutine — go statements and non-invoked function literals — is not
+// traversed.
+func FindBlockingOps(fset *token.FileSet, info *types.Info, root ast.Node, cfg BlockingConfig) []BlockingOp {
+	invoked := InvokedFuncLits(root)
+
+	var ops []BlockingOp
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.FuncLit:
+				return invoked[n]
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, clause := range n.Body.List {
+					if clause.(*ast.CommClause).Comm == nil {
+						hasDefault = true
+					}
+				}
+				if !hasDefault {
+					ops = append(ops, BlockingOp{n.Pos(), "select without default case"})
+				}
+				// Walk clause bodies only; the comm ops themselves are
+				// governed by the select.
+				for _, clause := range n.Body.List {
+					for _, s := range clause.(*ast.CommClause).Body {
+						walk(s)
+					}
+				}
+				return false
+			case *ast.SendStmt:
+				ops = append(ops, BlockingOp{n.Pos(), "channel send"})
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					ops = append(ops, BlockingOp{n.Pos(), "channel receive"})
+				}
+			case *ast.RangeStmt:
+				if t, ok := info.Types[n.X]; ok {
+					if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+						ops = append(ops, BlockingOp{n.Pos(), "range over channel"})
+					}
+				}
+			case *ast.CallExpr:
+				f := CalleeFunc(info, n)
+				switch {
+				case IsPkgFunc(f, "time", "Sleep"):
+					ops = append(ops, BlockingOp{n.Pos(), "time.Sleep"})
+				case IsMethodOn(f, "sync", "WaitGroup", "Wait"):
+					ops = append(ops, BlockingOp{n.Pos(), "sync.WaitGroup.Wait"})
+				case !cfg.AllowCondWait && IsMethodOn(f, "sync", "Cond", "Wait"):
+					ops = append(ops, BlockingOp{n.Pos(), "sync.Cond.Wait"})
+				case IsMethodOn(f, "internal/node", "Node", "Call", "CallCtx", "Stop"):
+					ops = append(ops, BlockingOp{n.Pos(), "node.Node." + f.Name()})
+				}
+			}
+			return true
+		})
+	}
+	walk(root)
+	return ops
+}

@@ -1,0 +1,261 @@
+// Package lockheld forbids blocking while holding a sync.Mutex or
+// sync.RWMutex. A goroutine that parks on a channel, a select without
+// default, a WaitGroup, a sleep or a node rendezvous with a mutex held
+// turns every other contender on that mutex into a hostage of the wait —
+// on the protocol hot paths that is how an event loop and a completion
+// goroutine deadlock each other. sync.Cond.Wait is exempt: it requires
+// the mutex by contract and releases it while parked.
+//
+// The analysis is a per-function, syntax-directed scan: it tracks which
+// mutex expressions (by printed form, e.g. "m.mu") are locked along each
+// statement path, forks the held-set across branches, and conservatively
+// treats a mutex released on any live branch as released afterwards — it
+// prefers missing an exotic interleaving to crying wolf on the standard
+// lock/branch/unlock shapes. defer mu.Unlock() keeps the mutex held to
+// the end of the function, which is exactly the case the check exists
+// for. Function literals are scanned as their own scopes; a mutex held
+// when a literal is *defined* is not held when it later *runs*.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc: "no blocking operation while a sync.Mutex/RWMutex is held\n\n" +
+		"Channel ops, selects without default, WaitGroup.Wait, sleeps and node\n" +
+		"rendezvous must happen outside critical sections (sync.Cond.Wait exempt).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				s := &scanner{pass: pass}
+				s.stmts(body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type scanner struct {
+	pass *analysis.Pass
+}
+
+// stmts scans a statement list in order, mutating held (mutex expression
+// -> position of its Lock call).
+func (s *scanner) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+func (s *scanner) stmt(st ast.Stmt, held map[string]token.Pos) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if key, locks := s.lockOp(st.X, "Lock", "RLock"); locks {
+			held[key] = st.Pos()
+			return
+		}
+		if key, unlocks := s.lockOp(st.X, "Unlock", "RUnlock"); unlocks {
+			delete(held, key)
+			return
+		}
+		s.check(st, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() releases at return: the mutex stays held for
+		// the remainder of the scan, which is the point of the check.
+		// Other deferred work runs off the statement path; skip it.
+	case *ast.BlockStmt:
+		s.stmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.check(st.Init, held)
+		}
+		s.check(st.Cond, held)
+		branches := [][]ast.Stmt{st.Body.List}
+		if st.Else != nil {
+			branches = append(branches, []ast.Stmt{st.Else})
+		} else {
+			branches = append(branches, nil) // implicit fallthrough branch
+		}
+		s.fork(held, branches)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.check(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.check(st.Cond, held)
+		}
+		if st.Post != nil {
+			s.check(st.Post, held)
+		}
+		s.fork(held, [][]ast.Stmt{st.Body.List, nil})
+	case *ast.RangeStmt:
+		s.check(st.X, held)
+		if len(held) > 0 {
+			if t, ok := s.pass.TypesInfo.Types[st.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					s.report(st.Pos(), "range over channel", held)
+				}
+			}
+		}
+		s.fork(held, [][]ast.Stmt{st.Body.List, nil})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			init, body = sw.Init, sw.Body
+			if sw.Tag != nil {
+				s.check(sw.Tag, held)
+			}
+		} else {
+			ts := st.(*ast.TypeSwitchStmt)
+			init, body = ts.Init, ts.Body
+		}
+		if init != nil {
+			s.check(init, held)
+		}
+		var branches [][]ast.Stmt
+		for _, c := range body.List {
+			branches = append(branches, c.(*ast.CaseClause).Body)
+		}
+		branches = append(branches, nil) // no case may match
+		s.fork(held, branches)
+	case *ast.SelectStmt:
+		// The select itself is the blocking operation when it has no
+		// default; individual comm clauses are governed by the select.
+		hasDefault := false
+		var branches [][]ast.Stmt
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			branches = append(branches, cc.Body)
+		}
+		if !hasDefault && len(held) > 0 {
+			s.report(st.Pos(), "select without default case", held)
+		}
+		s.fork(held, branches)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the held set; the call's
+		// arguments are evaluated here but cannot block interestingly.
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.check(r, held)
+		}
+	case *ast.BranchStmt, *ast.EmptyStmt, *ast.IncDecStmt:
+		// Nothing blocking, nothing held-changing.
+	default:
+		// Assignments, declarations, sends, and anything else: the
+		// statement cannot change the held set, only block under it.
+		s.check(st, held)
+	}
+}
+
+// fork scans each branch with its own copy of held, then conservatively
+// releases in held any mutex a live (non-terminating) branch released.
+func (s *scanner) fork(held map[string]token.Pos, branches [][]ast.Stmt) {
+	type result struct {
+		held       map[string]token.Pos
+		terminates bool
+	}
+	var results []result
+	for _, b := range branches {
+		h := clone(held)
+		s.stmts(b, h)
+		results = append(results, result{h, terminates(b)})
+	}
+	for key := range held {
+		for _, r := range results {
+			if _, still := r.held[key]; !still && !r.terminates {
+				delete(held, key)
+				break
+			}
+		}
+	}
+}
+
+// check reports every blocking operation under n while a mutex is held.
+func (s *scanner) check(n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	for _, op := range analysis.FindBlockingOps(s.pass.Fset, s.pass.TypesInfo, n, analysis.BlockingConfig{AllowCondWait: true}) {
+		s.report(op.Pos, op.What, held)
+	}
+}
+
+func (s *scanner) report(pos token.Pos, what string, held map[string]token.Pos) {
+	for key := range held {
+		s.pass.Reportf(pos, "%s while holding %s; release the mutex before blocking", what, key)
+	}
+}
+
+// lockOp reports whether e is a call of one of the given methods on a
+// sync.Mutex or sync.RWMutex, returning the printed receiver expression
+// as the mutex's identity.
+func (s *scanner) lockOp(e ast.Expr, names ...string) (key string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	fn := analysis.CalleeFunc(s.pass.TypesInfo, call)
+	if !analysis.IsMethodOn(fn, "sync", "Mutex", names...) && !analysis.IsMethodOn(fn, "sync", "RWMutex", names...) {
+		return "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	return analysis.ExprString(s.pass.Fset, sel.X), true
+}
+
+func clone(m map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// terminates reports whether the statement list always transfers control
+// out (return, branch, panic) rather than falling through.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

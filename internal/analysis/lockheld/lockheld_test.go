@@ -1,0 +1,11 @@
+package lockheld
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+)
+
+func TestLockheld(t *testing.T) {
+	antest.Run(t, Analyzer, "repro/internal/locks")
+}

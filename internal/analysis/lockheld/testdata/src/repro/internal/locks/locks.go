@@ -1,0 +1,150 @@
+// Package locks exercises lockheld: blocking with a mutex held must be
+// caught; the repository's real lock/branch/unlock shapes must not.
+package locks
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/node"
+)
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+	stop chan struct{}
+	wg   sync.WaitGroup
+	n    *node.Node
+	v    int
+}
+
+func (b *box) deferHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.ch                       // want `channel receive while holding b\.mu`
+	b.ch <- 1                    // want `channel send while holding b\.mu`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding b\.mu`
+	b.wg.Wait()                  // want `sync\.WaitGroup\.Wait while holding b\.mu`
+	b.n.Call(func() {})          // want `node\.Node\.Call while holding b\.mu`
+}
+
+func (b *box) selectHeld() {
+	b.mu.Lock()
+	select { // want `select without default case while holding b\.mu`
+	case <-b.ch:
+	case <-b.stop:
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) rlockHeld() {
+	b.rw.RLock()
+	<-b.ch // want `channel receive while holding b\.rw`
+	b.rw.RUnlock()
+}
+
+func (b *box) rangeHeld() {
+	b.mu.Lock()
+	for range b.ch { // want `range over channel while holding b\.mu`
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) assignHeld() int {
+	b.mu.Lock()
+	x := <-b.ch // want `channel receive while holding b\.mu`
+	b.mu.Unlock()
+	return x
+}
+
+func (b *box) allowed() {
+	b.mu.Lock()
+	<-b.ch //lint:allow lockheld fixture: reviewed rendezvous, sender never holds b.mu
+	b.mu.Unlock()
+}
+
+// unlockThenBlock is the plain safe shape: release before waiting.
+func (b *box) unlockThenBlock() {
+	b.mu.Lock()
+	b.v++
+	b.mu.Unlock()
+	<-b.ch
+	b.wg.Wait()
+}
+
+// branchUnlock mirrors node.Stop: a branch that unlocks and then blocks
+// is fine, and after an if whose live branch released the mutex the
+// conservative answer is "released".
+func (b *box) branchUnlock(done chan struct{}) {
+	b.mu.Lock()
+	if b.v > 0 {
+		b.mu.Unlock()
+		<-done
+		return
+	}
+	b.v = 1
+	b.mu.Unlock()
+	<-done
+}
+
+// condWait is the sync.Cond contract: Wait requires the mutex and
+// releases it while parked — never a finding.
+func (b *box) condWait() {
+	b.mu.Lock()
+	for b.v == 0 {
+		b.cond.Wait()
+	}
+	b.v--
+	b.mu.Unlock()
+}
+
+// relockLoop mirrors lease.Manager.gate: each iteration takes and fully
+// releases the mutex before its select; nothing is held at the select.
+func (b *box) relockLoop(deadline <-chan struct{}) {
+	for {
+		b.mu.Lock()
+		if b.v == 0 {
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+		select {
+		case <-b.ch:
+			return
+		case <-deadline:
+		}
+	}
+}
+
+// nonBlockingHeld: select with default under a lock is fine.
+func (b *box) nonBlockingHeld() {
+	b.mu.Lock()
+	select {
+	case b.ch <- b.v:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+// spawnHeld: a goroutine launched under the lock blocks on its own
+// schedule, not the critical section's.
+func (b *box) spawnHeld() {
+	b.mu.Lock()
+	go func() {
+		<-b.ch
+	}()
+	cb := func() { <-b.stop } // defined, not run, under the lock
+	b.mu.Unlock()
+	cb()
+}
+
+// twoMutexes: releasing one mutex does not release the other.
+func (b *box) twoMutexes() {
+	b.mu.Lock()
+	b.rw.Lock()
+	b.rw.Unlock()
+	<-b.ch // want `channel receive while holding b\.mu`
+	b.mu.Unlock()
+}

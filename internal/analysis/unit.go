@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Config mirrors the JSON configuration file the go command hands a
+// -vettool for each package unit (the x/tools unitchecker protocol). Only
+// the fields this driver consumes are declared; unknown fields are
+// ignored by encoding/json.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// versionFlag implements -V=full: the go command invokes the vettool with
+// it once per build to derive a cache key, and expects a single
+// "<progname> version <stamp>" line on stdout. The stamp hashes the
+// executable so a rebuilt gqsvet invalidates stale vet results.
+type versionFlag struct{}
+
+func (versionFlag) String() string { return "" }
+func (versionFlag) IsBoolFlag() bool {
+	// Accept plain -V as well as -V=full.
+	return true
+}
+
+func (versionFlag) Set(s string) error {
+	if s != "full" && s != "true" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	progname := filepath.Base(os.Args[0])
+	stamp := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				stamp = fmt.Sprintf("buildID=%x", h.Sum(nil)[:16])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel %s\n", progname, stamp)
+	os.Exit(0)
+	return nil
+}
+
+// Main is the entry point for a vettool over the given analyzers: parse
+// the protocol flags, read the unit config named by the single positional
+// argument, type-check the package and run every (selected) analyzer.
+// It exits 0 when clean, 2 when diagnostics were reported and 1 on driver
+// or type-check errors.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: protocol-invariant static analysis for this repository.\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Usage: go vet -vettool=$(command -v %s) [-NAME=false ...] ./...\n\n", progname)
+		fmt.Fprintf(os.Stderr, "It is a go vet -vettool (x/tools unitchecker protocol) and does not\nload packages on its own. Analyzers:\n\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(os.Stderr, "\nFindings are waived case-by-case with `//lint:allow NAME justification`.\n")
+	}
+
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	enabled := make(map[string]*bool)
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlagsJSON()
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	// Honor go vet's analyzer selection: if any -NAME flag was set, run
+	// just those analyzers.
+	selected := analyzers
+	if anySet(enabled) {
+		selected = nil
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	diags, err := runUnit(args[0], selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags.list) > 0 {
+		for _, d := range diags.list {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", diags.fset.Position(d.diag.Pos), d.diag.Message, d.analyzer)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func anySet(m map[string]*bool) bool {
+	for _, v := range m {
+		if *v {
+			return true
+		}
+	}
+	return false
+}
+
+// printFlagsJSON emits the registered flags in the JSON shape `go vet`
+// queries via `-flags` to learn which command-line flags it may forward.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flags: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+}
+
+type unitDiag struct {
+	analyzer string
+	diag     Diagnostic
+}
+
+type unitDiags struct {
+	fset *token.FileSet
+	list []unitDiag
+}
+
+// runUnit processes one unit config file: parse, type-check, analyze.
+func runUnit(cfgFile string, analyzers []*Analyzer) (unitDiags, error) {
+	out := unitDiags{fset: token.NewFileSet()}
+
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return out, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return out, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The go command requires the facts ("vetx") output file to exist for
+	// every unit, including dependency units analyzed with VetxOnly. These
+	// analyzers are fact-free, so the file is always empty — and VetxOnly
+	// units need no further work at all.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return out, fmt.Errorf("writing facts: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return out, nil
+	}
+
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(out.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return out, nil
+			}
+			return out, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Imports resolve through the export-data files the go command listed
+	// in the config, exactly as the compiler itself would see them.
+	exportImporter := importer.ForCompiler(out.fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return exportImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor(compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewTypesInfo()
+	pkg, err := tconf.Check(cfg.ImportPath, out.fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return out, nil
+		}
+		return out, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	for _, a := range analyzers {
+		diags, err := RunAnalyzer(a, out.fset, files, pkg, info)
+		if err != nil {
+			return out, err
+		}
+		for _, d := range diags {
+			out.list = append(out.list, unitDiag{analyzer: a.Name, diag: d})
+		}
+	}
+	return out, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consume
+// populated; the driver and the antest harness share it so both see the
+// same resolution quality.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

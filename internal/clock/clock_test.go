@@ -1,0 +1,158 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealDelegates(t *testing.T) {
+	before := time.Now()
+	now := Real.Now()
+	if now.Before(before) {
+		t.Fatalf("Real.Now went backwards: %v < %v", now, before)
+	}
+	if d := Real.Since(before); d < 0 {
+		t.Fatalf("Real.Since negative: %v", d)
+	}
+	tm := Real.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("fresh hour timer reported already fired")
+	}
+	if Or(nil) != Real {
+		t.Fatal("Or(nil) != Real")
+	}
+	f := NewFake()
+	if Or(f) != Clock(f) {
+		t.Fatal("Or(f) != f")
+	}
+}
+
+func TestFakeAdvanceFiresInDeadlineOrder(t *testing.T) {
+	f := NewFake()
+	var order []int
+	var mu sync.Mutex
+	note := func(i int) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}
+	}
+	f.AfterFunc(30*time.Millisecond, note(3))
+	f.AfterFunc(10*time.Millisecond, note(1))
+	f.AfterFunc(20*time.Millisecond, note(2))
+	f.AfterFunc(20*time.Millisecond, note(22)) // tie: arm order
+	f.AfterFunc(time.Hour, note(99))           // out of window
+
+	f.Advance(time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{1, 2, 22, 3}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFakeTimerChannelAndNow(t *testing.T) {
+	f := NewFake()
+	t0 := f.Now()
+	tm := f.NewTimer(50 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	f.Advance(49 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	f.Advance(time.Millisecond)
+	got := <-tm.C()
+	if want := t0.Add(50 * time.Millisecond); !got.Equal(want) {
+		t.Fatalf("tick time %v, want %v", got, want)
+	}
+	if !f.Now().Equal(t0.Add(50 * time.Millisecond)) {
+		t.Fatalf("Now = %v, want %v", f.Now(), t0.Add(50*time.Millisecond))
+	}
+	if f.Since(t0) != 50*time.Millisecond {
+		t.Fatalf("Since = %v", f.Since(t0))
+	}
+	if f.Until(t0.Add(time.Hour)) != time.Hour-50*time.Millisecond {
+		t.Fatalf("Until = %v", f.Until(t0.Add(time.Hour)))
+	}
+}
+
+func TestFakeStopAndReset(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(10 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on armed timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Reset(10 * time.Millisecond) {
+		t.Fatal("Reset on stopped timer reported true")
+	}
+	f.Advance(10 * time.Millisecond)
+	<-tm.C()
+	if f.Armed() != 0 {
+		t.Fatalf("Armed = %d after fire", f.Armed())
+	}
+}
+
+func TestFakeAfterFuncRearmWithinWindow(t *testing.T) {
+	// A window callback that re-arms itself inside the Advance window must
+	// fire again before Advance returns — the pattern the smr batcher's
+	// flush window relies on.
+	f := NewFake()
+	var fired int
+	var tm Timer
+	tm = f.AfterFunc(10*time.Millisecond, func() {
+		fired++
+		if fired < 3 {
+			tm.Reset(10 * time.Millisecond)
+		}
+	})
+	f.Advance(time.Second)
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+func TestFakeBlockUntil(t *testing.T) {
+	f := NewFake()
+	released := make(chan struct{})
+	go func() {
+		<-f.After(time.Minute)
+		close(released)
+	}()
+	f.BlockUntil(1) // the goroutine's timer is armed: safe to advance
+	f.Advance(time.Minute)
+	<-released
+}
+
+func TestFakeAfterNonPositive(t *testing.T) {
+	f := NewFake()
+	ch := f.After(0)
+	f.Advance(0)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("zero-duration timer did not fire on Advance(0)")
+	}
+}

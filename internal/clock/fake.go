@@ -1,0 +1,201 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Fake is a manually driven Clock for deterministic tests. Time stands
+// still until Advance moves it; timers fire during Advance, in deadline
+// order (insertion order for ties), on the Advance caller's goroutine.
+// Combined with BlockUntil — which waits for a known number of goroutines
+// to be parked on timers — tests sequence "the code under test is now
+// waiting; move time past its deadline" without a single wall-clock sleep.
+type Fake struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	now  time.Time
+	seq  uint64
+	// timers holds the armed timers, unordered; Advance scans for the
+	// earliest deadline each round (timer counts in tests are tiny).
+	timers map[*fakeTimer]struct{}
+}
+
+// NewFake returns a Fake starting at an arbitrary fixed instant. The
+// starting point is deliberately not configurable via wall time lookups:
+// fake time relates only to itself.
+func NewFake() *Fake {
+	return NewFakeAt(time.Date(2030, time.January, 1, 0, 0, 0, 0, time.UTC))
+}
+
+// NewFakeAt returns a Fake starting at t.
+func NewFakeAt(t time.Time) *Fake {
+	f := &Fake{now: t, timers: make(map[*fakeTimer]struct{})}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Now returns the current fake time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since returns the fake time elapsed since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Until returns the fake duration until t.
+func (f *Fake) Until(t time.Time) time.Duration { return t.Sub(f.Now()) }
+
+// After returns a channel delivering one reading once Advance moves time
+// d past the current instant.
+func (f *Fake) After(d time.Duration) <-chan time.Time { return f.NewTimer(d).C() }
+
+// NewTimer returns a Timer firing when Advance moves time d past now.
+// A non-positive d fires on the next Advance (of any amount), matching
+// the "already expired" behavior tests expect from time.NewTimer closely
+// enough without delivering from inside NewTimer itself.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	return f.newTimer(d, nil)
+}
+
+// AfterFunc schedules fn to run during the Advance whose window covers
+// d from now, synchronously on the Advance caller's goroutine.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	return f.newTimer(d, fn)
+}
+
+func (f *Fake) newTimer(d time.Duration, fn func()) *fakeTimer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	t := &fakeTimer{
+		f:        f,
+		deadline: f.now.Add(d),
+		seq:      f.seq,
+		fn:       fn,
+		active:   true,
+	}
+	if fn == nil {
+		t.ch = make(chan time.Time, 1)
+	}
+	f.timers[t] = struct{}{}
+	f.cond.Broadcast()
+	return t
+}
+
+// Advance moves fake time forward by d, firing every timer whose deadline
+// falls within the window, in deadline order. AfterFunc callbacks run
+// synchronously (without the clock lock held), so a callback that re-arms
+// its timer inside the window is honored before Advance returns.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		t := f.nextDueLocked(target)
+		if t == nil {
+			break
+		}
+		if t.deadline.After(f.now) {
+			f.now = t.deadline
+		}
+		delete(f.timers, t)
+		t.active = false
+		f.cond.Broadcast()
+		if t.fn != nil {
+			f.mu.Unlock()
+			t.fn()
+			f.mu.Lock()
+		} else {
+			// Matches time.Timer's sendTime: a tick from a previous arm
+			// still sitting undrained in the buffer makes this fire drop
+			// its tick rather than block Advance forever.
+			select {
+			case t.ch <- f.now:
+			default:
+			}
+		}
+	}
+	if target.After(f.now) {
+		f.now = target
+	}
+	f.mu.Unlock()
+}
+
+// nextDueLocked returns the armed timer with the earliest deadline not
+// after target, breaking ties by arm order; nil when none is due.
+func (f *Fake) nextDueLocked(target time.Time) *fakeTimer {
+	var best *fakeTimer
+	for t := range f.timers {
+		if t.deadline.After(target) {
+			continue
+		}
+		if best == nil || t.deadline.Before(best.deadline) ||
+			(t.deadline.Equal(best.deadline) && t.seq < best.seq) {
+			best = t
+		}
+	}
+	return best
+}
+
+// Armed returns the number of currently armed timers — the number of
+// waiters that will eventually be released by Advance calls.
+func (f *Fake) Armed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.timers)
+}
+
+// BlockUntil returns once at least n timers are armed. Tests use it to
+// wait for the code under test to reach its timed wait before Advancing
+// past the deadline, replacing sleep-and-hope synchronization.
+func (f *Fake) BlockUntil(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.timers) < n {
+		f.cond.Wait() //lint:allow ctxflow test-harness rendezvous; the test controls both sides, a ctx would only obscure a test bug
+	}
+}
+
+type fakeTimer struct {
+	f        *Fake
+	deadline time.Time
+	seq      uint64
+	fn       func()
+	ch       chan time.Time
+	active   bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+// Stop disarms the timer, reporting whether it was still armed. Like
+// time.Timer.Stop it does not drain a tick already delivered to C.
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := t.active
+	if was {
+		delete(t.f.timers, t)
+		t.active = false
+		t.f.cond.Broadcast()
+	}
+	return was
+}
+
+// Reset re-arms the timer for d from the current fake instant, reporting
+// whether it was armed beforehand.
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := t.active
+	t.deadline = t.f.now.Add(d)
+	if !was {
+		t.active = true
+		t.f.timers[t] = struct{}{}
+	}
+	t.f.seq++
+	t.seq = t.f.seq
+	t.f.cond.Broadcast()
+	return was
+}

@@ -530,7 +530,7 @@ func (c *Consensus) decide(val string, announce bool) {
 func (c *Consensus) Propose(ctx context.Context, x string) (string, error) {
 	ch := make(chan string, 1)
 	registered := false
-	c.n.Call(func() {
+	err := c.n.CallCtx(ctx, func() {
 		if c.stopped {
 			return
 		}
@@ -570,6 +570,11 @@ func (c *Consensus) Propose(ctx context.Context, x string) (string, error) {
 			}
 		}
 	})
+	if err != nil {
+		// The registration may still run later; its buffered channel (or a
+		// Stop close) absorbs the abandoned completion.
+		return "", err
+	}
 	if !registered {
 		return "", ErrStopped
 	}
@@ -590,14 +595,14 @@ func (c *Consensus) Decided() (string, bool) {
 		v  string
 		ok bool
 	)
-	c.n.Call(func() { v, ok = c.decVal, c.decided })
+	c.n.Call(func() { v, ok = c.decVal, c.decided }) //lint:allow ctxflow bounded single loop hop reading two fields; Call aborts when the node stops
 	return v, ok
 }
 
 // View returns the process's current view (for experiments).
 func (c *Consensus) View() int64 {
 	var v int64
-	c.n.Call(func() { v = c.view })
+	c.n.Call(func() { v = c.view }) //lint:allow ctxflow bounded single loop hop reading one field; Call aborts when the node stops
 	return v
 }
 

@@ -18,7 +18,7 @@ import (
 // tickers (the literal reading of Figure 3, one per instance) or one shared
 // batched push. Both are protocol-equivalent; the table quantifies the
 // message-count difference and confirms operations behave identically.
-func E13PropagationBatching(cfg Config) (*Table, error) {
+func E13PropagationBatching(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	const objects = 4
 	t := NewTable("E13", "Ablation: per-instance vs batched periodic propagation (4 objects/node, 100ms window)",
@@ -67,7 +67,7 @@ func E13PropagationBatching(cfg Config) (*Table, error) {
 		defer stop()
 
 		// Exercise one object, then let ticks run for a fixed window.
-		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		ctx, cancel := context.WithTimeout(ctx, opTimeout)
 		defer cancel()
 		if _, err := regs[0][0].Write(ctx, "ablate"); err != nil {
 			return transport.Stats{}, err
@@ -103,7 +103,7 @@ func E13PropagationBatching(cfg Config) (*Table, error) {
 // versus the routed shortest-path equivalent this library defaults to, and
 // the direct mode that drops transitivity entirely. Flood and route must
 // agree observationally; direct must break liveness under f1.
-func E14TransportModes(cfg Config) (*Table, error) {
+func E14TransportModes(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	t := NewTable("E14", "Ablation: transitivity simulation (pattern f1, one write+read at U_f1)",
 		"mode", "outcome", "latency", "msgs sent", "relay hops")
@@ -138,7 +138,7 @@ func E14TransportModes(cfg Config) (*Table, error) {
 		if mode == transport.ModeDirect {
 			timeout = stallTimeout
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		start := time.Now()
 		if _, err := regs[0].Write(ctx, "mode-test"); err != nil {

@@ -18,7 +18,7 @@ import (
 // latency-bound and the speedup column measures round-trip amortization,
 // not simulator scheduling. Client concurrency is equal across rows —
 // exactly the comparison the batching acceptance criterion names.
-func E19BatchingSweep(cfg Config) (*Table, error) {
+func E19BatchingSweep(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := NewTable("E19", "Group commit: single-group KV write throughput vs batch size (1ms one-way delay)",
 		"batch", "ops/sec", "p50", "p99", "errors", "speedup")
@@ -50,7 +50,7 @@ func E19BatchingSweep(cfg Config) (*Table, error) {
 			wc.BatchWindow = time.Millisecond
 			wc.Pipeline = 4
 		}
-		r, err := workload.Run(context.Background(), wc)
+		r, err := workload.Run(ctx, wc)
 		if err != nil {
 			return nil, fmt.Errorf("E19 batch=%d: %w", batch, err)
 		}

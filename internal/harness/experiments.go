@@ -119,7 +119,7 @@ func p5099(h *workload.Histogram) string {
 
 // E04ClassicalQAF measures the Figure-2 access functions on a crash-only
 // majority system (their intended habitat).
-func E04ClassicalQAF(cfg Config) (*Table, error) {
+func E04ClassicalQAF(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Majority(3, 1)
 	t := NewTable("E04", "Figure 2: classical quorum access functions (majority, crash-only)",
 		"scenario", "get p50/p99", "set p50/p99", "terminates")
@@ -131,7 +131,7 @@ func E04ClassicalQAF(cfg Config) (*Table, error) {
 		if sc.crash >= 0 {
 			c.Net.Crash(failure.Proc(sc.crash))
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		ctx, cancel := context.WithTimeout(ctx, opTimeout)
 		setDist, err := latencyDist(5, func() error {
 			_, e := c.Registers[0].Write(ctx, "v")
 			return e
@@ -157,7 +157,7 @@ func E04ClassicalQAF(cfg Config) (*Table, error) {
 
 // E05GeneralizedQAF measures the Figure-3 access functions under every
 // Figure-1 pattern, from within U_f.
-func E05GeneralizedQAF(cfg Config) (*Table, error) {
+func E05GeneralizedQAF(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	g := quorum.Network(qs.F.N)
 	t := NewTable("E05", "Figure 3: generalized quorum access functions under Figure-1 patterns",
@@ -166,7 +166,7 @@ func E05GeneralizedQAF(cfg Config) (*Table, error) {
 		uf := qs.Uf(g, f).Elems()
 		c := NewRegisterCluster(4, qs.Reads, qs.Writes, false, cfg)
 		c.Net.ApplyPattern(f)
-		ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+		ctx, cancel := context.WithTimeout(ctx, opTimeout)
 		caller := uf[0]
 		reader := uf[1]
 		writeDist, err := latencyDist(3, func() error {
@@ -202,7 +202,7 @@ func E05GeneralizedQAF(cfg Config) (*Table, error) {
 // E11BaselineComparison is the paper's motivating comparison: classical ABD
 // stalls under f1 while the GQS register completes; in the failure-free case
 // the GQS clocks cost a modest latency overhead.
-func E11BaselineComparison(cfg Config) (*Table, error) {
+func E11BaselineComparison(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	t := NewTable("E11", "GQS register vs classical ABD (Figure-1 system)",
 		"scenario", "protocol", "write latency", "outcome", "msgs sent")
@@ -217,7 +217,7 @@ func E11BaselineComparison(cfg Config) (*Table, error) {
 		if classical && applyF1 {
 			timeout = stallTimeout
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		start := time.Now()
 		_, err := c.Registers[0].Write(ctx, "cmp")
@@ -281,7 +281,7 @@ func E09ViewSyncOverlap() (*Table, error) {
 
 // E10Consensus measures Theorem 5: consensus under each Figure-1 pattern,
 // and decision latency relative to GST under partial synchrony.
-func E10Consensus(cfg Config) (*Table, error) {
+func E10Consensus(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	g := quorum.Network(qs.F.N)
 	t := NewTable("E10", "Figure 6 / Theorem 5: consensus under Figure-1 patterns",
@@ -290,7 +290,7 @@ func E10Consensus(cfg Config) (*Table, error) {
 		uf := qs.Uf(g, f).Elems()
 		c := NewConsensusCluster(4, qs.Reads, qs.Writes, cfg)
 		c.Net.ApplyPattern(f)
-		ctx, cancel := context.WithTimeout(context.Background(), 2*opTimeout)
+		ctx, cancel := context.WithTimeout(ctx, 2*opTimeout)
 		start := time.Now()
 		type res struct {
 			v   string
@@ -336,7 +336,7 @@ func E10Consensus(cfg Config) (*Table, error) {
 // E10bConsensusGST measures decision latency against GST under partial
 // synchrony: decisions land shortly after GST, tracking the Theorem-5 proof
 // shape (first post-GST U_f-led view + ~3 message delays).
-func E10bConsensusGST(cfg Config) (*Table, error) {
+func E10bConsensusGST(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	t := NewTable("E10b", "Consensus decision latency vs GST (pattern f1, partial synchrony)",
 		"GST", "delta", "decision latency", "decided after GST")
@@ -349,7 +349,7 @@ func E10bConsensusGST(cfg Config) (*Table, error) {
 		}
 		cl := NewConsensusCluster(4, qs.Reads, qs.Writes, c)
 		cl.Net.ApplyPattern(qs.F.Patterns[0])
-		ctx, cancel := context.WithTimeout(context.Background(), 2*opTimeout)
+		ctx, cancel := context.WithTimeout(ctx, 2*opTimeout)
 		start := time.Now()
 		_, err := cl.Consensus[0].Propose(ctx, "gst-probe")
 		lat := time.Since(start)
@@ -386,7 +386,7 @@ func E12ThresholdSweep() (*Table, error) {
 
 // E08LatticeAgreement validates §6's object under concurrency: outputs are
 // pairwise comparable and bracketed by the inputs.
-func E08LatticeAgreement(cfg Config) (*Table, error) {
+func E08LatticeAgreement(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	l := lattice.SetLattice{}
 	t := NewTable("E08", "Lattice agreement (Theorem 1): proposals at U_f1 under f1",
@@ -395,7 +395,7 @@ func E08LatticeAgreement(cfg Config) (*Table, error) {
 	defer c.Stop()
 	c.Net.ApplyPattern(qs.F.Patterns[0])
 
-	ctx, cancel := context.WithTimeout(context.Background(), 4*opTimeout)
+	ctx, cancel := context.WithTimeout(ctx, 4*opTimeout)
 	defer cancel()
 	procs := []int{0, 1} // U_f1
 	inputs := make([]string, len(procs))
@@ -445,14 +445,14 @@ func E08LatticeAgreement(cfg Config) (*Table, error) {
 }
 
 // E07Snapshot validates Theorem 1 for snapshots under f1.
-func E07Snapshot(cfg Config) (*Table, error) {
+func E07Snapshot(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	t := NewTable("E07", "Atomic snapshot (Theorem 1): update/scan at U_f1 under f1",
 		"step", "process", "result", "latency")
 	c := NewSnapshotCluster(4, qs.Reads, qs.Writes, cfg)
 	defer c.Stop()
 	c.Net.ApplyPattern(qs.F.Patterns[0])
-	ctx, cancel := context.WithTimeout(context.Background(), 4*opTimeout)
+	ctx, cancel := context.WithTimeout(ctx, 4*opTimeout)
 	defer cancel()
 
 	start := time.Now()
@@ -481,14 +481,14 @@ func E07Snapshot(cfg Config) (*Table, error) {
 // linearizability with the Appendix-B dependency-graph checker. The heavier
 // randomized version lives in the register package's tests; this experiment
 // reports the measured shape.
-func E06Register(cfg Config) (*Table, error) {
+func E06Register(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	t := NewTable("E06", "MWMR register (Theorem 1): ops at U_f1 under f1",
 		"op", "process", "value", "latency")
 	c := NewRegisterCluster(4, qs.Reads, qs.Writes, false, cfg)
 	defer c.Stop()
 	c.Net.ApplyPattern(qs.F.Patterns[0])
-	ctx, cancel := context.WithTimeout(context.Background(), 2*opTimeout)
+	ctx, cancel := context.WithTimeout(ctx, 2*opTimeout)
 	defer cancel()
 
 	for i := 0; i < 3; i++ {
@@ -515,18 +515,19 @@ func E06Register(cfg Config) (*Table, error) {
 }
 
 // RunAll executes every experiment and renders the tables to w as aligned
-// text.
-func RunAll(w io.Writer, cfg Config) error {
-	return runAll(w, cfg, (*Table).Render)
+// text. ctx bounds the whole run; canceling it abandons the experiment in
+// flight.
+func RunAll(ctx context.Context, w io.Writer, cfg Config) error {
+	return runAll(ctx, w, cfg, (*Table).Render)
 }
 
 // RunAllMarkdown executes every experiment and renders the tables to w as
 // GitHub-flavoured markdown.
-func RunAllMarkdown(w io.Writer, cfg Config) error {
-	return runAll(w, cfg, (*Table).Markdown)
+func RunAllMarkdown(ctx context.Context, w io.Writer, cfg Config) error {
+	return runAll(ctx, w, cfg, (*Table).Markdown)
 }
 
-func runAll(w io.Writer, cfg Config, render func(*Table, io.Writer)) error {
+func runAll(ctx context.Context, w io.Writer, cfg Config, render func(*Table, io.Writer)) error {
 	type exp struct {
 		name string
 		run  func() (*Table, error)
@@ -535,24 +536,24 @@ func runAll(w io.Writer, cfg Config, render func(*Table, io.Writer)) error {
 		{"E01", E01Figure1Validation},
 		{"E02", E02Example9Existence},
 		{"E03", E03ClassicalEquivalence},
-		{"E04", func() (*Table, error) { return E04ClassicalQAF(cfg) }},
-		{"E05", func() (*Table, error) { return E05GeneralizedQAF(cfg) }},
-		{"E06", func() (*Table, error) { return E06Register(cfg) }},
-		{"E07", func() (*Table, error) { return E07Snapshot(cfg) }},
-		{"E08", func() (*Table, error) { return E08LatticeAgreement(cfg) }},
+		{"E04", func() (*Table, error) { return E04ClassicalQAF(ctx, cfg) }},
+		{"E05", func() (*Table, error) { return E05GeneralizedQAF(ctx, cfg) }},
+		{"E06", func() (*Table, error) { return E06Register(ctx, cfg) }},
+		{"E07", func() (*Table, error) { return E07Snapshot(ctx, cfg) }},
+		{"E08", func() (*Table, error) { return E08LatticeAgreement(ctx, cfg) }},
 		{"E09", E09ViewSyncOverlap},
-		{"E10", func() (*Table, error) { return E10Consensus(cfg) }},
-		{"E10b", func() (*Table, error) { return E10bConsensusGST(cfg) }},
-		{"E11", func() (*Table, error) { return E11BaselineComparison(cfg) }},
+		{"E10", func() (*Table, error) { return E10Consensus(ctx, cfg) }},
+		{"E10b", func() (*Table, error) { return E10bConsensusGST(ctx, cfg) }},
+		{"E11", func() (*Table, error) { return E11BaselineComparison(ctx, cfg) }},
 		{"E12", E12ThresholdSweep},
-		{"E13", func() (*Table, error) { return E13PropagationBatching(cfg) }},
-		{"E14", func() (*Table, error) { return E14TransportModes(cfg) }},
+		{"E13", func() (*Table, error) { return E13PropagationBatching(ctx, cfg) }},
+		{"E14", func() (*Table, error) { return E14TransportModes(ctx, cfg) }},
 		{"E15", E15ScenarioCatalog},
-		{"E16", func() (*Table, error) { return E16ReplicatedKV(cfg) }},
-		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
-		{"E18", func() (*Table, error) { return E18ShardScaling(cfg) }},
-		{"E19", func() (*Table, error) { return E19BatchingSweep(cfg) }},
-		{"E20", func() (*Table, error) { return E20ReadPathSweep(cfg) }},
+		{"E16", func() (*Table, error) { return E16ReplicatedKV(ctx, cfg) }},
+		{"E17", func() (*Table, error) { return E17Workload(ctx, cfg) }},
+		{"E18", func() (*Table, error) { return E18ShardScaling(ctx, cfg) }},
+		{"E19", func() (*Table, error) { return E19BatchingSweep(ctx, cfg) }},
+		{"E20", func() (*Table, error) { return E20ReadPathSweep(ctx, cfg) }},
 	}
 	for _, e := range exps {
 		tbl, err := e.run()

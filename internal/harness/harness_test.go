@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -93,10 +94,10 @@ func TestClusterExperiments(t *testing.T) {
 		name string
 		run  func() (*Table, error)
 	}{
-		{"E04", func() (*Table, error) { return E04ClassicalQAF(cfg) }},
-		{"E05", func() (*Table, error) { return E05GeneralizedQAF(cfg) }},
-		{"E06", func() (*Table, error) { return E06Register(cfg) }},
-		{"E11", func() (*Table, error) { return E11BaselineComparison(cfg) }},
+		{"E04", func() (*Table, error) { return E04ClassicalQAF(context.Background(), cfg) }},
+		{"E05", func() (*Table, error) { return E05GeneralizedQAF(context.Background(), cfg) }},
+		{"E06", func() (*Table, error) { return E06Register(context.Background(), cfg) }},
+		{"E11", func() (*Table, error) { return E11BaselineComparison(context.Background(), cfg) }},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
@@ -120,19 +121,19 @@ func TestHeavyClusterExperiments(t *testing.T) {
 		name string
 		run  func() (*Table, error)
 	}{
-		{"E07", func() (*Table, error) { return E07Snapshot(cfg) }},
-		{"E08", func() (*Table, error) { return E08LatticeAgreement(cfg) }},
-		{"E10", func() (*Table, error) { return E10Consensus(cfg) }},
-		{"E10b", func() (*Table, error) { return E10bConsensusGST(cfg) }},
+		{"E07", func() (*Table, error) { return E07Snapshot(context.Background(), cfg) }},
+		{"E08", func() (*Table, error) { return E08LatticeAgreement(context.Background(), cfg) }},
+		{"E10", func() (*Table, error) { return E10Consensus(context.Background(), cfg) }},
+		{"E10b", func() (*Table, error) { return E10bConsensusGST(context.Background(), cfg) }},
 		{"E12", E12ThresholdSweep},
-		{"E13", func() (*Table, error) { return E13PropagationBatching(cfg) }},
-		{"E14", func() (*Table, error) { return E14TransportModes(cfg) }},
+		{"E13", func() (*Table, error) { return E13PropagationBatching(context.Background(), cfg) }},
+		{"E14", func() (*Table, error) { return E14TransportModes(context.Background(), cfg) }},
 		{"E15", E15ScenarioCatalog},
-		{"E16", func() (*Table, error) { return E16ReplicatedKV(cfg) }},
-		{"E17", func() (*Table, error) { return E17Workload(cfg) }},
-		{"E18", func() (*Table, error) { return E18ShardScaling(cfg) }},
-		{"E19", func() (*Table, error) { return E19BatchingSweep(cfg) }},
-		{"E20", func() (*Table, error) { return E20ReadPathSweep(cfg) }},
+		{"E16", func() (*Table, error) { return E16ReplicatedKV(context.Background(), cfg) }},
+		{"E17", func() (*Table, error) { return E17Workload(context.Background(), cfg) }},
+		{"E18", func() (*Table, error) { return E18ShardScaling(context.Background(), cfg) }},
+		{"E19", func() (*Table, error) { return E19BatchingSweep(context.Background(), cfg) }},
+		{"E20", func() (*Table, error) { return E20ReadPathSweep(context.Background(), cfg) }},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -19,7 +19,7 @@ import (
 // the sweep is latency-bound and the speedup column measures rounds
 // avoided, not simulator scheduling. Client concurrency is equal across
 // rows — exactly the comparison the read-path acceptance criterion names.
-func E20ReadPathSweep(cfg Config) (*Table, error) {
+func E20ReadPathSweep(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := NewTable("E20", "Read path: single-group KV read throughput, barrier-per-read vs leased (1ms one-way delay)",
 		"reads", "ops/sec", "p50", "p99", "errors", "speedup")
@@ -56,7 +56,7 @@ func E20ReadPathSweep(cfg Config) (*Table, error) {
 	for _, row := range rows {
 		wc := base
 		wc.Lease = row.lease
-		r, err := workload.Run(context.Background(), wc)
+		r, err := workload.Run(ctx, wc)
 		if err != nil {
 			return nil, fmt.Errorf("E20 %s: %w", row.label, err)
 		}

@@ -17,7 +17,7 @@ import (
 // injects f1 into shard 0 only: with callers restricted to U_f1 the faulted
 // key range stays live, and the per-shard report sections show the other
 // shards keep their latency profile — per-shard fault isolation.
-func E18ShardScaling(cfg Config) (*Table, error) {
+func E18ShardScaling(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := NewTable("E18", "Sharded KV: throughput vs shard count (independent GQS groups behind one ring)",
 		"shards", "ops/sec", "p50", "p99", "errors", "speedup")
@@ -45,7 +45,7 @@ func E18ShardScaling(cfg Config) (*Table, error) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		wc := base
 		wc.Shards = shards
-		r, err := workload.Run(context.Background(), wc)
+		r, err := workload.Run(ctx, wc)
 		if err != nil {
 			return nil, fmt.Errorf("E18 %d shards: %w", shards, err)
 		}
@@ -76,7 +76,7 @@ func E18ShardScaling(cfg Config) (*Table, error) {
 	wc.ReadFraction = 0.5
 	wc.Pattern = 1
 	wc.RestrictToUf = true
-	r, err := workload.Run(context.Background(), wc)
+	r, err := workload.Run(ctx, wc)
 	if err != nil {
 		return nil, fmt.Errorf("E18 fault isolation: %w", err)
 	}

@@ -17,7 +17,7 @@ import (
 // demonstrates that the paper's bound lifts from single objects to a full
 // replicated service: writes at U_f members keep committing under
 // connectivity no majority-quorum SMR system can express.
-func E16ReplicatedKV(cfg Config) (*Table, error) {
+func E16ReplicatedKV(ctx context.Context, cfg Config) (*Table, error) {
 	qs := quorum.Figure1()
 	t := NewTable("E16", "Replicated KV over GQS state machine replication (3 writes + barrier + read)",
 		"scenario", "writer(s)", "commit mean", "sync+read", "consistent")
@@ -48,7 +48,7 @@ func E16ReplicatedKV(cfg Config) (*Table, error) {
 		// Generous budget: commits need U_f-led views, whose real duration
 		// stretches well past v*C when the host is loaded (e.g. parallel
 		// package tests on small CI runners).
-		ctx, cancel := context.WithTimeout(context.Background(), 4*opTimeout)
+		ctx, cancel := context.WithTimeout(ctx, 4*opTimeout)
 		defer cancel()
 
 		start := time.Now()

@@ -14,7 +14,7 @@ import (
 // percentiles, the mid-run f1 latency cliff, and the SMR KV layer. Where the
 // earlier experiments measure a handful of sequential operations, this one
 // reports p50/p99 over thousands.
-func E17Workload(cfg Config) (*Table, error) {
+func E17Workload(ctx context.Context, cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	t := NewTable("E17", "Workload engine: sustained load, tail latency and the U_f cliff",
 		"scenario", "ops/sec", "p50", "p99", "errors")
@@ -76,7 +76,7 @@ func E17Workload(cfg Config) (*Table, error) {
 	for _, sc := range scenarios {
 		wc := base
 		sc.mut(&wc)
-		r, err := workload.Run(context.Background(), wc)
+		r, err := workload.Run(ctx, wc)
 		if err != nil {
 			return nil, fmt.Errorf("E17 %s: %w", sc.name, err)
 		}

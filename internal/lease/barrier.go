@@ -32,6 +32,10 @@ type Barrier struct {
 	active bool
 	closed bool
 
+	// joined, when set (tests only), runs after a Sync call has joined a
+	// round and released the mutex, before it parks on the round.
+	joined func()
+
 	readers, rounds atomic.Uint64
 }
 
@@ -52,7 +56,7 @@ type BarrierMetrics struct {
 // NewBarrier wraps a process's barrier commit (typically smr.KV.Sync of
 // one endpoint) in a coalescer.
 func NewBarrier(sync func(ctx context.Context) error) *Barrier {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow barrier-lifetime root; Close cancels it and fails the in-flight round
 	return &Barrier{sync: sync, ctx: ctx, cancel: cancel}
 }
 
@@ -77,6 +81,9 @@ func (b *Barrier) Sync(ctx context.Context) error {
 		go b.flush()
 	}
 	b.mu.Unlock()
+	if b.joined != nil {
+		b.joined()
+	}
 	select {
 	case <-r.done:
 		return r.err

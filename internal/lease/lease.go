@@ -52,9 +52,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/failure"
 	"repro/internal/node"
-	"repro/internal/smr"
 	"repro/internal/wire"
 )
 
@@ -84,6 +84,16 @@ type Options struct {
 	// Renew is the holder's interval between renewals. Defaults to
 	// Duration/3, so two renewals may fail before the lease lapses.
 	Renew time.Duration
+	// Clock supplies every time read and timer in the protocol. Defaults
+	// to the real clock; tests inject clock.NewFake to drive validity and
+	// gate windows deterministically. The windows are per-process
+	// monotonic intervals, so the clock is never compared across
+	// processes.
+	Clock clock.Clock
+	// onRenew, when set (tests only), observes every holder renewal
+	// attempt — nil on success — after the validity window has been
+	// updated. It replaces sleep-and-poll synchronization in tests.
+	onRenew func(err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +109,7 @@ func (o Options) withDefaults() Options {
 	if o.Renew <= 0 {
 		o.Renew = o.Duration / 3
 	}
+	o.Clock = clock.Or(o.Clock)
 	return o
 }
 
@@ -138,14 +149,36 @@ type Metrics struct {
 	GatedAppends uint64
 }
 
+// Store is the slice of the replicated KV the lease protocol rides on:
+// committing grant entries, lease-conditioned local reads, and the two
+// hooks (meta observer, append gate) the manager claims. *smr.KV is the
+// production implementation; tests substitute an in-memory fake to drive
+// the protocol without a cluster.
+type Store interface {
+	// AppendMeta commits a meta entry through the log and returns its slot.
+	AppendMeta(ctx context.Context, meta string) (int64, error)
+	// GetIf reads key from the applied state iff ok() holds at the lookup's
+	// linearization point; served=false means ok failed and no read happened.
+	GetIf(ctx context.Context, key string, ok func() bool) (val string, found, served bool, err error)
+	// GetManyIf is GetIf over several keys in one step.
+	GetManyIf(ctx context.Context, keys []string, ok func() bool) (m map[string]string, served bool, err error)
+	// WaitApplied blocks until the applied state covers slot.
+	WaitApplied(ctx context.Context, slot int64) error
+	// SetMetaObserver installs the commit-order meta callback.
+	SetMetaObserver(fn func(slot int64, meta string))
+	// SetGate installs the append-completion gate.
+	SetGate(gate func(slot int64))
+}
+
 // Manager is one process's endpoint of the lease protocol. Create one per
 // process over the process's node and KV endpoint; the constructor installs
 // the KV hooks (meta observer, append gate) and, on the holder, starts the
 // renewal loop.
 type Manager struct {
 	n    *node.Node
-	kv   *smr.KV
+	kv   Store
 	opts Options
+	clk  clock.Clock
 	self failure.Proc
 
 	topicAsk, topicAck string
@@ -177,13 +210,14 @@ type Manager struct {
 // NewManager installs a lease endpoint over the process's KV store. It
 // claims the KV's meta observer and append gate; install it before the
 // store takes traffic, and stop it before the KV endpoint.
-func NewManager(n *node.Node, kv *smr.KV, opts Options) *Manager {
+func NewManager(n *node.Node, kv Store, opts Options) *Manager {
 	opts = opts.withDefaults()
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow manager-lifetime root; Stop cancels it before the KV endpoint goes away
 	m := &Manager{
 		n:          n,
 		kv:         kv,
 		opts:       opts,
+		clk:        opts.Clock,
 		self:       n.ID(),
 		topicAsk:   opts.Name + "/ask",
 		topicAck:   opts.Name + "/ack",
@@ -220,7 +254,7 @@ func (m *Manager) Holding() bool {
 func (m *Manager) validNow() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return time.Now().Before(m.validUntil)
+	return m.clk.Now().Before(m.validUntil)
 }
 
 // Read serves key from the holder's applied state iff this process holds a
@@ -274,7 +308,7 @@ func (m *Manager) Metrics() Metrics {
 func (m *Manager) renewLoop() {
 	defer m.wg.Done()
 	for {
-		t0 := time.Now()
+		t0 := m.clk.Now()
 		entry, err := json.Marshal(grantEntry{
 			Holder: int(m.self), Seq: m.nextSeq(), Dur: int64(m.opts.Duration),
 		})
@@ -299,10 +333,13 @@ func (m *Manager) renewLoop() {
 			}
 			m.mu.Unlock()
 		}
+		if m.opts.onRenew != nil {
+			m.opts.onRenew(err)
+		}
 		select {
 		case <-m.stop:
 			return
-		case <-time.After(sleep):
+		case <-m.clk.After(sleep):
 		}
 	}
 }
@@ -326,7 +363,7 @@ func (m *Manager) onMeta(_ int64, meta string) {
 	if failure.Proc(g.Holder) != m.opts.Holder {
 		return
 	}
-	until := time.Now().Add(time.Duration(g.Dur) + m.opts.Skew)
+	until := m.clk.Now().Add(time.Duration(g.Dur) + m.opts.Skew)
 	m.mu.Lock()
 	if until.After(m.inForceUntil) {
 		m.inForceUntil = until
@@ -345,7 +382,7 @@ func (m *Manager) gate(slot int64) {
 	waited := false
 	for {
 		m.mu.Lock()
-		if m.stopped || m.self == m.opts.Holder || slot <= m.acked || !time.Now().Before(m.inForceUntil) {
+		if m.stopped || m.self == m.opts.Holder || slot <= m.acked || !m.clk.Now().Before(m.inForceUntil) {
 			m.mu.Unlock()
 			if waited {
 				m.gated.Add(1)
@@ -363,13 +400,13 @@ func (m *Manager) gate(slot int64) {
 		// the very partition the window is riding out.
 		m.n.Send(m.opts.Holder, m.topicAsk, askMsg{Slot: slot})
 		waited = true
-		timer := time.NewTimer(time.Until(deadline))
+		timer := m.clk.NewTimer(m.clk.Until(deadline))
 		select {
 		case <-ch:
 			timer.Stop()
 			m.gated.Add(1)
 			return
-		case <-timer.C:
+		case <-timer.C():
 			// Window may have been extended by a renewal; loop re-checks.
 		case <-m.stop:
 			timer.Stop()

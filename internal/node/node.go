@@ -188,7 +188,7 @@ func (n *Node) Call(fn func()) {
 		fn()
 		close(doneCh)
 	})
-	select {
+	select { //lint:allow ctxflow Call IS the documented ctx-less variant of CallCtx; node stop releases the wait
 	case <-doneCh:
 	case <-n.done:
 	}

@@ -93,7 +93,7 @@ func (c *Classical) Get(ctx context.Context) ([][]byte, error) {
 	atomic.AddInt64(&c.metrics.Gets, 1)
 	var pg *classicalPendingGet
 	var seq int64
-	c.n.Call(func() {
+	if err := c.n.CallCtx(ctx, func() {
 		if c.stopped {
 			return
 		}
@@ -105,7 +105,12 @@ func (c *Classical) Get(ctx context.Context) ([][]byte, error) {
 		}
 		c.gets[seq] = pg
 		c.n.Broadcast(c.topicGetReq, classicalGetReq{Seq: seq})
-	})
+	}); err != nil {
+		// The registration may still run later; withdraw it behind fn in
+		// loop order (seq is written before the withdrawal reads it).
+		c.n.Do(func() { delete(c.gets, seq) })
+		return nil, err
+	}
 	if pg == nil {
 		return nil, ErrStopped
 	}
@@ -126,7 +131,7 @@ func (c *Classical) Set(ctx context.Context, update []byte) error {
 	atomic.AddInt64(&c.metrics.Sets, 1)
 	var ps *classicalPendingSet
 	var seq int64
-	c.n.Call(func() {
+	if err := c.n.CallCtx(ctx, func() {
 		if c.stopped {
 			return
 		}
@@ -138,7 +143,12 @@ func (c *Classical) Set(ctx context.Context, update []byte) error {
 		}
 		c.sets[seq] = ps
 		c.n.Broadcast(c.topicSetReq, classicalSetReq{Seq: seq, Update: update})
-	})
+	}); err != nil {
+		// The registration may still run later; withdraw it behind fn in
+		// loop order (seq is written before the withdrawal reads it).
+		c.n.Do(func() { delete(c.sets, seq) })
+		return err
+	}
 	if ps == nil {
 		return ErrStopped
 	}
@@ -210,7 +220,7 @@ func (c *Classical) onGetResp(from failure.Proc, m wire.Message) {
 		states = append(states, pg.states[failure.Proc(p)])
 	})
 	delete(c.gets, resp.Seq)
-	pg.done <- states
+	pg.done <- states //lint:allow handlerblock done is buffered cap 1 and the pending entry was just deleted, so this is the only send ever
 }
 
 // onSetReq handles SET_REQ (Figure 2, lines 14-16).
@@ -240,5 +250,5 @@ func (c *Classical) onSetResp(from failure.Proc, m wire.Message) {
 		return
 	}
 	delete(c.sets, resp.Seq)
-	ps.done <- struct{}{}
+	ps.done <- struct{}{} //lint:allow handlerblock done is buffered cap 1 and the pending entry was just deleted, so this is the only send ever
 }

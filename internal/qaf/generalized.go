@@ -164,7 +164,7 @@ func (g *Generalized) Get(ctx context.Context) ([][]byte, error) {
 	atomic.AddInt64(&g.metrics.Gets, 1)
 	var pg *genPendingGet
 	var seq int64
-	g.n.Call(func() {
+	if err := g.n.CallCtx(ctx, func() {
 		if g.stopped {
 			return
 		}
@@ -178,7 +178,12 @@ func (g *Generalized) Get(ctx context.Context) ([][]byte, error) {
 		g.gets[seq] = pg
 		// Line 5: establish the clock cutoff from a write quorum.
 		g.n.Broadcast(g.topicClockReq, genClockReq{Seq: seq})
-	})
+	}); err != nil {
+		// The registration may still run later; withdraw it behind fn in
+		// loop order (seq is written before the withdrawal reads it).
+		g.n.Do(func() { delete(g.gets, seq) })
+		return nil, err
+	}
 	if pg == nil {
 		return nil, ErrStopped
 	}
@@ -199,7 +204,7 @@ func (g *Generalized) Set(ctx context.Context, update []byte) error {
 	atomic.AddInt64(&g.metrics.Sets, 1)
 	var ps *genPendingSet
 	var seq int64
-	g.n.Call(func() {
+	if err := g.n.CallCtx(ctx, func() {
 		if g.stopped {
 			return
 		}
@@ -213,7 +218,12 @@ func (g *Generalized) Set(ctx context.Context, update []byte) error {
 		g.sets[seq] = ps
 		// Line 17: ship the update to a write quorum.
 		g.n.Broadcast(g.topicSetReq, genSetReq{Seq: seq, Update: update})
-	})
+	}); err != nil {
+		// The registration may still run later; withdraw it behind fn in
+		// loop order (seq is written before the withdrawal reads it).
+		g.n.Do(func() { delete(g.sets, seq) })
+		return err
+	}
 	if ps == nil {
 		return ErrStopped
 	}
@@ -261,7 +271,7 @@ func (g *Generalized) Metrics() Metrics {
 // Clock returns the process's current logical clock (loop-safe snapshot).
 func (g *Generalized) Clock() int64 {
 	var c int64
-	g.n.Call(func() { c = g.clock })
+	g.n.Call(func() { c = g.clock }) //lint:allow ctxflow bounded single loop hop reading one field; Call aborts when the node stops
 	return c
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/wire"
 )
 
@@ -57,6 +58,10 @@ type BatchOptions struct {
 	// Pipeline is the number of batches allowed in flight concurrently,
 	// each on its own consecutive slot. Defaults to DefaultPipeline.
 	Pipeline int
+	// Clock supplies the window timer and the close-time drain bound.
+	// Defaults to the real clock; tests inject clock.NewFake to drive
+	// window expiry deterministically.
+	Clock clock.Clock
 }
 
 // Batching defaults.
@@ -79,6 +84,7 @@ func (o BatchOptions) withDefaults() BatchOptions {
 	if o.Pipeline <= 0 {
 		o.Pipeline = DefaultPipeline
 	}
+	o.Clock = clock.Or(o.Clock)
 	return o
 }
 
@@ -107,7 +113,7 @@ type batcher struct {
 	mu           sync.Mutex
 	pending      []pendingOp
 	pendingBytes int
-	timer        *time.Timer // window timer; nil when no batch is forming
+	timer        clock.Timer // window timer; nil when no batch is forming
 	// timerGen invalidates stale window timers: a fired timer blocked on mu
 	// while the buffer drained and re-formed must not clobber the fresh
 	// batch's timer or flush it early. Every arm/disarm bumps the
@@ -123,7 +129,7 @@ type batcher struct {
 }
 
 func newBatcher(l *Log, opts BatchOptions) *batcher {
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow batcher-lifetime root; Log.Stop cancels it to release stuck proposals
 	return &batcher{
 		l:        l,
 		opts:     opts.withDefaults(),
@@ -153,7 +159,7 @@ func (b *batcher) enqueue(cmd string) chan AppendResult {
 	case wasEmpty && b.opts.Window > 0:
 		b.timerGen++
 		gen := b.timerGen
-		b.timer = time.AfterFunc(b.opts.Window, func() { b.onWindow(gen) })
+		b.timer = b.opts.Clock.AfterFunc(b.opts.Window, func() { b.onWindow(gen) })
 	case wasEmpty:
 		// No window: flush as soon as the drainer gets an in-flight slot.
 		b.startDrainLocked()
@@ -380,7 +386,7 @@ func (b *batcher) drainAndClose(wait time.Duration) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(wait):
+	case <-b.opts.Clock.After(wait):
 		// A batch that cannot commit (no quorum) must not wedge Stop; cancel
 		// it and let the slot teardown release the proposal waiters.
 	}

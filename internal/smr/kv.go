@@ -282,7 +282,7 @@ func (kv *KV) AppendMeta(ctx context.Context, meta string) (int64, error) {
 // runs on the node loop as the decided prefix advances, in commit order;
 // install it before the store takes traffic. Nil removes the observer.
 func (kv *KV) SetMetaObserver(fn func(slot int64, meta string)) {
-	kv.log.n.Call(func() { kv.onMeta = fn })
+	kv.log.n.Call(func() { kv.onMeta = fn }) //lint:allow ctxflow install-time hook, one bounded loop hop before the store takes traffic
 }
 
 // SetGate installs the append-completion gate on the underlying log (see

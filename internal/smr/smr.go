@@ -441,7 +441,7 @@ func (l *Log) runGate(slot int64) {
 func (l *Log) WaitPrefix(ctx context.Context, slot int64) error {
 	ch := make(chan struct{})
 	wait, stopped := false, false
-	l.n.Call(func() {
+	if err := l.n.CallCtx(ctx, func() {
 		if l.stopped {
 			stopped = true
 			return
@@ -451,7 +451,11 @@ func (l *Log) WaitPrefix(ctx context.Context, slot int64) error {
 		}
 		wait = true
 		l.prefixWaiters[slot] = append(l.prefixWaiters[slot], ch)
-	})
+	}); err != nil {
+		// The registration may still run later; recordDecision or Stop
+		// closes the abandoned channel, which no one observes.
+		return err
+	}
 	if stopped {
 		return ErrStopped
 	}
@@ -463,7 +467,9 @@ func (l *Log) WaitPrefix(ctx context.Context, slot int64) error {
 		// Both a prefix advance and Stop close the channel; only the
 		// former satisfies the wait.
 		covered := false
-		l.n.Call(func() { covered = l.next > slot })
+		if err := l.n.CallCtx(ctx, func() { covered = l.next > slot }); err != nil {
+			return err
+		}
 		if !covered {
 			return ErrStopped
 		}
@@ -508,10 +514,12 @@ func (l *Log) Append(ctx context.Context, cmd string) (int64, error) {
 			slot    int64
 			stopped bool
 		)
-		l.n.Call(func() {
+		if err := l.n.CallCtx(ctx, func() {
 			stopped = l.stopped
 			slot = l.next
-		})
+		}); err != nil {
+			return 0, err
+		}
 		if stopped {
 			return 0, ErrStopped
 		}
@@ -522,7 +530,10 @@ func (l *Log) Append(ctx context.Context, cmd string) (int64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("append at slot %d: %w", slot, err)
 		}
-		l.n.Call(func() {
+		// Deliberately not CallCtx: the decision is already durable, and
+		// returning ctx.Err() here would invite a double-commit retry of a
+		// committed command. The hop is one bounded loop step.
+		l.n.Call(func() { //lint:allow ctxflow decision already durable; aborting this bounded hop would invite double-commit retries
 			l.recordDecision(slot, v)
 			if l.next <= slot {
 				l.next = slot + 1
@@ -595,7 +606,7 @@ func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
 	}
 	ch := make(chan string, 1)
 	registered := false
-	l.n.Call(func() {
+	if err := l.n.CallCtx(ctx, func() {
 		if l.stopped {
 			return
 		}
@@ -605,7 +616,11 @@ func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
 			return
 		}
 		l.waiters[slot] = append(l.waiters[slot], ch)
-	})
+	}); err != nil {
+		// The registration may still run later; its buffered channel (or a
+		// Stop close) absorbs the abandoned completion.
+		return "", err
+	}
 	if !registered {
 		return "", ErrStopped
 	}

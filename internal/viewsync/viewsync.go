@@ -8,6 +8,8 @@ package viewsync
 import (
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // View numbers views, starting from 1.
@@ -18,6 +20,7 @@ type View int64
 // entered, from that goroutine.
 type Synchronizer struct {
 	c      time.Duration
+	clk    clock.Clock
 	onView func(View)
 
 	mu      sync.Mutex
@@ -30,20 +33,35 @@ type Synchronizer struct {
 	bump chan struct{}
 }
 
+// Option configures a Synchronizer.
+type Option func(*Synchronizer)
+
+// WithClock makes the synchronizer take its view timers from clk instead of
+// the real clock; tests inject clock.NewFake to step through views without
+// waiting out v*C for real.
+func WithClock(clk clock.Clock) Option {
+	return func(s *Synchronizer) { s.clk = clock.Or(clk) }
+}
+
 // New creates a synchronizer with view-duration constant C: view v lasts
 // v*C. The callback is invoked on view entry (including the initial view 1
 // at Start).
-func New(c time.Duration, onView func(View)) *Synchronizer {
+func New(c time.Duration, onView func(View), opts ...Option) *Synchronizer {
 	if c <= 0 {
 		c = 10 * time.Millisecond
 	}
-	return &Synchronizer{
+	s := &Synchronizer{
 		c:      c,
+		clk:    clock.Real,
 		onView: onView,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		bump:   make(chan struct{}, 1),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Start enters view 1 and begins the timer loop ("on startup", Figure 6
@@ -61,7 +79,7 @@ func (s *Synchronizer) Start() {
 
 func (s *Synchronizer) run() {
 	defer close(s.done)
-	timer := time.NewTimer(time.Hour)
+	timer := s.clk.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
 		s.mu.Lock()
@@ -74,13 +92,13 @@ func (s *Synchronizer) run() {
 		// Figure 6, line 29: start_timer(view_timer, view * C).
 		if !timer.Stop() {
 			select {
-			case <-timer.C:
+			case <-timer.C():
 			default:
 			}
 		}
 		timer.Reset(time.Duration(v) * s.c)
 		select {
-		case <-timer.C:
+		case <-timer.C():
 		case <-s.bump:
 		case <-s.stop:
 			return
