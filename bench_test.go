@@ -233,6 +233,17 @@ func BenchmarkE20_ReadPathSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkE21_NemesisScenarios — seeded chaos scenarios against the
+// sharded/batched/leased KV, closed by the lincheck and graceful-degradation
+// checks (multi-second workload runs per iteration).
+func BenchmarkE21_NemesisScenarios(b *testing.B) {
+	skipHeavyBenchShort(b)
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E21NemesisScenarios(context.Background(), benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
 // skipHeavyBenchShort keeps the CI bench-smoke step (-benchtime 1x -short)
 // from starving on multi-second workload benchmarks; the bench-trend job
 // runs the ms-delay targets without -short and pins -benchtime instead.

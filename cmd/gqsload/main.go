@@ -11,7 +11,8 @@
 //	        [-keys N] [-dist uniform|zipf] [-zipf-s S] [-readfrac F]
 //	        [-pattern 0..4] [-fault-at F] [-uf] [-nodes N] [-slots N]
 //	        [-shards N] [-batch N] [-batch-window D] [-pipeline N]
-//	        [-sync-reads] [-lease D] [-seed N] [-json]
+//	        [-sync-reads] [-lease D] [-nemesis SPEC] [-nemesis-seed N]
+//	        [-seed N] [-json]
 //
 // Examples:
 //
@@ -21,6 +22,8 @@
 //	gqsload -protocol kv -lease 1s -readfrac 0.95 -dist zipf -duration 5s -json
 //	gqsload -protocol register -net tcp -clients 8 -rate 500 -duration 10s
 //	gqsload -protocol register -pattern 1 -fault-at 0.5 -duration 10s
+//	gqsload -protocol kv -lease 500ms -rate 200 -duration 10s \
+//	        -nemesis 'crash(0)@0.1..0.4; gray(1-2, 1ms, 0.1)@0.3..0.7' -json
 //
 // A -pattern run injects the chosen Figure-1 failure pattern mid-run
 // (-fault-at is the fraction of the measured window). Without -uf, clients
@@ -45,6 +48,17 @@
 // consensus round while the lease is in force, and reads elsewhere share
 // coalesced read barriers. Implies -sync-reads (leased reads are
 // linearizable reads). See the README's read-path section.
+//
+// A -nemesis SPEC run (kv over mem only, exclusive with -pattern) compiles
+// the chaos scenario and drives its event timeline — crashes and restarts,
+// partitions, seeded link flapping, gray links, clock skew — against shard
+// 0 during the measured window; -nemesis-seed makes the timeline
+// replayable (same spec, seed and duration ⇒ identical timeline). The run
+// is closed by a linearizability check over dedicated probe clients and by
+// graceful-degradation assertions; if either fails, gqsload still emits
+// the full report (the JSON artifact carries the injected timeline and the
+// offending history) and then exits non-zero naming the failure. See the
+// README's chaos-testing section for the spec grammar.
 //
 // Invalid flag combinations (a value out of range, or a flag that its
 // protocol/mode would silently ignore, like -shards with -protocol register
@@ -98,6 +112,8 @@ func run(args []string, w io.Writer) error {
 	latticePool := fs.Int("lattice-pool", 0, "single-shot lattice object pool size (lattice protocol; 0 = default 8)")
 	syncReads := fs.Bool("sync-reads", false, "kv reads commit a Sync barrier before Get")
 	leaseDur := fs.Duration("lease", 0, "read-lease duration: leased local reads at each shard's holder, shared barriers elsewhere (kv; implies -sync-reads; 0 = off)")
+	nemSpec := fs.String("nemesis", "", "chaos scenario spec driven against shard 0 (kv over mem; see internal/nemesis grammar)")
+	nemSeed := fs.Int64("nemesis-seed", 0, "scenario compilation seed; the event timeline replays bit for bit from (spec, seed, duration) (0 = -seed)")
 	seed := fs.Int64("seed", 1, "RNG seed (keys, op mix, simulated delays)")
 	minDelay := fs.Duration("min-delay", 0, "simulated per-hop delay lower bound (mem transport; 0 = default 10µs)")
 	maxDelay := fs.Duration("max-delay", 0, "simulated per-hop delay upper bound (mem transport; 0 = default 300µs)")
@@ -174,6 +190,20 @@ func run(args []string, w io.Writer) error {
 	if set["lattice-pool"] && *protocol != "lattice" {
 		reject("-lattice-pool applies to -protocol lattice only (got %q)", *protocol)
 	}
+	if *nemSpec != "" {
+		if *protocol != "kv" {
+			reject("-nemesis applies to -protocol kv only (got %q)", *protocol)
+		}
+		if *netKind != "mem" {
+			reject("-nemesis needs the mem network (got %q)", *netKind)
+		}
+		if *pattern > 0 {
+			reject("-nemesis and -pattern are mutually exclusive")
+		}
+	}
+	if set["nemesis-seed"] && *nemSpec == "" {
+		reject("-nemesis-seed needs a scenario (-nemesis)")
+	}
 	if (set["min-delay"] || set["max-delay"]) && *netKind != "mem" {
 		reject("-min-delay/-max-delay shape the simulated mem transport only (got %q)", *netKind)
 	}
@@ -225,6 +255,8 @@ func run(args []string, w io.Writer) error {
 		LatticePool:  *latticePool,
 		SyncReads:    *syncReads,
 		Lease:        *leaseDur,
+		Nemesis:      *nemSpec,
+		NemesisSeed:  *nemSeed,
 		OpTimeout:    *opTimeout,
 		MinDelay:     *minDelay,
 		MaxDelay:     *maxDelay,
@@ -248,13 +280,34 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	if *jsonOut {
-		raw, err := report.JSON()
-		if err != nil {
-			return err
+		raw, jerr := report.JSON()
+		if jerr != nil {
+			return jerr
 		}
 		fmt.Fprintln(w, string(raw))
+	} else {
+		report.Text(w)
+	}
+	return nemesisVerdict(report)
+}
+
+// nemesisVerdict turns a failed chaos run into a non-zero exit after the
+// full report (with the injected timeline) has been emitted. The error
+// names every violated obligation; a linearizability failure carries the
+// offending key's sub-history, so the failure is locatable from stderr
+// alone.
+func nemesisVerdict(report *workload.Report) error {
+	nm := report.Nemesis
+	if nm == nil || nm.Passed() {
 		return nil
 	}
-	report.Text(w)
-	return nil
+	var b strings.Builder
+	fmt.Fprintf(&b, "nemesis run failed (spec %q seed %d):", nm.Spec, nm.Seed)
+	if !nm.Linearizable {
+		fmt.Fprintf(&b, "\n  probe history not linearizable: %s", nm.LincheckError)
+	}
+	for _, v := range nm.DegradationViolations {
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return fmt.Errorf("%s", b.String())
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/workload"
 )
 
 // TestRunJSON drives a tiny closed-loop register workload and checks the
@@ -108,6 +110,10 @@ func TestRunFlagCombinationValidation(t *testing.T) {
 		{"batch-window without batch", []string{"-protocol", "kv", "-batch-window", "2ms", "-duration", "10ms"}},
 		{"lease with register", []string{"-protocol", "register", "-lease", "1s", "-duration", "10ms"}},
 		{"negative lease", []string{"-protocol", "kv", "-lease", "-1s", "-duration", "10ms"}},
+		{"nemesis with register", []string{"-protocol", "register", "-nemesis", "crash(1)@0.5", "-duration", "10ms"}},
+		{"nemesis with tcp", []string{"-protocol", "kv", "-net", "tcp", "-nemesis", "crash(1)@0.5", "-duration", "10ms"}},
+		{"nemesis with pattern", []string{"-protocol", "kv", "-pattern", "1", "-nemesis", "crash(1)@0.5", "-duration", "10ms"}},
+		{"nemesis-seed without nemesis", []string{"-protocol", "kv", "-nemesis-seed", "7", "-duration", "10ms"}},
 	}
 	for _, tc := range bad {
 		err := run(tc.args, &bytes.Buffer{})
@@ -118,6 +124,93 @@ func TestRunFlagCombinationValidation(t *testing.T) {
 		if !strings.Contains(err.Error(), "invalid flags") {
 			t.Errorf("%s: rejected by the engine, not flag validation: %v", tc.name, err)
 		}
+	}
+}
+
+// TestRunNemesisJSON drives a short seeded chaos run and checks the JSON
+// report carries the nemesis section: the injected timeline and the
+// closing-check verdicts.
+func TestRunNemesisJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos kv run skipped in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "kv", "-clients", "2", "-rate", "100",
+		"-duration", "1s", "-keys", "8",
+		"-nemesis", "crash(3)@0.2..0.5", "-nemesis-seed", "9",
+		"-seed", "3", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Nemesis *struct {
+			Spec         string `json:"spec"`
+			Seed         int64  `json:"seed"`
+			Linearizable bool   `json:"linearizable"`
+			Events       []struct {
+				Kind   string `json:"kind"`
+				Target string `json:"target"`
+			} `json:"events"`
+		} `json:"nemesis"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	nm := report.Nemesis
+	if nm == nil {
+		t.Fatalf("report missing nemesis section: %s", out.String())
+	}
+	if nm.Seed != 9 || len(nm.Events) != 2 || !nm.Linearizable {
+		t.Fatalf("nemesis section wrong: %+v", nm)
+	}
+	if nm.Events[0].Kind != "crash" || nm.Events[1].Kind != "restart" || nm.Events[0].Target != "p3" {
+		t.Fatalf("injected timeline wrong: %+v", nm.Events)
+	}
+}
+
+// TestRunNemesisBadSpec checks a malformed scenario fails fast in engine
+// validation (before any cluster spins up) with the clause in the error.
+func TestRunNemesisBadSpec(t *testing.T) {
+	err := run([]string{
+		"-protocol", "kv", "-nemesis", "meteor(3)@0.2", "-duration", "10ms",
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown event kind") {
+		t.Fatalf("bad spec error = %v, want the offending clause named", err)
+	}
+}
+
+// TestNemesisVerdictExit checks a failed chaos run surfaces as a non-zero
+// exit whose error names the violated obligations and carries the
+// offending history, after the report has been emitted.
+func TestNemesisVerdictExit(t *testing.T) {
+	rep := &workload.Report{Nemesis: &workload.NemesisReport{
+		Spec:          "crash(0)@0.2",
+		Seed:          4,
+		Linearizable:  false,
+		LincheckError: "key \"nem3\": sub-history not linearizable:\np0 write(a) ...",
+		DegradationViolations: []string{
+			"availability: bucket [5s, 6s) has residual quorum but zero successful operations",
+		},
+	}}
+	err := nemesisVerdict(rep)
+	if err == nil {
+		t.Fatal("failed nemesis run exited zero")
+	}
+	for _, want := range []string{"nemesis run failed", "not linearizable", "nem3", "availability"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("verdict error missing %q: %v", want, err)
+		}
+	}
+	if err := nemesisVerdict(&workload.Report{}); err != nil {
+		t.Fatalf("non-nemesis run failed verdict: %v", err)
+	}
+	rep.Nemesis.Linearizable = true
+	rep.Nemesis.LincheckError = ""
+	rep.Nemesis.DegradationViolations = nil
+	if err := nemesisVerdict(rep); err != nil {
+		t.Fatalf("clean nemesis run failed verdict: %v", err)
 	}
 }
 

@@ -63,7 +63,17 @@
 //     transport, with Zipfian or uniform key distributions, sharded kv
 //     targets with per-shard report sections, mid-run fault injection,
 //     log-bucketed latency histograms (p50/p90/p99/p99.9) and JSON reports
-//     — also available as the gqsload command.
+//     — also available as the gqsload command;
+//   - seeded chaos testing (internal/nemesis; gqsload -nemesis): scenario
+//     specs compile into deterministic fault timelines — crash/restart,
+//     symmetric and asymmetric partitions, seeded link flapping, gray
+//     (slow/lossy) links, lease clock-skew steps — driven against a live
+//     cluster mid-workload while probe clients record a linearizability
+//     history; runs close with the Wing-Gong check plus
+//     graceful-degradation assertions (availability whenever a residual
+//     quorum exists, leased reads falling back to shared barriers when the
+//     holder dies), and the same seed replays the byte-identical timeline
+//     (see README "Chaos testing").
 //
 // See README.md for the cluster quickstart, the package map and the
 // experiment commands (cmd/experiments regenerates the reproduction's

@@ -5,7 +5,7 @@
 // the fake clock can drive protocol tests deterministically, and so
 // reviewers can find each point where real time enters the protocols.
 // Test files are exempt (they may bound waits with wall time); runtime
-// code in internal/{consensus,smr,lease,qaf,viewsync} is not.
+// code in internal/{consensus,smr,lease,qaf,viewsync,nemesis} is not.
 package clockuse
 
 import (
@@ -25,6 +25,10 @@ var protocolPkgs = []string{
 	"internal/lease",
 	"internal/qaf",
 	"internal/viewsync",
+	// The chaos engine replays fault timelines against the clock it is
+	// handed; a raw wall-clock read would break the fake-clock engine
+	// tests and the skew events it injects into lease clocks.
+	"internal/nemesis",
 }
 
 // bannedTimeFuncs are the time-package entry points that read or act on

@@ -1,0 +1,58 @@
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Skewed wraps a base Clock and shifts every reading by an adjustable
+// offset. It models a stepped wall clock: Now (and the Since/Until
+// readings derived from it) move by the offset, while timers keep firing
+// relative to the base clock — exactly how a real host behaves when its
+// wall clock is stepped (monotonic timers are unaffected).
+//
+// A *constant* offset is invisible to the protocol packages, which only
+// compare readings taken on the same process; what perturbs them is a
+// *step* applied mid-run. internal/lease bounds the damage such a step can
+// do by its Skew budget (holder validity t0+Dur−Skew vs writer gate
+// apply+Dur+Skew), and the nemesis engine's skew events use SetOffset to
+// probe precisely that budget on a live cluster.
+type Skewed struct {
+	base Clock
+	off  atomic.Int64 // nanoseconds added to every reading
+}
+
+// NewSkewed returns a Skewed over base (Real when base is nil) with a
+// zero initial offset.
+func NewSkewed(base Clock) *Skewed {
+	return &Skewed{base: Or(base)}
+}
+
+// SetOffset replaces the offset applied to readings. Concurrent readers
+// observe the new value atomically; there is no smoothing — the change is
+// a step, as injected faults should be.
+func (s *Skewed) SetOffset(d time.Duration) { s.off.Store(int64(d)) }
+
+// Offset returns the current offset.
+func (s *Skewed) Offset() time.Duration { return time.Duration(s.off.Load()) }
+
+// Now returns the base reading shifted by the current offset.
+func (s *Skewed) Now() time.Time {
+	return s.base.Now().Add(time.Duration(s.off.Load()))
+}
+
+// Since returns the elapsed skewed time since t.
+func (s *Skewed) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Until returns the skewed duration until t.
+func (s *Skewed) Until(t time.Time) time.Duration { return t.Sub(s.Now()) }
+
+// After delegates to the base clock: timer waits are relative durations
+// and are not affected by wall-clock steps.
+func (s *Skewed) After(d time.Duration) <-chan time.Time { return s.base.After(d) }
+
+// NewTimer delegates to the base clock (see After).
+func (s *Skewed) NewTimer(d time.Duration) Timer { return s.base.NewTimer(d) }
+
+// AfterFunc delegates to the base clock (see After).
+func (s *Skewed) AfterFunc(d time.Duration, f func()) Timer { return s.base.AfterFunc(d, f) }

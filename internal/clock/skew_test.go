@@ -1,0 +1,66 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSkewedShiftsReadingsNotTimers(t *testing.T) {
+	f := NewFake()
+	s := NewSkewed(f)
+	if !s.Now().Equal(f.Now()) {
+		t.Fatalf("zero-offset Skewed disagrees with base: %v vs %v", s.Now(), f.Now())
+	}
+
+	base := f.Now()
+	s.SetOffset(3 * time.Second)
+	if got := s.Offset(); got != 3*time.Second {
+		t.Fatalf("Offset = %v, want 3s", got)
+	}
+	if got := s.Now().Sub(base); got != 3*time.Second {
+		t.Fatalf("stepped Now moved by %v, want 3s", got)
+	}
+	if got := s.Since(base); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+	if got := s.Until(base.Add(5 * time.Second)); got != 2*time.Second {
+		t.Fatalf("Until = %v, want 2s", got)
+	}
+
+	// Timers ride the base clock: a wall step must not fire or starve them.
+	fired := make(chan struct{}, 1)
+	s.AfterFunc(10*time.Millisecond, func() { fired <- struct{}{} })
+	s.SetOffset(-time.Hour)
+	select {
+	case <-fired:
+		t.Fatal("timer fired on offset change without base time advancing")
+	default:
+	}
+	f.Advance(10 * time.Millisecond)
+	select {
+	case <-fired:
+	default:
+		t.Fatal("timer did not fire when the base clock advanced past its deadline")
+	}
+
+	// A negative step makes Now read behind the base instant.
+	if got := f.Now().Sub(s.Now()); got != time.Hour {
+		t.Fatalf("negative step: base-skewed gap = %v, want 1h", got)
+	}
+}
+
+func TestSkewedNilBaseIsReal(t *testing.T) {
+	s := NewSkewed(nil)
+	before := time.Now()
+	if s.Now().Before(before) {
+		t.Fatalf("Skewed over Real went backwards: %v < %v", s.Now(), before)
+	}
+	tm := s.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("fresh hour timer reported already fired")
+	}
+	ch := s.After(time.Hour)
+	if ch == nil {
+		t.Fatal("After returned nil channel")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -163,40 +164,86 @@ func (o *client) route(ctx context.Context, failover bool, op func(ctx context.C
 		o.fails.Add(1)
 		return fmt.Errorf("%s %q: no routable process", o.kind, o.name)
 	}
+	// WithRetry grants failover-safe operations extra passes over the
+	// candidate list; re-submittable harm rules out retrying the rest, the
+	// same line doNoFailover draws.
+	rounds := 1
+	if failover && o.c.retryRounds > 0 {
+		rounds += o.c.retryRounds
+	}
 	deadline, hasDeadline := ctx.Deadline()
 	start := time.Now()
 	var lastErr error
-	for i, p := range cands {
-		if err := ctx.Err(); err != nil {
-			if lastErr == nil {
-				lastErr = err
+	for r := 0; r < rounds; r++ {
+		if r > 0 {
+			if err := o.backoff(ctx, r); err != nil {
+				break
 			}
-			break
-		}
-		if p < 0 || p >= o.c.N() {
-			lastErr = fmt.Errorf("%s %q: policy routed to process %d out of range [0,%d)", o.kind, o.name, p, o.c.N())
-			continue
-		}
-		attemptCtx := ctx
-		cancel := context.CancelFunc(func() {})
-		if hasDeadline && i < len(cands)-1 {
-			share := time.Until(deadline) / time.Duration(len(cands)-i)
-			attemptCtx, cancel = context.WithTimeout(ctx, share)
-		}
-		err := op(attemptCtx, p)
-		cancel()
-		if err == nil {
-			if i > 0 {
-				o.failovers.Add(1)
+			// Re-consult the policy: a healed replica or a re-injected
+			// pattern between passes changes the candidate set.
+			if next := o.currentPolicy().Candidates(o.c); len(next) > 0 {
+				cands = next
 			}
-			o.succs.Add(1)
-			o.latNanos.Add(int64(time.Since(start)))
-			return nil
 		}
-		lastErr = err
+		for i, p := range cands {
+			if err := ctx.Err(); err != nil {
+				if lastErr == nil {
+					lastErr = err
+				}
+				o.fails.Add(1)
+				return lastErr
+			}
+			if p < 0 || p >= o.c.N() {
+				lastErr = fmt.Errorf("%s %q: policy routed to process %d out of range [0,%d)", o.kind, o.name, p, o.c.N())
+				continue
+			}
+			attemptCtx := ctx
+			cancel := context.CancelFunc(func() {})
+			if hasDeadline && (i < len(cands)-1 || r < rounds-1) {
+				// Split the remaining budget over the remaining candidates of
+				// this pass (a stalled candidate cannot consume it all); keep
+				// a share in reserve while retry passes remain.
+				rest := len(cands) - i
+				if r < rounds-1 {
+					rest++
+				}
+				share := time.Until(deadline) / time.Duration(rest)
+				attemptCtx, cancel = context.WithTimeout(ctx, share)
+			}
+			err := op(attemptCtx, p)
+			cancel()
+			if err == nil {
+				if i > 0 || r > 0 {
+					o.failovers.Add(1)
+				}
+				o.succs.Add(1)
+				o.latNanos.Add(int64(time.Since(start)))
+				return nil
+			}
+			lastErr = err
+		}
 	}
 	o.fails.Add(1)
 	return lastErr
+}
+
+// backoff sleeps the jittered exponential delay preceding retry pass r
+// (r >= 1): a uniformly random duration in [base/2, base] doubled per
+// pass, capped at a second. Returns ctx's error if it expires first.
+func (o *client) backoff(ctx context.Context, r int) error {
+	d := o.c.retryBackoff << uint(min(r-1, 16))
+	if d > time.Second {
+		d = time.Second
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // at bounds-checks an explicit process id for the At accessors.

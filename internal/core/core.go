@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/consensus"
 	"repro/internal/failure"
 	"repro/internal/graph"
@@ -61,6 +62,9 @@ type config struct {
 	batch         smr.BatchOptions
 	lease         time.Duration
 	leaseHolder   failure.Proc
+	leaseClock    func(failure.Proc) clock.Clock
+	retryRounds   int
+	retryBackoff  time.Duration
 }
 
 // Option configures Open.
@@ -176,6 +180,34 @@ func WithLeaseHolder(p failure.Proc) Option {
 	}
 }
 
+// WithRetry makes failover-safe client operations retry after exhausting
+// one pass over the policy's candidates: up to rounds extra passes, each
+// preceded by a jittered exponential backoff starting from base (default
+// 5ms, capped at a second) and each re-consulting the routing policy — a
+// replica that healed or a pattern re-injection between passes changes the
+// candidate set. Operations that must not be re-submitted (Set, SetMany,
+// SetAsync, Append) are never retried, exactly as they never fail over; a
+// context deadline still bounds everything. Off by default: steady-state
+// tests rely on a single pass failing fast.
+func WithRetry(rounds int, base time.Duration) Option {
+	return func(c *config) {
+		c.retryRounds = rounds
+		c.retryBackoff = base
+		if c.retryBackoff <= 0 {
+			c.retryBackoff = 5 * time.Millisecond
+		}
+	}
+}
+
+// WithLeaseClocks supplies the per-process clock the KV lease managers run
+// on (default clock.Real everywhere). The nemesis engine injects
+// clock.Skewed instances here to step one process's wall clock mid-run and
+// probe the lease's Skew budget; tests inject clock.Fake. A nil function
+// or a nil returned clock falls back to clock.Real.
+func WithLeaseClocks(f func(failure.Proc) clock.Clock) Option {
+	return func(c *config) { c.leaseClock = f }
+}
+
 // objKey identifies a provisioned object: two kinds may share a name.
 type objKey struct {
 	kind, name string
@@ -194,12 +226,15 @@ type Cluster struct {
 	nodes   []*node.Node
 	props   []*qaf.Propagator
 
-	tick        time.Duration
-	viewC       time.Duration
-	slots       int
-	batch       smr.BatchOptions
-	lease       time.Duration
-	leaseHolder failure.Proc
+	tick         time.Duration
+	viewC        time.Duration
+	slots        int
+	batch        smr.BatchOptions
+	lease        time.Duration
+	leaseHolder  failure.Proc
+	leaseClock   func(failure.Proc) clock.Clock
+	retryRounds  int
+	retryBackoff time.Duration
 
 	mu      sync.Mutex
 	objects map[objKey]Object
@@ -246,15 +281,18 @@ func Open(failProne failure.System, opts ...Option) (*Cluster, error) {
 		return nil, fmt.Errorf("WithLeaseHolder: process %d out of range [0,%d)", cfg.leaseHolder, n)
 	}
 	c := &Cluster{
-		QS:          qs,
-		tick:        cfg.tick,
-		viewC:       cfg.viewC,
-		slots:       cfg.slots,
-		batch:       cfg.batch,
-		lease:       cfg.lease,
-		leaseHolder: cfg.leaseHolder,
-		objects:     make(map[objKey]Object),
-		pending:     make(map[objKey]*pendingObj),
+		QS:           qs,
+		tick:         cfg.tick,
+		viewC:        cfg.viewC,
+		slots:        cfg.slots,
+		batch:        cfg.batch,
+		lease:        cfg.lease,
+		leaseHolder:  cfg.leaseHolder,
+		leaseClock:   cfg.leaseClock,
+		retryRounds:  cfg.retryRounds,
+		retryBackoff: cfg.retryBackoff,
+		objects:      make(map[objKey]Object),
+		pending:      make(map[objKey]*pendingObj),
 	}
 	if c.tick <= 0 {
 		c.tick = 2 * time.Millisecond
@@ -648,10 +686,15 @@ func (c *Cluster) KV(name string) (*KVClient, error) {
 			// lease is in force, the holder runs the renewal loop.
 			kc.leases = make([]*lease.Manager, len(eps))
 			for i, nd := range c.nodes {
+				var clk clock.Clock
+				if c.leaseClock != nil {
+					clk = c.leaseClock(failure.Proc(i))
+				}
 				kc.leases[i] = lease.NewManager(nd, eps[i], lease.Options{
 					Name:     "lease/kv/" + name,
 					Holder:   c.leaseHolder,
 					Duration: c.lease,
+					Clock:    clk,
 				})
 			}
 		}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/failure"
+)
+
+// policyFunc adapts a function to the Policy interface.
+type policyFunc func(*Cluster) []int
+
+func (f policyFunc) Candidates(c *Cluster) []int { return f(c) }
+
+// TestRetryReconsultsPolicyAcrossRounds drives route directly with a
+// policy whose candidate set "heals" between passes: the first pass
+// returns a process whose op always fails, the re-consulted pass returns
+// one that succeeds. Without WithRetry the same operation must fail.
+func TestRetryReconsultsPolicyAcrossRounds(t *testing.T) {
+	c := openFigure1(t, WithRetry(2, time.Millisecond))
+
+	kv, err := c.KV("retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	pol := policyFunc(func(*Cluster) []int {
+		if calls.Add(1) == 1 {
+			return []int{1} // first pass: the failing candidate only
+		}
+		return []int{0}
+	})
+	kv.SetPolicy(pol)
+
+	failErr := errors.New("injected replica failure")
+	var attempts atomic.Int64
+	err = kv.do(ctxSec(t, 10), func(ctx context.Context, p int) error {
+		attempts.Add(1)
+		if p == 1 {
+			return failErr
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("retrying op failed: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("op attempted %d times, want 2 (fail then retry success)", got)
+	}
+	if m := kv.Metrics(); m.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1 (success on a retry pass)", m.Failovers)
+	}
+}
+
+func TestNoRetryWithoutOption(t *testing.T) {
+	c := openFigure1(t)
+	kv, err := c.KV("noretry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.SetPolicy(Fixed(2))
+	failErr := errors.New("always failing")
+	var attempts atomic.Int64
+	err = kv.do(ctxSec(t, 5), func(ctx context.Context, p int) error {
+		attempts.Add(1)
+		return failErr
+	})
+	if !errors.Is(err, failErr) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("op attempted %d times without WithRetry, want 1", got)
+	}
+}
+
+func TestRetryNeverAppliesToNoFailoverOps(t *testing.T) {
+	c := openFigure1(t, WithRetry(3, time.Millisecond))
+	kv, err := c.KV("noretry-writes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failErr := errors.New("write attempt failed")
+	var attempts atomic.Int64
+	err = kv.doNoFailover(ctxSec(t, 5), func(ctx context.Context, p int) error {
+		attempts.Add(1)
+		return failErr
+	})
+	if !errors.Is(err, failErr) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("no-failover op attempted %d times, want exactly 1", got)
+	}
+}
+
+func TestRetryRespectsContextDeadline(t *testing.T) {
+	c := openFigure1(t, WithRetry(50, 50*time.Millisecond))
+	kv, err := c.KV("retry-deadline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	failErr := errors.New("down")
+	start := time.Now()
+	err = kv.do(ctx, func(ctx context.Context, p int) error { return failErr })
+	if err == nil {
+		t.Fatal("op succeeded against an always-failing target")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retries ran %v past a 150ms deadline", elapsed)
+	}
+}
+
+// TestWithLeaseClocksInjected verifies the per-process lease clock factory
+// is consulted for every process and that the managers run on the supplied
+// clocks: a leased read at the holder still serves locally when the
+// holder's clock is a Skewed wrapper with zero offset.
+func TestWithLeaseClocksInjected(t *testing.T) {
+	skews := make([]*clock.Skewed, failure.Figure1N)
+	for i := range skews {
+		skews[i] = clock.NewSkewed(clock.Real)
+	}
+	var asked atomic.Int64
+	c := openFigure1(t,
+		WithLease(500*time.Millisecond),
+		WithLeaseClocks(func(p failure.Proc) clock.Clock {
+			asked.Add(1)
+			return skews[p]
+		}),
+	)
+	kv, err := c.KV("skewed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asked.Load(); got != int64(failure.Figure1N) {
+		t.Fatalf("lease clock factory consulted %d times, want %d", got, failure.Figure1N)
+	}
+	ctx := ctxSec(t, 20)
+	if _, err := kv.Set(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the holder to acquire its lease, then check the local path.
+	deadline := time.Now().Add(10 * time.Second)
+	for !kv.LeaseManager(0).Holding() {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never acquired the lease on injected clocks")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v, ok, err := kv.SyncGet(ctx, "k"); err != nil || !ok || v != "v" {
+		t.Fatalf("SyncGet = (%q, %v, %v), want (v, true, nil)", v, ok, err)
+	}
+	// A large backwards step at the holder invalidates its own view of the
+	// lease: reads must fall back to the barrier path rather than fail.
+	skews[0].SetOffset(-time.Hour)
+	if v, ok, err := kv.SyncGet(ctx, "k"); err != nil || !ok || v != "v" {
+		t.Fatalf("post-skew SyncGet = (%q, %v, %v), want barrier fallback (v, true, nil)", v, ok, err)
+	}
+}

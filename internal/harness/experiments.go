@@ -554,6 +554,7 @@ func runAll(ctx context.Context, w io.Writer, cfg Config, render func(*Table, io
 		{"E18", func() (*Table, error) { return E18ShardScaling(ctx, cfg) }},
 		{"E19", func() (*Table, error) { return E19BatchingSweep(ctx, cfg) }},
 		{"E20", func() (*Table, error) { return E20ReadPathSweep(ctx, cfg) }},
+		{"E21", func() (*Table, error) { return E21NemesisScenarios(ctx, cfg) }},
 	}
 	for _, e := range exps {
 		tbl, err := e.run()

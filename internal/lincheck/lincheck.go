@@ -95,6 +95,29 @@ func (h *History) End(id int, out string, verNum uint64, verProc int) {
 	h.ops[idx].Return = time.Now().UnixNano()
 }
 
+// UnresolvedReturn is the Return timestamp of an operation that never
+// returned. Such an operation has no response constraint: it may linearize
+// at any point after its invocation, or not at all (see CheckRegister).
+const UnresolvedReturn = int64(1<<63 - 1)
+
+// EndUnresolved records that the operation never returned but may still
+// have taken effect — the right treatment for a timed-out write, whose
+// proposal can commit after the client gave up. (Timed-out reads have no
+// effect and should be Discarded instead; keeping them unresolved is sound
+// but costs search width.) The checkers treat unresolved operations as
+// optional: free to linearize anywhere after their invocation, free to be
+// dropped.
+func (h *History) EndUnresolved(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx, ok := h.open[id]
+	if !ok {
+		return
+	}
+	delete(h.open, id)
+	h.ops[idx].Return = UnresolvedReturn
+}
+
 // Discard drops an operation that never completed (e.g. it timed out and
 // the test treats it as never linearized).
 func (h *History) Discard(id int) {
@@ -122,9 +145,13 @@ func (h *History) Ops() []Op {
 	return out
 }
 
-// CheckRegister decides linearizability of a complete register history with
-// initial value "" using Wing–Gong search with memoization. Histories with
-// more than 63 operations are rejected (use CheckVersioned for long runs).
+// CheckRegister decides linearizability of a register history with initial
+// value "" using Wing–Gong search with memoization. Operations whose Return
+// is UnresolvedReturn never responded: the search may linearize them at any
+// point after their invocation or omit them entirely, which is the sound
+// treatment of a write whose proposal may or may not have committed.
+// Histories with more than 63 operations are rejected (use CheckVersioned
+// for long runs).
 func CheckRegister(ops []Op) (bool, error) {
 	n := len(ops)
 	if n == 0 {
@@ -133,10 +160,18 @@ func CheckRegister(ops []Op) (bool, error) {
 	if n > 63 {
 		return false, fmt.Errorf("history too long for search checker: %d ops", n)
 	}
+	// required are the operations that responded: the search succeeds once
+	// all of them are scheduled; unresolved ops are optional.
+	var required uint64
+	for i := 0; i < n; i++ {
+		if ops[i].Return != UnresolvedReturn {
+			required |= uint64(1) << i
+		}
+	}
 	memo := make(map[string]bool)
 	var rec func(done uint64, val string) bool
 	rec = func(done uint64, val string) bool {
-		if done == (uint64(1)<<n)-1 {
+		if done&required == required {
 			return true
 		}
 		key := strconv.FormatUint(done, 16) + "|" + val

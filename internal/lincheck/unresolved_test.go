@@ -1,0 +1,74 @@
+package lincheck
+
+import "testing"
+
+// mkOp builds a resolved op with explicit interval endpoints.
+func mkOp(id, proc int, kind Kind, arg, out string, inv, ret int64) Op {
+	return Op{ID: id, Proc: proc, Kind: kind, Arg: arg, Out: out, Invoke: inv, Return: ret}
+}
+
+// TestUnresolvedWriteMayTakeEffect: a write that never returned is visible
+// to a later read — the checker must be able to linearize it.
+func TestUnresolvedWriteMayTakeEffect(t *testing.T) {
+	ops := []Op{
+		mkOp(0, 0, KindWrite, "a", "", 0, UnresolvedReturn),
+		mkOp(1, 1, KindRead, "", "a", 10, 20),
+	}
+	ok, err := CheckRegister(ops)
+	if err != nil || !ok {
+		t.Fatalf("effective unresolved write rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestUnresolvedWriteMayBeDropped: the same pending write never takes
+// effect — reads keep seeing the old value — and the checker must be able
+// to omit it.
+func TestUnresolvedWriteMayBeDropped(t *testing.T) {
+	ops := []Op{
+		mkOp(0, 0, KindWrite, "a", "", 0, 5),
+		mkOp(1, 1, KindWrite, "lost", "", 6, UnresolvedReturn),
+		mkOp(2, 2, KindRead, "", "a", 10, 20),
+		mkOp(3, 2, KindRead, "", "a", 30, 40),
+	}
+	ok, err := CheckRegister(ops)
+	if err != nil || !ok {
+		t.Fatalf("droppable unresolved write rejected: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestUnresolvedWriteCannotRewriteHistory: an unresolved write invoked
+// after a read returned cannot explain that read's value; the history must
+// still be rejected.
+func TestUnresolvedWriteCannotRewriteHistory(t *testing.T) {
+	ops := []Op{
+		mkOp(0, 0, KindRead, "", "b", 0, 10),
+		mkOp(1, 1, KindWrite, "b", "", 20, UnresolvedReturn),
+	}
+	ok, err := CheckRegister(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("read of a value written only by a later unresolved write accepted")
+	}
+}
+
+// TestEndUnresolvedRecorded: the recorder keeps unresolved ops in Ops()
+// (unlike Discard) with the sentinel Return.
+func TestEndUnresolvedRecorded(t *testing.T) {
+	h := NewHistory()
+	idW := h.BeginKV(0, KindWrite, "k", "v")
+	idR := h.BeginKV(1, KindRead, "k", "")
+	h.EndUnresolved(idW)
+	h.Discard(idR)
+	ops := h.Ops()
+	if len(ops) != 1 {
+		t.Fatalf("Ops() returned %d ops, want 1 (discarded read dropped)", len(ops))
+	}
+	if ops[0].Kind != KindWrite || ops[0].Return != UnresolvedReturn {
+		t.Fatalf("unresolved write recorded as %+v", ops[0])
+	}
+	if err := CheckKVHistory(ops); err != nil {
+		t.Fatalf("lone unresolved write rejected: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package nemesis
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/quorum"
+)
+
+// Bucket is one slice of the measured window with the workload's success
+// counters for it. The driver fills these; the checks below consume them.
+type Bucket struct {
+	// Start and End are offsets from the start of the measured window.
+	Start, End time.Duration
+	// Ops counts operations (reads and writes) that completed
+	// successfully within the bucket.
+	Ops int64
+	// Reads counts the successful linearizable reads among Ops.
+	Reads int64
+}
+
+// CheckDegradation verifies the graceful-degradation obligations of a
+// nemesis run against the quorum system qs:
+//
+//   - Availability: in every steady-state bucket — one with no timeline
+//     event within [Start-settle, End] — whose induced failure pattern
+//     leaves a non-empty termination component U_f, at least one operation
+//     must have succeeded. A cluster with a residual quorum that serves
+//     nothing has degraded un-gracefully.
+//   - Lease fallback: when leaseHolder >= 0 and the timeline crashes it,
+//     reads must keep succeeding afterwards (the leased read path must
+//     fall back to the shared barrier rather than wedging): at least one
+//     eligible bucket after the kill must contain a successful read, when
+//     any such bucket exists.
+//
+// The returned slice is empty iff every obligation holds; each entry is a
+// human-readable violation.
+func CheckDegradation(qs quorum.System, sched *Schedule, buckets []Bucket, settle time.Duration, leaseHolder failure.Proc) []string {
+	n := qs.F.N
+	g := quorum.Network(n)
+	var violations []string
+
+	var holderKilledAt time.Duration = -1
+	if leaseHolder >= 0 {
+		for _, ev := range sched.Events {
+			if ev.Kind == KindCrash && ev.Proc == leaseHolder {
+				holderKilledAt = ev.At
+				break
+			}
+		}
+	}
+
+	var readsAfterKill int64
+	sawEligibleAfterKill := false
+	for _, b := range buckets {
+		if eventWithin(sched, b.Start-settle, b.End) {
+			continue // transition bucket: no steady-state obligation
+		}
+		f := inducedPattern(sched, n, b.Start)
+		uf := qs.Uf(g, f)
+		if uf.Empty() {
+			continue // no residual quorum: unavailability is permitted
+		}
+		if b.Ops == 0 {
+			violations = append(violations, fmt.Sprintf(
+				"availability: bucket [%s, %s) has residual quorum U_f=%s under %s but zero successful operations",
+				b.Start, b.End, uf, f.String()))
+		}
+		if holderKilledAt >= 0 && b.Start >= holderKilledAt {
+			sawEligibleAfterKill = true
+			readsAfterKill += b.Reads
+		}
+	}
+	if sawEligibleAfterKill && readsAfterKill == 0 {
+		violations = append(violations, fmt.Sprintf(
+			"lease fallback: lease holder p%d crashed at +%s but no read succeeded in any steady quorate bucket afterwards",
+			leaseHolder, holderKilledAt))
+	}
+	return violations
+}
+
+// eventWithin reports whether any timeline event fires in [from, to).
+func eventWithin(sched *Schedule, from, to time.Duration) bool {
+	for _, ev := range sched.Events {
+		if ev.At >= from && ev.At < to {
+			return true
+		}
+	}
+	return false
+}
+
+// inducedPattern folds the timeline's events up to (and including) offset
+// t into the failure pattern in force at t: crashed processes, and downed
+// channels between processes that are both up. Gray links stay out — they
+// are degraded, not disconnected — and channels incident to a crashed
+// process are implied faulty by the pattern semantics and must not be
+// listed (failure.Pattern.Validate).
+func inducedPattern(sched *Schedule, n int, t time.Duration) failure.Pattern {
+	crashed := make([]bool, n)
+	down := map[failure.Channel]bool{}
+	for _, ev := range sched.Events {
+		if ev.At > t {
+			break
+		}
+		switch ev.Kind {
+		case KindCrash:
+			crashed[ev.Proc] = true
+		case KindRestart:
+			crashed[ev.Proc] = false
+		case KindLinkDown:
+			for _, c := range ev.Chans {
+				down[c] = true
+			}
+		case KindLinkUp:
+			for _, c := range ev.Chans {
+				delete(down, c)
+			}
+		}
+	}
+	var procs []failure.Proc
+	for p, c := range crashed {
+		if c {
+			procs = append(procs, failure.Proc(p))
+		}
+	}
+	var chans []failure.Channel
+	for c := range down {
+		if !crashed[c.From] && !crashed[c.To] {
+			chans = append(chans, c)
+		}
+	}
+	return failure.NewPattern(n, procs, chans).WithName(fmt.Sprintf("induced@+%s", t))
+}

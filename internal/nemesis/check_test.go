@@ -1,0 +1,114 @@
+package nemesis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/quorum"
+)
+
+// fullBuckets builds a healthy bucket series: 1s buckets over dur, all
+// with successful ops and reads.
+func fullBuckets(dur time.Duration, ops, reads int64) []Bucket {
+	var out []Bucket
+	for t := time.Duration(0); t < dur; t += time.Second {
+		out = append(out, Bucket{Start: t, End: t + time.Second, Ops: ops, Reads: reads})
+	}
+	return out
+}
+
+func TestCheckDegradationPassesHealthyRun(t *testing.T) {
+	qs := quorum.Figure1()
+	sched := mustCompile(t, "crash(3)@0.2..0.6", 1, 10*time.Second)
+	v := CheckDegradation(qs, sched, fullBuckets(10*time.Second, 5, 2), 500*time.Millisecond, 0)
+	if len(v) != 0 {
+		t.Fatalf("healthy run reported violations: %v", v)
+	}
+}
+
+func TestCheckDegradationFlagsSilentQuorum(t *testing.T) {
+	qs := quorum.Figure1()
+	sched := mustCompile(t, "crash(3)@0.2", 1, 10*time.Second)
+	buckets := fullBuckets(10*time.Second, 5, 2)
+	// Zero out a steady-state bucket well clear of the single event at 2s.
+	buckets[7].Ops = 0
+	buckets[7].Reads = 0
+	v := CheckDegradation(qs, sched, buckets, 500*time.Millisecond, -1)
+	if len(v) != 1 || !strings.Contains(v[0], "availability") {
+		t.Fatalf("violations = %v, want one availability violation", v)
+	}
+	if !strings.Contains(v[0], "7s") {
+		t.Fatalf("violation %q does not name the bucket", v[0])
+	}
+}
+
+func TestCheckDegradationSkipsTransitionBuckets(t *testing.T) {
+	qs := quorum.Figure1()
+	sched := mustCompile(t, "crash(3)@0.25", 1, 8*time.Second)
+	buckets := fullBuckets(8*time.Second, 5, 2)
+	// The event fires at 2s: bucket [2s,3s) contains it and bucket [3s,4s)
+	// starts within the settle margin after it; neither may be asserted on.
+	buckets[2].Ops = 0
+	buckets[3].Ops = 0
+	v := CheckDegradation(qs, sched, buckets, time.Second, -1)
+	if len(v) != 0 {
+		t.Fatalf("transition buckets were asserted on: %v", v)
+	}
+}
+
+func TestCheckDegradationAllowsQuorumlessOutage(t *testing.T) {
+	qs := quorum.Figure1()
+	// Crashing 1, 2 and 3 leaves no validating write quorum in Figure 1:
+	// U_f is empty and total unavailability afterwards is permitted.
+	sched := mustCompile(t, "crash(1)@0.1; crash(2)@0.1; crash(3)@0.1", 1, 10*time.Second)
+	buckets := fullBuckets(10*time.Second, 0, 0)
+	for i := range buckets[:1] {
+		buckets[i].Ops = 5 // healthy before the wipeout
+	}
+	v := CheckDegradation(qs, sched, buckets, 500*time.Millisecond, -1)
+	if len(v) != 0 {
+		t.Fatalf("quorumless outage flagged: %v", v)
+	}
+}
+
+func TestCheckDegradationLeaseFallback(t *testing.T) {
+	qs := quorum.Figure1()
+	sched := mustCompile(t, "crash(0)@0.3", 1, 10*time.Second)
+	buckets := fullBuckets(10*time.Second, 5, 2)
+	for i := range buckets {
+		if buckets[i].Start >= 3*time.Second {
+			buckets[i].Reads = 0 // ops continue but reads wedge: fallback failed
+		}
+	}
+	v := CheckDegradation(qs, sched, buckets, 500*time.Millisecond, 0)
+	if len(v) != 1 || !strings.Contains(v[0], "lease fallback") {
+		t.Fatalf("violations = %v, want one lease-fallback violation", v)
+	}
+	// A single post-kill read success clears the obligation.
+	buckets[8].Reads = 1
+	if v := CheckDegradation(qs, sched, buckets, 500*time.Millisecond, 0); len(v) != 0 {
+		t.Fatalf("fallback satisfied but still flagged: %v", v)
+	}
+}
+
+func TestInducedPatternRespectsHealsAndCrashIncidence(t *testing.T) {
+	sched := mustCompile(t, "part(0|1)@0.1..0.5; crash(1)@0.6", 1, 10*time.Second)
+	// At 3s the partition is live: channels listed, nobody crashed.
+	f := inducedPattern(sched, testN, 3*time.Second)
+	if len(f.Chans) != 2 || f.Procs.Len() != 0 {
+		t.Fatalf("pattern at 3s = %s", f.String())
+	}
+	if err := f.Validate(testN); err != nil {
+		t.Fatalf("induced pattern invalid: %v", err)
+	}
+	// At 7s the partition has healed and p1 is down; channels incident to
+	// the crashed process must not be listed.
+	f = inducedPattern(sched, testN, 7*time.Second)
+	if len(f.Chans) != 0 || !f.FaultyProc(1) {
+		t.Fatalf("pattern at 7s = %s", f.String())
+	}
+	if err := f.Validate(testN); err != nil {
+		t.Fatalf("induced pattern invalid: %v", err)
+	}
+}

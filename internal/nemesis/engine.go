@@ -1,0 +1,93 @@
+package nemesis
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/failure"
+	"repro/internal/transport"
+)
+
+// Control is the fault surface the engine drives. transport.MemNetwork
+// implements it directly; other targets adapt.
+type Control interface {
+	Crash(failure.Proc)
+	Restart(failure.Proc)
+	SetLink(c failure.Channel, up bool)
+	SetLinkFault(c failure.Channel, f transport.LinkFault)
+}
+
+var _ Control = (*transport.MemNetwork)(nil)
+
+// SkewInjector applies a wall-clock offset step to one process's clock
+// (typically a clock.Skewed feeding that process's lease.Manager). A nil
+// SkewInjector makes skew events no-ops.
+type SkewInjector interface {
+	SetSkew(p failure.Proc, off time.Duration)
+}
+
+// Applied is one timeline event that the engine actually fired, stamped
+// with the offset from the engine's start at which it was applied. Reports
+// persist these so a failing run is diagnosable from the artifact alone.
+type Applied struct {
+	Event
+	// AppliedAt is the measured offset (on the engine's clock) at which
+	// the event fired — normally within a scheduler tick of Event.At.
+	AppliedAt time.Duration
+}
+
+// Run drives the schedule against ctl, blocking until the timeline is
+// exhausted or ctx is done, and returns the events actually applied. Time
+// flows through clk — clock.Real in live runs, clock.Fake in tests — so
+// the engine itself never reads the wall clock.
+func Run(ctx context.Context, clk clock.Clock, sched *Schedule, ctl Control, skews SkewInjector) []Applied {
+	start := clk.Now()
+	applied := make([]Applied, 0, len(sched.Events))
+	for _, ev := range sched.Events {
+		if wait := ev.At - clk.Since(start); wait > 0 {
+			t := clk.NewTimer(wait)
+			select {
+			case <-t.C():
+			case <-ctx.Done():
+				t.Stop()
+				return applied
+			}
+		}
+		if ctx.Err() != nil {
+			return applied
+		}
+		apply(ev, ctl, skews)
+		applied = append(applied, Applied{Event: ev, AppliedAt: clk.Since(start)})
+	}
+	return applied
+}
+
+func apply(ev Event, ctl Control, skews SkewInjector) {
+	switch ev.Kind {
+	case KindCrash:
+		ctl.Crash(ev.Proc)
+	case KindRestart:
+		ctl.Restart(ev.Proc)
+	case KindLinkDown:
+		for _, c := range ev.Chans {
+			ctl.SetLink(c, false)
+		}
+	case KindLinkUp:
+		for _, c := range ev.Chans {
+			ctl.SetLink(c, true)
+		}
+	case KindGray:
+		for _, c := range ev.Chans {
+			ctl.SetLinkFault(c, ev.Fault)
+		}
+	case KindGrayClear:
+		for _, c := range ev.Chans {
+			ctl.SetLinkFault(c, transport.LinkFault{})
+		}
+	case KindSkew:
+		if skews != nil {
+			skews.SetSkew(ev.Proc, ev.Skew)
+		}
+	}
+}

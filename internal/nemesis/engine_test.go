@@ -1,0 +1,155 @@
+package nemesis
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/failure"
+	"repro/internal/transport"
+)
+
+// recorder is a Control that logs applied actions.
+type recorder struct {
+	mu   sync.Mutex
+	log  []string
+	skew map[failure.Proc]time.Duration
+}
+
+func (r *recorder) note(s string) {
+	r.mu.Lock()
+	r.log = append(r.log, s)
+	r.mu.Unlock()
+}
+
+func (r *recorder) Crash(p failure.Proc)   { r.note(fmt.Sprintf("crash %d", p)) }
+func (r *recorder) Restart(p failure.Proc) { r.note(fmt.Sprintf("restart %d", p)) }
+func (r *recorder) SetLink(c failure.Channel, up bool) {
+	if up {
+		r.note("up " + c.String())
+	} else {
+		r.note("down " + c.String())
+	}
+}
+func (r *recorder) SetLinkFault(c failure.Channel, f transport.LinkFault) {
+	if f.IsZero() {
+		r.note("clear " + c.String())
+	} else {
+		r.note("gray " + c.String())
+	}
+}
+func (r *recorder) SetSkew(p failure.Proc, off time.Duration) {
+	r.mu.Lock()
+	if r.skew == nil {
+		r.skew = map[failure.Proc]time.Duration{}
+	}
+	r.skew[p] = off
+	r.mu.Unlock()
+}
+
+func (r *recorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.log...)
+}
+
+func TestEngineFiresOnFakeClock(t *testing.T) {
+	spec := "crash(1)@0.2..0.6; gray(0>2, 3ms, 0.1)@0.1..0.9; skew(3, 250ms)@0.5"
+	sched := mustCompile(t, spec, 9, 10*time.Second)
+
+	fc := clock.NewFake()
+	rec := &recorder{}
+	done := make(chan []Applied, 1)
+	go func() { done <- Run(context.Background(), fc, sched, rec, rec) }()
+
+	// One Advance past the whole window: the engine fires its first parked
+	// timer, and every later event is then already due (Since covers it),
+	// so no further timers are armed.
+	fc.BlockUntil(1)
+	fc.Advance(10 * time.Second)
+	applied := <-done
+
+	if len(applied) != len(sched.Events) {
+		t.Fatalf("applied %d events, want %d", len(applied), len(sched.Events))
+	}
+	for i, a := range applied {
+		if a.AppliedAt < a.Event.At {
+			t.Fatalf("event %d applied at %v before its deadline %v", i, a.AppliedAt, a.Event.At)
+		}
+	}
+	got := rec.snapshot()
+	wantOrdered := []string{"gray (0, 2)", "crash 1", "restart 1", "clear (0, 2)"}
+	idx := 0
+	for _, g := range got {
+		if idx < len(wantOrdered) && g == wantOrdered[idx] {
+			idx++
+		}
+	}
+	if idx != len(wantOrdered) {
+		t.Fatalf("control log %v missing expected subsequence %v", got, wantOrdered)
+	}
+	rec.mu.Lock()
+	off := rec.skew[3]
+	rec.mu.Unlock()
+	if off != 250*time.Millisecond {
+		t.Fatalf("skew offset = %v, want 250ms", off)
+	}
+}
+
+func TestEngineStopsOnContextCancel(t *testing.T) {
+	sched := mustCompile(t, "crash(0)@0.1; crash(1)@0.9", 1, 10*time.Second)
+	fc := clock.NewFake()
+	rec := &recorder{}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan []Applied, 1)
+	go func() { done <- Run(ctx, fc, sched, rec, rec) }()
+
+	fc.BlockUntil(1)
+	fc.Advance(time.Second) // fires crash(0), engine parks for crash(1)
+	fc.BlockUntil(1)
+	cancel()
+	applied := <-done
+	if len(applied) != 1 {
+		t.Fatalf("applied %d events after cancel, want 1", len(applied))
+	}
+	if applied[0].Kind != KindCrash || applied[0].Proc != 0 {
+		t.Fatalf("applied wrong event: %+v", applied[0])
+	}
+}
+
+func TestEngineDrivesMemNetwork(t *testing.T) {
+	// The engine's Control surface is satisfied by MemNetwork itself: a
+	// crash event must stop delivery, the restart must resume it.
+	m := transport.NewMem(2, transport.WithDelay(transport.UniformDelay{Min: 10 * time.Microsecond, Max: 50 * time.Microsecond}))
+	defer m.Close()
+	var mu sync.Mutex
+	var got []string
+	m.Register(1, func(from failure.Proc, payload []byte) {
+		mu.Lock()
+		got = append(got, string(payload))
+		mu.Unlock()
+	})
+
+	sched := mustCompile(t, "crash(1)@0..0.5", 3, 100*time.Millisecond)
+	applied := Run(context.Background(), clock.Real, sched, m, nil)
+	if len(applied) != 2 {
+		t.Fatalf("applied %d events, want 2", len(applied))
+	}
+	m.Send(0, 1, []byte("after-restart"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no delivery after restart")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

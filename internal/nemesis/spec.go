@@ -1,0 +1,409 @@
+// Package nemesis is a deterministic, seeded chaos engine: it compiles a
+// scenario spec into a timeline of fault events (crashes and restarts,
+// symmetric and asymmetric partitions, seeded link flapping, gray per-link
+// slow/lossy degradation, clock-skew steps against the lease clock) and
+// drives them against a live cluster while a workload runs. The paper's
+// failure model is a static pattern applied once; the bugs worth finding
+// live in the transitions — heal races, lease expiry under skew, routing
+// churn mid-batch — so the engine's vocabulary is all about transitions.
+//
+// Determinism is the contract: Compile expands a spec with a seeded RNG
+// consumed in clause order, so the same (spec, seed, duration) triple
+// always yields a byte-identical event timeline and every failing run is
+// replayable from its report alone. The package uses clock.Clock
+// throughout (it is on gqsvet's clockuse protocol-package list) so unit
+// tests drive the engine with clock.Fake.
+//
+// Spec grammar (clauses separated by ';', times are fractions of the run
+// duration in [0, 1]):
+//
+//	crash(P)@s          crash process P at s (permanent)
+//	crash(P)@s..e       crash at s, restart with state intact at e
+//	part(0 1|2 3)@s..e  symmetric partition between the groups; heals at e
+//	apart(A|B)@s..e     asymmetric: only channels from A to B are cut
+//	flap(P-Q, N)@s..e   N seeded down/up cycles of both directions of P-Q
+//	gray(P-Q, d, p)@s..e  gray link: extra delay d, loss probability p,
+//	                    both directions; 'P>Q' degrades one direction;
+//	                    optional 4th argument adds uniform jitter
+//	skew(P, D)@s..e     step P's clock by signed duration D; steps back at e
+//
+// Omitting '..e' on part/apart/gray/skew makes the fault permanent; flap
+// requires a window.
+package nemesis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/transport"
+)
+
+// EventKind labels one timeline event.
+type EventKind string
+
+// Event kinds.
+const (
+	KindCrash     EventKind = "crash"
+	KindRestart   EventKind = "restart"
+	KindLinkDown  EventKind = "link-down"
+	KindLinkUp    EventKind = "link-up"
+	KindGray      EventKind = "gray"
+	KindGrayClear EventKind = "gray-clear"
+	KindSkew      EventKind = "skew"
+)
+
+// Event is one entry of the compiled timeline.
+type Event struct {
+	// At is the offset from the start of the measured window.
+	At time.Duration
+	// Kind selects which of the following fields are meaningful.
+	Kind EventKind
+	// Proc is the target of crash/restart/skew events (-1 otherwise).
+	Proc failure.Proc
+	// Chans are the channels affected by link and gray events.
+	Chans []failure.Channel
+	// Fault is the overlay installed by gray events.
+	Fault transport.LinkFault
+	// Skew is the clock offset installed by skew events (0 restores).
+	Skew time.Duration
+}
+
+// Target renders the event's target — "p2" or a channel list — for
+// timelines and reports.
+func (e Event) Target() string {
+	if len(e.Chans) == 0 {
+		return fmt.Sprintf("p%d", e.Proc)
+	}
+	parts := make([]string, len(e.Chans))
+	for i, c := range e.Chans {
+		parts[i] = fmt.Sprintf("%d>%d", c.From, c.To)
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders one timeline line, e.g. "+1.2s crash p1".
+func (e Event) String() string {
+	s := fmt.Sprintf("+%s %s %s", e.At, e.Kind, e.Target())
+	switch e.Kind {
+	case KindGray:
+		s += fmt.Sprintf(" delay=%s jitter=%s drop=%g", e.Fault.Delay, e.Fault.Jitter, e.Fault.Drop)
+	case KindSkew:
+		s += fmt.Sprintf(" off=%s", e.Skew)
+	}
+	return s
+}
+
+// Schedule is a compiled scenario: the event timeline plus the inputs that
+// produced it, so a report can carry everything needed to replay.
+type Schedule struct {
+	Spec     string
+	Seed     int64
+	Duration time.Duration
+	Events   []Event
+}
+
+// Timeline renders the full schedule, one event per line. Equal seeds and
+// specs produce byte-identical timelines — the replayability contract.
+func (s *Schedule) Timeline() string {
+	var b strings.Builder
+	for _, e := range s.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Compile parses spec and expands it into a deterministic event timeline
+// over a run of the given duration. The seed drives flap-cycle placement;
+// it is consumed in clause order, so the timeline is a pure function of
+// (spec, seed, duration). n is the cluster size events are validated
+// against.
+func Compile(spec string, seed int64, duration time.Duration, n int) (*Schedule, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("nemesis: duration must be positive, got %v", duration)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := &Schedule{Spec: spec, Seed: seed, Duration: duration}
+	for ci, raw := range strings.Split(spec, ";") {
+		clause := strings.TrimSpace(raw)
+		if clause == "" {
+			continue
+		}
+		evs, err := compileClause(clause, rng, duration, n)
+		if err != nil {
+			return nil, fmt.Errorf("nemesis: clause %d %q: %w", ci, clause, err)
+		}
+		sched.Events = append(sched.Events, evs...)
+	}
+	if len(sched.Events) == 0 {
+		return nil, fmt.Errorf("nemesis: spec %q compiled to no events", spec)
+	}
+	sort.SliceStable(sched.Events, func(i, j int) bool {
+		return sched.Events[i].At < sched.Events[j].At
+	})
+	return sched, nil
+}
+
+func compileClause(clause string, rng *rand.Rand, dur time.Duration, n int) ([]Event, error) {
+	at := strings.LastIndexByte(clause, '@')
+	if at < 0 {
+		return nil, fmt.Errorf("missing @time")
+	}
+	start, end, windowed, err := parseWindow(clause[at+1:], dur)
+	if err != nil {
+		return nil, err
+	}
+	head := strings.TrimSpace(clause[:at])
+	open := strings.IndexByte(head, '(')
+	if open < 0 || !strings.HasSuffix(head, ")") {
+		return nil, fmt.Errorf("want kind(args), got %q", head)
+	}
+	kind := strings.TrimSpace(head[:open])
+	args := head[open+1 : len(head)-1]
+	switch kind {
+	case "crash":
+		p, err := parseProc(args, n)
+		if err != nil {
+			return nil, err
+		}
+		evs := []Event{{At: start, Kind: KindCrash, Proc: p}}
+		if windowed {
+			evs = append(evs, Event{At: end, Kind: KindRestart, Proc: p})
+		}
+		return evs, nil
+	case "part", "apart":
+		chans, err := parsePartition(args, n, kind == "part")
+		if err != nil {
+			return nil, err
+		}
+		evs := []Event{{At: start, Kind: KindLinkDown, Proc: -1, Chans: chans}}
+		if windowed {
+			evs = append(evs, Event{At: end, Kind: KindLinkUp, Proc: -1, Chans: chans})
+		}
+		return evs, nil
+	case "flap":
+		parts := splitArgs(args, 2)
+		if parts == nil {
+			return nil, fmt.Errorf("want flap(P-Q, cycles)")
+		}
+		chans, err := parseLink(parts[0], n)
+		if err != nil {
+			return nil, err
+		}
+		cycles, err := strconv.Atoi(parts[1])
+		if err != nil || cycles < 1 {
+			return nil, fmt.Errorf("want a positive cycle count, got %q", parts[1])
+		}
+		if !windowed || end <= start {
+			return nil, fmt.Errorf("flap requires a @s..e window")
+		}
+		return flapEvents(chans, cycles, start, end, rng), nil
+	case "gray":
+		parts := splitArgs(args, 3)
+		jitter := time.Duration(0)
+		if parts == nil {
+			if parts = splitArgs(args, 4); parts == nil {
+				return nil, fmt.Errorf("want gray(P-Q, delay, drop[, jitter])")
+			}
+			if jitter, err = time.ParseDuration(parts[3]); err != nil || jitter < 0 {
+				return nil, fmt.Errorf("bad jitter %q", parts[3])
+			}
+		}
+		chans, err := parseLink(parts[0], n)
+		if err != nil {
+			return nil, err
+		}
+		delay, err := time.ParseDuration(parts[1])
+		if err != nil || delay < 0 {
+			return nil, fmt.Errorf("bad delay %q", parts[1])
+		}
+		drop, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || drop < 0 || drop > 1 {
+			return nil, fmt.Errorf("bad drop probability %q", parts[2])
+		}
+		f := transport.LinkFault{Delay: delay, Jitter: jitter, Drop: drop}
+		if f.IsZero() {
+			return nil, fmt.Errorf("gray fault is a no-op (zero delay, jitter and drop)")
+		}
+		evs := []Event{{At: start, Kind: KindGray, Proc: -1, Chans: chans, Fault: f}}
+		if windowed {
+			evs = append(evs, Event{At: end, Kind: KindGrayClear, Proc: -1, Chans: chans})
+		}
+		return evs, nil
+	case "skew":
+		parts := splitArgs(args, 2)
+		if parts == nil {
+			return nil, fmt.Errorf("want skew(P, offset)")
+		}
+		p, err := parseProc(parts[0], n)
+		if err != nil {
+			return nil, err
+		}
+		off, err := time.ParseDuration(parts[1])
+		if err != nil || off == 0 {
+			return nil, fmt.Errorf("bad skew offset %q", parts[1])
+		}
+		evs := []Event{{At: start, Kind: KindSkew, Proc: p, Skew: off}}
+		if windowed {
+			evs = append(evs, Event{At: end, Kind: KindSkew, Proc: p, Skew: 0})
+		}
+		return evs, nil
+	default:
+		return nil, fmt.Errorf("unknown event kind %q", kind)
+	}
+}
+
+// flapEvents divides the window into equal slots, one cycle per slot, and
+// places the down/up pair inside each slot at seeded offsets: down within
+// the first 30% of the slot, up 20-60% of a slot later. The final up always
+// lands inside the window, so a flapped link is left healthy.
+func flapEvents(chans []failure.Channel, cycles int, start, end time.Duration, rng *rand.Rand) []Event {
+	slot := (end - start) / time.Duration(cycles)
+	evs := make([]Event, 0, 2*cycles)
+	for i := 0; i < cycles; i++ {
+		base := start + time.Duration(i)*slot
+		down := base + time.Duration(0.3*rng.Float64()*float64(slot))
+		up := down + time.Duration((0.2+0.4*rng.Float64())*float64(slot))
+		evs = append(evs,
+			Event{At: down, Kind: KindLinkDown, Proc: -1, Chans: chans},
+			Event{At: up, Kind: KindLinkUp, Proc: -1, Chans: chans},
+		)
+	}
+	return evs
+}
+
+// parseWindow parses "s" or "s..e" where s and e are fractions of dur.
+func parseWindow(s string, dur time.Duration) (start, end time.Duration, windowed bool, err error) {
+	s = strings.TrimSpace(s)
+	var from, to string
+	if i := strings.Index(s, ".."); i >= 0 {
+		from, to, windowed = s[:i], s[i+2:], true
+	} else {
+		from = s
+	}
+	frac := func(raw string) (time.Duration, error) {
+		f, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil || f < 0 || f > 1 {
+			return 0, fmt.Errorf("time %q is not a fraction in [0, 1]", raw)
+		}
+		return time.Duration(f * float64(dur)), nil
+	}
+	if start, err = frac(from); err != nil {
+		return 0, 0, false, err
+	}
+	if !windowed {
+		return start, start, false, nil
+	}
+	if end, err = frac(to); err != nil {
+		return 0, 0, false, err
+	}
+	if end < start {
+		return 0, 0, false, fmt.Errorf("window end %q before start %q", to, from)
+	}
+	return start, end, true, nil
+}
+
+func parseProc(s string, n int) (failure.Proc, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || v < 0 || v >= n {
+		return 0, fmt.Errorf("process %q out of range [0, %d)", strings.TrimSpace(s), n)
+	}
+	return failure.Proc(v), nil
+}
+
+// parseLink parses "P-Q" (both directions) or "P>Q" (one direction).
+func parseLink(s string, n int) ([]failure.Channel, error) {
+	s = strings.TrimSpace(s)
+	both := true
+	i := strings.IndexByte(s, '-')
+	if i < 0 {
+		both = false
+		i = strings.IndexByte(s, '>')
+	}
+	if i < 0 {
+		return nil, fmt.Errorf("want P-Q or P>Q, got %q", s)
+	}
+	p, err := parseProc(s[:i], n)
+	if err != nil {
+		return nil, err
+	}
+	q, err := parseProc(s[i+1:], n)
+	if err != nil {
+		return nil, err
+	}
+	if p == q {
+		return nil, fmt.Errorf("link %q is a self-loop", s)
+	}
+	chans := []failure.Channel{{From: p, To: q}}
+	if both {
+		chans = append(chans, failure.Channel{From: q, To: p})
+	}
+	return chans, nil
+}
+
+// parsePartition parses "0 1|2 3": two disjoint process groups. Symmetric
+// partitions cut every channel between the groups in both directions;
+// asymmetric ones cut only A-to-B channels.
+func parsePartition(s string, n int, symmetric bool) ([]failure.Channel, error) {
+	halves := strings.Split(s, "|")
+	if len(halves) != 2 {
+		return nil, fmt.Errorf("want two groups separated by '|', got %q", s)
+	}
+	parse := func(raw string) ([]failure.Proc, error) {
+		var out []failure.Proc
+		for _, f := range strings.Fields(raw) {
+			p, err := parseProc(f, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("empty group in %q", s)
+		}
+		return out, nil
+	}
+	a, err := parse(halves[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := parse(halves[1])
+	if err != nil {
+		return nil, err
+	}
+	seen := map[failure.Proc]bool{}
+	for _, p := range a {
+		seen[p] = true
+	}
+	var chans []failure.Channel
+	for _, q := range b {
+		if seen[q] {
+			return nil, fmt.Errorf("process %d appears in both groups", q)
+		}
+		for _, p := range a {
+			chans = append(chans, failure.Channel{From: p, To: q})
+			if symmetric {
+				chans = append(chans, failure.Channel{From: q, To: p})
+			}
+		}
+	}
+	return chans, nil
+}
+
+// splitArgs splits a comma-separated argument list expecting exactly want
+// entries, returning nil on a count mismatch.
+func splitArgs(s string, want int) []string {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

@@ -1,0 +1,160 @@
+package nemesis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+const testN = 4
+
+func mustCompile(t *testing.T, spec string, seed int64, dur time.Duration) *Schedule {
+	t.Helper()
+	s, err := Compile(spec, seed, dur, testN)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", spec, err)
+	}
+	return s
+}
+
+func TestCompileTimelineIsDeterministic(t *testing.T) {
+	spec := "crash(1)@0.2..0.6; flap(0-2, 3)@0.1..0.9; gray(2>3, 2ms, 0.3)@0.3..0.7; apart(0 1|2 3)@0.4..0.5; skew(0, 50ms)@0.5"
+	a := mustCompile(t, spec, 42, 10*time.Second)
+	b := mustCompile(t, spec, 42, 10*time.Second)
+	if a.Timeline() != b.Timeline() {
+		t.Fatalf("same seed produced different timelines:\n%s\nvs\n%s", a.Timeline(), b.Timeline())
+	}
+	c := mustCompile(t, spec, 43, 10*time.Second)
+	if a.Timeline() == c.Timeline() {
+		t.Fatal("different seeds produced identical flap placement")
+	}
+	// Only flap placement is seeded; the non-flap events must agree.
+	filter := func(s *Schedule) (out []Event) {
+		for _, e := range s.Events {
+			if e.Kind != KindLinkDown && e.Kind != KindLinkUp {
+				out = append(out, e)
+			}
+		}
+		return
+	}
+	fa, fc := filter(a), filter(c)
+	if len(fa) != len(fc) {
+		t.Fatalf("non-flap event counts differ: %d vs %d", len(fa), len(fc))
+	}
+	for i := range fa {
+		if fa[i].String() != fc[i].String() {
+			t.Fatalf("non-flap event %d differs across seeds: %q vs %q", i, fa[i], fc[i])
+		}
+	}
+}
+
+func TestCompileEventsSortedAndWindowed(t *testing.T) {
+	s := mustCompile(t, "crash(1)@0.2..0.6; skew(3, -1s)@0.1..0.8", 1, 10*time.Second)
+	for i := 1; i < len(s.Events); i++ {
+		if s.Events[i].At < s.Events[i-1].At {
+			t.Fatalf("events out of order at %d:\n%s", i, s.Timeline())
+		}
+	}
+	want := map[string]time.Duration{
+		"skew+":    time.Second,
+		"crash":    2 * time.Second,
+		"restart":  6 * time.Second,
+		"skew-off": 8 * time.Second,
+	}
+	got := map[string]time.Duration{}
+	for _, e := range s.Events {
+		switch {
+		case e.Kind == KindCrash:
+			got["crash"] = e.At
+		case e.Kind == KindRestart:
+			got["restart"] = e.At
+		case e.Kind == KindSkew && e.Skew != 0:
+			got["skew+"] = e.At
+		case e.Kind == KindSkew && e.Skew == 0:
+			got["skew-off"] = e.At
+		}
+	}
+	for k, at := range want {
+		if got[k] != at {
+			t.Errorf("%s at %v, want %v", k, got[k], at)
+		}
+	}
+}
+
+func TestCompilePartitionChannels(t *testing.T) {
+	sym := mustCompile(t, "part(0 1|2 3)@0", 1, time.Second)
+	if n := len(sym.Events[0].Chans); n != 8 {
+		t.Fatalf("symmetric 2x2 partition cut %d channels, want 8", n)
+	}
+	asym := mustCompile(t, "apart(0 1|2 3)@0", 1, time.Second)
+	if n := len(asym.Events[0].Chans); n != 4 {
+		t.Fatalf("asymmetric 2x2 partition cut %d channels, want 4", n)
+	}
+	for _, c := range asym.Events[0].Chans {
+		if c.From != 0 && c.From != 1 {
+			t.Fatalf("asymmetric cut has reverse channel %s", c)
+		}
+	}
+}
+
+func TestCompileFlapEndsUp(t *testing.T) {
+	s := mustCompile(t, "flap(1-3, 5)@0.1..0.9", 7, 10*time.Second)
+	downs, ups := 0, 0
+	var last Event
+	for _, e := range s.Events {
+		switch e.Kind {
+		case KindLinkDown:
+			downs++
+			last = e
+		case KindLinkUp:
+			ups++
+			last = e
+		}
+	}
+	if downs != 5 || ups != 5 {
+		t.Fatalf("flap(,5) expanded to %d downs / %d ups, want 5/5", downs, ups)
+	}
+	if last.Kind != KindLinkUp {
+		t.Fatal("flap left the link down at window end")
+	}
+	if last.At > 9*time.Second {
+		t.Fatalf("final up at %v escapes the window", last.At)
+	}
+}
+
+func TestCompileRejectsBadSpecs(t *testing.T) {
+	cases := []struct{ spec, wantErr string }{
+		{"", "no events"},
+		{"crash(9)@0.1", "out of range"},
+		{"crash(1)", "missing @time"},
+		{"crash(1)@1.5", "fraction"},
+		{"crash(1)@0.5..0.2", "before start"},
+		{"flap(0-1, 3)@0.5", "window"},
+		{"flap(0-1, 0)@0.1..0.9", "positive cycle count"},
+		{"gray(0-1, 5ms, 1.5)@0.1", "drop probability"},
+		{"gray(0-0, 5ms, 0.5)@0.1", "self-loop"},
+		{"part(0 1|1 2)@0.1", "both groups"},
+		{"part(0 1)@0.1", "two groups"},
+		{"skew(1, 0s)@0.1", "skew offset"},
+		{"warp(1)@0.1", "unknown event kind"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.spec, 1, time.Second, testN)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Compile(%q) error = %v, want substring %q", tc.spec, err, tc.wantErr)
+		}
+	}
+}
+
+func TestEventTargetRendering(t *testing.T) {
+	e := Event{Kind: KindCrash, Proc: 2}
+	if e.Target() != "p2" {
+		t.Fatalf("proc target = %q", e.Target())
+	}
+	e = Event{Kind: KindLinkDown, Proc: -1, Chans: []failure.Channel{{From: 0, To: 1}, {From: 1, To: 0}}}
+	if e.Target() != "0>1,1>0" {
+		t.Fatalf("chan target = %q", e.Target())
+	}
+}

@@ -49,6 +49,7 @@ type MemNetwork struct {
 	handlers []Handler
 	crashed  []bool
 	down     map[failure.Channel]bool
+	faults   map[failure.Channel]LinkFault
 	residual *graph.Graph // current surviving channels (route mode)
 	seen     []map[uint64]bool
 	queue    eventQueue
@@ -99,6 +100,7 @@ func NewMem(n int, opts ...MemOption) *MemNetwork {
 		handlers: make([]Handler, n),
 		crashed:  make([]bool, n),
 		down:     make(map[failure.Channel]bool),
+		faults:   make(map[failure.Channel]LinkFault),
 		residual: graph.Complete(n),
 		seen:     make([]map[uint64]bool, n),
 		wake:     make(chan struct{}, 1),
@@ -225,35 +227,45 @@ func (m *MemNetwork) SendAll(from failure.Proc, payload []byte) {
 
 // routeTo schedules a single delivery event if `to` is reachable from `from`
 // in the residual graph (ModeRoute) or over the direct channel (ModeDirect).
-// The delay is the sum of per-hop delays along a shortest path, preserving
-// the timing semantics of hop-by-hop forwarding. Caller holds m.mu.
+// The delay is the sum of per-hop delays along a shortest path — plus any
+// gray-failure overlay on each traversed link — preserving the timing
+// semantics of hop-by-hop forwarding. A lossy overlay on any traversed link
+// may drop the message. Caller holds m.mu.
 func (m *MemNetwork) routeTo(from, to failure.Proc, e *envelope) {
-	hops := 0
+	var path []failure.Proc
 	switch m.mode {
 	case ModeDirect:
 		if m.crashed[to] || m.down[failure.Channel{From: from, To: to}] {
 			atomic.AddInt64(&m.stats.Dropped, 1)
 			return
 		}
-		hops = 1
+		path = []failure.Proc{to}
 	default: // ModeRoute
 		if m.crashed[to] {
 			atomic.AddInt64(&m.stats.Dropped, 1)
 			return
 		}
-		hops = m.hopDistanceLocked(from, to)
-		if hops < 0 {
+		path = m.pathLocked(from, to)
+		if path == nil {
 			atomic.AddInt64(&m.stats.Dropped, 1)
 			return
 		}
-		if hops > 1 {
-			atomic.AddInt64(&m.stats.Forwarded, int64(hops-1))
+		if len(path) > 1 {
+			atomic.AddInt64(&m.stats.Forwarded, int64(len(path)-1))
 		}
 	}
 	elapsed := time.Since(m.start)
 	var d time.Duration
-	for h := 0; h < hops; h++ {
+	prev := from
+	for _, hop := range path {
 		d += m.delay.Delay(m.rng, elapsed)
+		extra, dropped := m.linkFaultLocked(failure.Channel{From: prev, To: hop})
+		if dropped {
+			atomic.AddInt64(&m.stats.Dropped, 1)
+			return
+		}
+		d += extra
+		prev = hop
 	}
 	m.nextSeq++
 	heap.Push(&m.queue, &envelope{
@@ -263,38 +275,60 @@ func (m *MemNetwork) routeTo(from, to failure.Proc, e *envelope) {
 	})
 }
 
-// hopDistanceLocked returns the BFS hop count from u to v over surviving
-// channels and processes, or -1 if unreachable.
-func (m *MemNetwork) hopDistanceLocked(u, v failure.Proc) int {
+// pathLocked returns the successive hops of a BFS shortest path from u to v
+// over surviving channels and processes (excluding u itself, ending in v),
+// or nil if v is unreachable. For u == v it returns an empty path.
+func (m *MemNetwork) pathLocked(u, v failure.Proc) []failure.Proc {
 	if u == v {
-		return 0
+		return []failure.Proc{}
 	}
-	dist := make([]int, m.n)
-	for i := range dist {
-		dist[i] = -1
+	parent := make([]int, m.n)
+	for i := range parent {
+		parent[i] = -1
 	}
-	dist[u] = 0
+	parent[u] = int(u)
 	queue := []int{int(u)}
-	for len(queue) > 0 {
+	for len(queue) > 0 && parent[v] == -1 {
 		x := queue[0]
 		queue = queue[1:]
-		var found bool
 		m.residual.Successors(x).ForEach(func(y int) {
-			if found || dist[y] != -1 || m.crashed[y] {
+			if parent[y] != -1 || m.crashed[y] {
 				return
 			}
-			dist[y] = dist[x] + 1
-			if y == int(v) {
-				found = true
-				return
-			}
+			parent[y] = x
 			queue = append(queue, y)
 		})
-		if found || dist[v] != -1 {
-			return dist[v]
-		}
 	}
-	return -1
+	if parent[v] == -1 {
+		return nil
+	}
+	var rev []failure.Proc
+	for x := int(v); x != int(u); x = parent[x] {
+		rev = append(rev, failure.Proc(x))
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// linkFaultLocked samples the gray-failure overlay for channel c: the extra
+// delay to add to this traversal, and whether the copy is lost. Overlay
+// randomness draws from the network RNG, so a seeded network replays the
+// same drop/jitter sequence. Caller holds m.mu.
+func (m *MemNetwork) linkFaultLocked(c failure.Channel) (extra time.Duration, dropped bool) {
+	f, ok := m.faults[c]
+	if !ok {
+		return 0, false
+	}
+	if f.Drop > 0 && m.rng.Float64() < f.Drop {
+		return 0, true
+	}
+	extra = f.Delay
+	if f.Jitter > 0 {
+		extra += time.Duration(m.rng.Int63n(int64(f.Jitter) + 1))
+	}
+	return extra, false
 }
 
 // floodFrom fans an envelope out from hop sender p over all surviving
@@ -314,6 +348,12 @@ func (m *MemNetwork) floodFrom(p failure.Proc, e *envelope) {
 			continue // q already processed this message
 		}
 		d := m.delay.Delay(m.rng, elapsed)
+		extra, lost := m.linkFaultLocked(failure.Channel{From: p, To: qp})
+		if lost {
+			atomic.AddInt64(&m.stats.Dropped, 1)
+			continue
+		}
+		d += extra
 		m.nextSeq++
 		heap.Push(&m.queue, &envelope{
 			id: e.id, origin: e.origin, dest: e.dest, all: e.all,
@@ -448,6 +488,58 @@ func (m *MemNetwork) ApplyPattern(f failure.Pattern) {
 		m.down[c] = true
 		m.residual.RemoveEdge(int(c.From), int(c.To))
 	}
+}
+
+// Restart clears a previous Crash of p: the process resumes receiving and
+// sending with its in-memory state intact (stall-and-resume semantics, like
+// a paused VM — not a reboot from empty state; the handler registered for p
+// stays in place). Messages dropped while p was crashed stay dropped. Like
+// Reconnect, this steps outside the paper's static failure model to let the
+// nemesis engine exercise recovery transitions.
+func (m *MemNetwork) Restart(p failure.Proc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(p) >= 0 && int(p) < m.n {
+		m.crashed[p] = false
+	}
+}
+
+// SetLink sets the directional channel c up or down: one call site for the
+// nemesis engine's flapping and asymmetric-partition events. down=false is
+// Disconnect, down=true heals like Reconnect.
+func (m *MemNetwork) SetLink(c failure.Channel, up bool) {
+	if up {
+		m.Reconnect(c)
+	} else {
+		m.Disconnect(c)
+	}
+}
+
+// LinkFault is a gray-failure overlay for one directional channel: the link
+// stays up (it keeps its place in the residual graph and in routing) but
+// every traversal pays Delay plus a uniform [0, Jitter] extra, and is lost
+// with probability Drop. The zero value means "healthy".
+type LinkFault struct {
+	Delay  time.Duration // fixed extra delay per traversal
+	Jitter time.Duration // additional uniform random delay in [0, Jitter]
+	Drop   float64       // per-traversal loss probability in [0, 1]
+}
+
+// IsZero reports whether the fault is the healthy zero value.
+func (f LinkFault) IsZero() bool { return f.Delay == 0 && f.Jitter == 0 && f.Drop == 0 }
+
+// SetLinkFault installs (or, with the zero LinkFault, removes) a
+// gray-failure overlay on channel c. In route mode the overlay applies on
+// every shortest-path traversal of c, including when c is an intermediate
+// hop of a forwarded message; in flood and direct modes it applies per hop.
+func (m *MemNetwork) SetLinkFault(c failure.Channel, f LinkFault) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f.IsZero() {
+		delete(m.faults, c)
+		return
+	}
+	m.faults[c] = f
 }
 
 // Reconnect restores a previously disconnected channel. The paper's failure

@@ -8,7 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/failure"
+	"repro/internal/nemesis"
 	"repro/internal/quorum"
 	"repro/internal/transport"
 )
@@ -87,6 +89,20 @@ type Config struct {
 	// Otherwise clients on non-U_f nodes keep issuing and their post-fault
 	// operations time out into the error counts (the latency cliff).
 	RestrictToUf bool
+	// Nemesis compiles this chaos scenario spec (internal/nemesis grammar:
+	// crash, part, apart, flap, gray, skew clauses) and drives the event
+	// timeline against shard 0 during the measured window. Requires the kv
+	// protocol and the mem network; mutually exclusive with Pattern.
+	// Dedicated probe clients issue routed linearizable operations on
+	// shard-0 keys; the run is closed by lincheck.CheckKVHistory over their
+	// history and nemesis.CheckDegradation over per-second availability
+	// buckets (see Report.Nemesis).
+	Nemesis string
+	// NemesisSeed seeds scenario compilation (flap-cycle placement): the
+	// event timeline is a pure function of (Nemesis, NemesisSeed,
+	// Duration), so any run replays from its report alone. Zero accepts
+	// Seed.
+	NemesisSeed int64
 	// Shards partitions the kv keyspace across this many independent
 	// quorum-system groups behind a consistent-hash ring (internal/shard):
 	// each shard is a full deployment with its own transport, propagators and
@@ -155,6 +171,10 @@ type Config struct {
 	// Delay overrides the uniform MinDelay/MaxDelay model entirely when
 	// non-nil (mem only) — e.g. transport.PartialSync.
 	Delay transport.DelayModel
+
+	// nemesisClocks is installed by newKVTarget on nemesis runs: the chaos
+	// shard's per-process lease clocks, stepped by skew events.
+	nemesisClocks func(failure.Proc) clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +220,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Nemesis != "" && c.NemesisSeed == 0 {
+		c.NemesisSeed = c.Seed
 	}
 	switch {
 	case c.FaultFrac == 0 && c.Pattern > 0:
@@ -301,6 +324,20 @@ func (c Config) validate() error {
 		}
 	} else if c.RestrictToUf {
 		return fmt.Errorf("restricting to U_f requires a pattern")
+	}
+	if c.Nemesis != "" {
+		if c.Protocol != ProtocolKV {
+			return fmt.Errorf("nemesis scenarios require the kv protocol, got %q", c.Protocol)
+		}
+		if c.Net != NetMem {
+			return fmt.Errorf("nemesis scenarios need the mem network (TCP has no fault surface)")
+		}
+		if c.Pattern > 0 {
+			return fmt.Errorf("nemesis scenarios and pattern injection are mutually exclusive")
+		}
+		if _, err := nemesis.Compile(c.Nemesis, c.NemesisSeed, c.Duration, c.Nodes); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -426,6 +463,46 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		wg    sync.WaitGroup
 		opsWG sync.WaitGroup // in-flight async completions
 	)
+
+	// Nemesis scenario: the engine fires the compiled timeline against the
+	// chaos shard's transport starting at the measurement boundary, while
+	// dedicated probe clients record the linearizable history and
+	// availability buckets that close the run (nemesisRun.finish).
+	var nem *nemesisRun
+	var nemDone chan struct{}
+	if cfg.Nemesis != "" {
+		sched, cerr := nemesis.Compile(cfg.Nemesis, cfg.NemesisSeed, cfg.Duration, cfg.Nodes)
+		if cerr != nil {
+			return nil, cerr // unreachable: compiled once in validate
+		}
+		kt, _ := tgt.(*kvTarget)
+		ctl, ok := kt.st.Injector(0).(nemesis.Control)
+		if !ok {
+			return nil, fmt.Errorf("nemesis needs the mem transport's fault surface")
+		}
+		nem = newNemesisRun(sched, kt, ctl, seconds)
+		nemDone = make(chan struct{})
+		go func() {
+			defer close(nemDone)
+			if wait := time.Until(measureFrom); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-t.C:
+				case <-runCtx.Done():
+					t.Stop()
+					return
+				}
+			}
+			nem.applied = nemesis.Run(runCtx, clock.Real, nem.sched, nem.ctl, nem)
+		}()
+		for i := 0; i < nemesisProbes; i++ {
+			wg.Add(1)
+			go func(probe int) {
+				defer wg.Done()
+				nem.probeLoop(runCtx, probe, measureFrom, end, cfg)
+			}(i)
+		}
+	}
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(client int) {
@@ -500,6 +577,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	opsWG.Wait()
+	if nem != nil {
+		<-nemDone // the engine finishes once its last event is applied
+	}
 
 	// An interrupted run measured less than the configured window; report
 	// rates over the window that actually elapsed. Cancellation during
@@ -511,7 +591,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if measured <= 0 {
 		measured = time.Nanosecond
 	}
-	return buildReport(cfg, measured, qs, callers, reads, writes, series, faultAt, tgt), nil
+	if nem != nil {
+		nem.finish(qs, measured)
+	}
+	return buildReport(cfg, measured, qs, callers, reads, writes, series, faultAt, tgt, nem), nil
 }
 
 // callerNodes returns the quorum system in force and the nodes clients are

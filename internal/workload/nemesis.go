@@ -1,0 +1,285 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/lincheck"
+	"repro/internal/nemesis"
+	"repro/internal/quorum"
+)
+
+// nemesisProbes is the number of dedicated probe clients a nemesis run adds
+// alongside the regular load clients. Probes issue routed linearizable
+// operations against the chaos shard (shard 0) and record them in a
+// lincheck history, so the run is closed by a real consistency check
+// rather than throughput counters alone.
+const nemesisProbes = 2
+
+// probeKeyOps caps recorded operations per probe key. The Wing–Gong search
+// checker rejects per-key sub-histories above 63 operations, and unresolved
+// (timed-out) writes count too, so probes rotate to a fresh shard-0 key
+// well before the limit.
+const probeKeyOps = 48
+
+// nemesisSettle is the margin after each timeline event during which
+// buckets carry no steady-state availability obligation (the cluster is
+// legitimately re-routing, re-acquiring leases, catching up).
+const nemesisSettle = time.Second
+
+// probePace bounds the delay between consecutive operations of one probe
+// client (a uniform jitter on top keeps probes from phase-locking).
+const probePace = 20 * time.Millisecond
+
+// nemesisRun owns the chaos side of one workload run: the compiled
+// schedule, the engine's control surface, the probe clients' history and
+// per-second availability counters, and the verdicts of the closing
+// checks.
+type nemesisRun struct {
+	sched *nemesis.Schedule
+	kt    *kvTarget
+	ctl   nemesis.Control
+
+	hist  *lincheck.History
+	rotor keyRotor
+
+	ops   []atomic.Int64 // successful probe ops per measured second
+	reads []atomic.Int64 // successful probe reads among ops
+	errs  atomic.Uint64  // failed probe ops (timeouts included)
+
+	applied []nemesis.Applied
+
+	historyOps  int
+	lincheckErr error
+	violations  []string
+}
+
+func newNemesisRun(sched *nemesis.Schedule, kt *kvTarget, ctl nemesis.Control, seconds int) *nemesisRun {
+	n := &nemesisRun{
+		sched: sched,
+		kt:    kt,
+		ctl:   ctl,
+		hist:  lincheck.NewHistory(),
+		ops:   make([]atomic.Int64, seconds),
+		reads: make([]atomic.Int64, seconds),
+	}
+	// Enough shard-0 keys that rotation never wraps: at probePace each
+	// probe begins at most ~50 ops/sec, so 2 keys per second per probe
+	// clears the probeKeyOps budget with slack.
+	n.rotor.keys = kt.probeKeys(2*nemesisProbes*seconds + 8)
+	return n
+}
+
+// SetSkew implements nemesis.SkewInjector by stepping the target process's
+// lease clock (a clock.Skewed installed by newKVTarget on shard 0).
+func (n *nemesisRun) SetSkew(p failure.Proc, off time.Duration) {
+	if int(p) < len(n.kt.skews) && n.kt.skews[p] != nil {
+		n.kt.skews[p].SetOffset(off)
+	}
+}
+
+// keyRotor hands probe clients their current shard-0 key, advancing to a
+// fresh key before any key's recorded-operation budget is exhausted. When
+// every key is spent (sized not to happen) it keeps serving the last key
+// with recording disabled, so probes still feed the availability buckets.
+type keyRotor struct {
+	mu   sync.Mutex
+	keys []string
+	idx  int
+	used int
+}
+
+// next returns the key for one probe operation and whether the operation
+// may be recorded in the lincheck history.
+func (r *keyRotor) next() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.used >= probeKeyOps {
+		r.idx++
+		r.used = 0
+	}
+	if r.idx >= len(r.keys) {
+		return r.keys[len(r.keys)-1], false
+	}
+	r.used++
+	return r.keys[r.idx], true
+}
+
+// probeLoop is one probe client: alternating routed linearizable reads
+// (SyncGet — leased fast path, shared-barrier fallback, failover and
+// jittered retry) and routed writes against the chaos shard, every
+// completion recorded in the lincheck history. Writes that time out are
+// recorded unresolved — their proposal may still commit — reads that fail
+// are discarded (no effect to account for).
+func (n *nemesisRun) probeLoop(ctx context.Context, probe int, measureFrom, end time.Time, cfg Config) {
+	rng := rand.New(rand.NewSource(cfg.NemesisSeed + int64(probe)*6421))
+	sc := n.kt.kv.Shard(0)
+	// Sit out the warmup: history and buckets cover the measured window.
+	if wait := time.Until(measureFrom); wait > 0 {
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return
+		}
+	}
+	for seq := 0; ; seq++ {
+		if ctx.Err() != nil {
+			return
+		}
+		t0 := time.Now()
+		if !t0.Before(end) {
+			return
+		}
+		key, record := n.rotor.next()
+		opCtx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
+		if seq%2 == 0 {
+			var id int
+			if record {
+				id = n.hist.BeginKV(probe, lincheck.KindRead, key, "")
+			}
+			v, ok, err := sc.SyncGet(opCtx, key)
+			switch {
+			case err != nil:
+				if record {
+					n.hist.Discard(id)
+				}
+				n.noteErr()
+			default:
+				if !ok {
+					v = "" // absent key reads as the register initial value
+				}
+				if record {
+					n.hist.End(id, v, 0, 0)
+				}
+				n.bump(true, t0, measureFrom)
+			}
+		} else {
+			val := probeValue(probe, seq)
+			var id int
+			if record {
+				id = n.hist.BeginKV(probe, lincheck.KindWrite, key, val)
+			}
+			if _, err := sc.Set(opCtx, key, val); err != nil {
+				if record {
+					n.hist.EndUnresolved(id)
+				}
+				n.noteErr()
+			} else {
+				if record {
+					n.hist.End(id, "", 0, 0)
+				}
+				n.bump(false, t0, measureFrom)
+			}
+		}
+		cancel()
+		pause := probePace + time.Duration(rng.Int63n(int64(probePace/2)+1))
+		t := time.NewTimer(pause)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
+// probeValue renders a write value unique across probes and sequence
+// numbers, so lincheck never conflates two writes.
+func probeValue(probe, seq int) string {
+	return fmt.Sprintf("n%d-%d", probe, seq)
+}
+
+func (n *nemesisRun) bump(isRead bool, t0, measureFrom time.Time) {
+	idx := int(t0.Sub(measureFrom) / time.Second)
+	if idx < 0 || idx >= len(n.ops) {
+		return
+	}
+	n.ops[idx].Add(1)
+	if isRead {
+		n.reads[idx].Add(1)
+	}
+}
+
+func (n *nemesisRun) noteErr() { n.errs.Add(1) }
+
+// finish runs the closing checks once all clients and the engine have
+// stopped: the Wing–Gong per-key linearizability check over the probe
+// history, and the graceful-degradation obligations over the per-second
+// availability buckets.
+func (n *nemesisRun) finish(qs quorum.System, measured time.Duration) {
+	ops := n.hist.Ops()
+	n.historyOps = len(ops)
+	n.lincheckErr = lincheck.CheckKVHistory(ops)
+	holder := failure.Proc(-1)
+	if n.kt.lease {
+		holder = 0 // core's default lease holder on the chaos shard
+	}
+	n.violations = nemesis.CheckDegradation(qs, n.sched, n.buckets(measured), nemesisSettle, holder)
+}
+
+// buckets converts the per-second probe counters into the checker's bucket
+// series. Only whole seconds are asserted on — a trailing partial bucket
+// has too few probe slots to carry an availability obligation.
+func (n *nemesisRun) buckets(measured time.Duration) []nemesis.Bucket {
+	nb := int(measured / time.Second)
+	if nb > len(n.ops) {
+		nb = len(n.ops)
+	}
+	out := make([]nemesis.Bucket, 0, nb)
+	for i := 0; i < nb; i++ {
+		out = append(out, nemesis.Bucket{
+			Start: time.Duration(i) * time.Second,
+			End:   time.Duration(i+1) * time.Second,
+			Ops:   n.ops[i].Load(),
+			Reads: n.reads[i].Load(),
+		})
+	}
+	return out
+}
+
+// report assembles the run's nemesis section: the actually-injected event
+// timeline plus the verdicts, everything needed to replay and diagnose the
+// run from the JSON artifact alone.
+func (n *nemesisRun) report() *NemesisReport {
+	rep := &NemesisReport{
+		Spec:                  n.sched.Spec,
+		Seed:                  n.sched.Seed,
+		HistoryOps:            n.historyOps,
+		Linearizable:          n.lincheckErr == nil,
+		DegradationViolations: n.violations,
+		ProbeErrors:           n.errs.Load(),
+	}
+	if n.lincheckErr != nil {
+		rep.LincheckError = n.lincheckErr.Error()
+	}
+	for i := range n.ops {
+		o, rd := n.ops[i].Load(), n.reads[i].Load()
+		rep.ProbeOps += o
+		rep.ProbeReads += rd
+		rep.ProbeOpsPerSec = append(rep.ProbeOpsPerSec, o)
+		rep.ProbeReadsPerSec = append(rep.ProbeReadsPerSec, rd)
+	}
+	for _, a := range n.applied {
+		ev := NemesisEvent{
+			AtMs:        msf(a.At),
+			AppliedAtMs: msf(a.AppliedAt),
+			Kind:        string(a.Kind),
+			Target:      a.Target(),
+		}
+		switch a.Kind {
+		case nemesis.KindGray:
+			ev.Detail = fmt.Sprintf("delay=%s jitter=%s drop=%g", a.Fault.Delay, a.Fault.Jitter, a.Fault.Drop)
+		case nemesis.KindSkew:
+			ev.Detail = fmt.Sprintf("off=%s", a.Skew)
+		}
+		rep.Events = append(rep.Events, ev)
+	}
+	return rep
+}

@@ -92,6 +92,59 @@ type Report struct {
 	MsgsSent      int64 `json:"msgs_sent,omitempty"`
 	MsgsDelivered int64 `json:"msgs_delivered,omitempty"`
 	MsgsDropped   int64 `json:"msgs_dropped,omitempty"`
+
+	// Nemesis is the chaos section of a scenario run (Config.Nemesis): the
+	// actually-injected event timeline and the closing-check verdicts.
+	Nemesis *NemesisReport `json:"nemesis,omitempty"`
+}
+
+// NemesisEvent is one fault event the scenario engine actually injected,
+// with both its scheduled and its measured offset from the start of the
+// measurement window.
+type NemesisEvent struct {
+	AtMs        float64 `json:"at_ms"`
+	AppliedAtMs float64 `json:"applied_at_ms"`
+	Kind        string  `json:"kind"`
+	Target      string  `json:"target"`
+	Detail      string  `json:"detail,omitempty"` // gray fault / skew parameters
+}
+
+// NemesisReport closes a chaos run: everything needed to replay it (spec
+// and seed reproduce the timeline bit for bit) plus the verdicts of the
+// linearizability and graceful-degradation checks over the probe clients'
+// operations.
+type NemesisReport struct {
+	Spec   string         `json:"spec"`
+	Seed   int64          `json:"seed"`
+	Events []NemesisEvent `json:"events"`
+
+	// ProbeOps / ProbeReads / ProbeErrors count the dedicated probe
+	// clients' operations against the chaos shard during the measured
+	// window (reads are the linearizable SyncGet successes among ops).
+	ProbeOps    int64  `json:"probe_ops"`
+	ProbeReads  int64  `json:"probe_reads"`
+	ProbeErrors uint64 `json:"probe_errors"`
+	// ProbeOpsPerSec / ProbeReadsPerSec are the per-second availability
+	// buckets the degradation check consumed — the chaos shard's pulse.
+	ProbeOpsPerSec   []int64 `json:"probe_ops_per_sec"`
+	ProbeReadsPerSec []int64 `json:"probe_reads_per_sec"`
+
+	// HistoryOps is the size of the recorded lincheck history;
+	// Linearizable is lincheck.CheckKVHistory's verdict over it, with the
+	// offending per-key sub-history in LincheckError on failure.
+	HistoryOps    int    `json:"history_ops"`
+	Linearizable  bool   `json:"linearizable"`
+	LincheckError string `json:"lincheck_error,omitempty"`
+
+	// DegradationViolations are nemesis.CheckDegradation's findings: empty
+	// iff availability held in every steady quorate bucket and leased
+	// reads fell back after a holder kill.
+	DegradationViolations []string `json:"degradation_violations,omitempty"`
+}
+
+// Passed reports whether every closing check of the chaos run held.
+func (n *NemesisReport) Passed() bool {
+	return n.Linearizable && len(n.DegradationViolations) == 0
 }
 
 // ShardReport is one shard group's section of a sharded run.
@@ -108,7 +161,7 @@ type ShardReport struct {
 // buildReport assembles the report from the run's per-shard accumulators
 // (one element for unsharded runs). Global digests are exact bucket-level
 // merges of the shard histograms.
-func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers []int, reads, writes []*opMetrics, series []atomic.Uint64, faultAt time.Duration, tgt target) *Report {
+func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers []int, reads, writes []*opMetrics, series []atomic.Uint64, faultAt time.Duration, tgt target, nem *nemesisRun) *Report {
 	allReads, allWrites := NewHistogram(), NewHistogram()
 	var readErrs, writeErrs uint64
 	for i := range reads {
@@ -188,6 +241,9 @@ func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers [
 	if st, ok := tgt.stats(); ok {
 		r.MsgsSent, r.MsgsDelivered, r.MsgsDropped = st.Sent, st.Delivered, st.Dropped
 	}
+	if nem != nil {
+		r.Nemesis = nem.report()
+	}
 	return r
 }
 
@@ -212,6 +268,27 @@ func (r *Report) Text(w io.Writer) {
 			fmt.Fprintf(w, "fault: pattern %s injected into shard 0 at t=%.1fs (callers %v)\n", r.Pattern, r.FaultAtSec, r.Callers)
 		} else {
 			fmt.Fprintf(w, "fault: pattern %s injected at t=%.1fs (callers %v)\n", r.Pattern, r.FaultAtSec, r.Callers)
+		}
+	}
+	if nm := r.Nemesis; nm != nil {
+		verdict := "linearizable"
+		if !nm.Linearizable {
+			verdict = "NOT LINEARIZABLE"
+		}
+		fmt.Fprintf(w, "nemesis: %q seed=%d — %d events, %d probe ops (%d reads, %d errors), history of %d ops %s\n",
+			nm.Spec, nm.Seed, len(nm.Events), nm.ProbeOps, nm.ProbeReads, nm.ProbeErrors, nm.HistoryOps, verdict)
+		for _, e := range nm.Events {
+			fmt.Fprintf(w, "  +%.2fs %s %s", e.AppliedAtMs/1000, e.Kind, e.Target)
+			if e.Detail != "" {
+				fmt.Fprintf(w, " %s", e.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+		for _, v := range nm.DegradationViolations {
+			fmt.Fprintf(w, "  degradation violation: %s\n", v)
+		}
+		if nm.LincheckError != "" {
+			fmt.Fprintf(w, "  lincheck: %s\n", nm.LincheckError)
 		}
 	}
 	fmt.Fprintf(w, "ops: %d in %.1fs = %.1f ops/sec (errors: read %d, write %d)\n",

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/lattice"
@@ -97,6 +99,18 @@ func clusterOptions(cfg Config, qs quorum.System, shard int) ([]core.Option, err
 		// default holder): with clients spread round robin across nodes, 1/n
 		// of reads land at a holder and go local.
 		opts = append(opts, core.WithLease(cfg.Lease))
+	}
+	if cfg.Nemesis != "" && shard == 0 {
+		// The chaos shard: probe clients route through this group while the
+		// scenario engine crashes nodes and degrades links, so failover-safe
+		// operations get extra jittered retry passes (each pass re-consults
+		// the routing policy, picking up heals), and the group's lease
+		// managers run on per-process skewable clocks so skew(P, D) events
+		// have something to step.
+		opts = append(opts, core.WithRetry(2, 5*time.Millisecond))
+		if cfg.Lease > 0 && cfg.nemesisClocks != nil {
+			opts = append(opts, core.WithLeaseClocks(cfg.nemesisClocks))
+		}
 	}
 	switch cfg.Net {
 	case NetMem:
@@ -217,6 +231,19 @@ func newKVTarget(cfg Config) (target, error) {
 	if cfg.Slots < 1 {
 		cfg.Slots = 1
 	}
+	// Nemesis runs step process clocks: every node of the chaos shard gets
+	// a skewable wrapper over the real clock, installed as that group's
+	// lease clocks so skew events probe the lease Skew budget for real.
+	var skews []*clock.Skewed
+	if cfg.Nemesis != "" {
+		skews = make([]*clock.Skewed, cfg.Nodes)
+		for i := range skews {
+			skews[i] = clock.NewSkewed(clock.Real)
+		}
+		cfg.nemesisClocks = func(p failure.Proc) clock.Clock {
+			return skews[int(p)%len(skews)]
+		}
+	}
 	// Pre-flight the transport choice once; the per-shard closure below
 	// cannot surface errors.
 	if _, err := clusterOptions(cfg, qs, 0); err != nil {
@@ -237,7 +264,7 @@ func newKVTarget(cfg Config) (target, error) {
 		st.Close()
 		return nil, err
 	}
-	t := &kvTarget{st: st, kv: kv, syncReads: cfg.SyncReads, lease: cfg.Lease > 0}
+	t := &kvTarget{st: st, kv: kv, syncReads: cfg.SyncReads, lease: cfg.Lease > 0, skews: skews}
 	t.keys = make([]string, cfg.Keys)
 	t.keyShard = make([]int, cfg.Keys)
 	for k := range t.keys {
@@ -332,6 +359,23 @@ type kvTarget struct {
 	keyShard  []int    // precomputed ring lookups
 	syncReads bool
 	lease     bool
+	// skews are the chaos shard's per-process lease clocks (nemesis runs
+	// only; nil otherwise). The scenario engine steps them on skew events.
+	skews []*clock.Skewed
+}
+
+// probeKeys returns up to max distinct keys that the ring places on shard 0
+// (the chaos shard), disjoint from the workload's key%d namespace so probe
+// histories never interleave with unrecorded load operations.
+func (t *kvTarget) probeKeys(max int) []string {
+	out := make([]string, 0, max)
+	for i := 0; len(out) < max && i < max*8*t.st.Shards(); i++ {
+		k := fmt.Sprintf("nem%d", i)
+		if t.kv.KeyShard(k) == 0 {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // injector returns shard 0's fault injector: a mid-run pattern degrades one
