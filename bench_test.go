@@ -244,6 +244,18 @@ func BenchmarkE21_NemesisScenarios(b *testing.B) {
 	}
 }
 
+// BenchmarkE22_CompactionSoak — the compaction soak and crash-rejoin
+// scenarios: sustained writes past the slot budget with zero ErrLogFull,
+// and a dark replica healed by snapshot-install (multi-second workload runs
+// per iteration).
+func BenchmarkE22_CompactionSoak(b *testing.B) {
+	skipHeavyBenchShort(b)
+	for i := 0; i < b.N; i++ {
+		t, err := harness.E22CompactionSoak(context.Background(), benchConfig())
+		requireTable(b, t, err)
+	}
+}
+
 // skipHeavyBenchShort keeps the CI bench-smoke step (-benchtime 1x -short)
 // from starving on multi-second workload benchmarks; the bench-trend job
 // runs the ms-delay targets without -short and pins -benchtime instead.
@@ -333,7 +345,7 @@ func BenchmarkWorkloadRegisterUnderF1(b *testing.B) {
 // configs in lockstep with those baselines: changing a knob here without
 // re-measuring the baseline makes the trend check meaningless.
 
-func benchKVWrite1ms(b *testing.B, batch int) {
+func benchKVWrite1ms(b *testing.B, batch int, compact bool) {
 	skipHeavyBenchShort(b)
 	cfg := workload.Config{
 		Protocol:     workload.ProtocolKV,
@@ -353,6 +365,13 @@ func benchKVWrite1ms(b *testing.B, batch int) {
 		cfg.BatchWindow = time.Millisecond
 		cfg.Pipeline = 4
 	}
+	if compact {
+		// A smaller window (checkpoint every 128 slots) so the measured run
+		// actually checkpoints and truncates throughout — the cost under
+		// measurement — instead of idling inside a 4096-slot budget.
+		cfg.Compact = true
+		cfg.Slots = 512
+	}
 	for i := 0; i < b.N; i++ {
 		r, err := workload.Run(context.Background(), cfg)
 		if err != nil {
@@ -364,6 +383,9 @@ func benchKVWrite1ms(b *testing.B, batch int) {
 		if errs := r.Errors["read"] + r.Errors["write"]; errs > 0 {
 			b.Fatalf("%d operation errors", errs)
 		}
+		if compact && (r.Compaction == nil || r.Compaction.Truncations == 0) {
+			b.Fatal("compaction idle: the measured run never truncated, so the trend point is meaningless")
+		}
 		b.ReportMetric(r.OpsPerSec, "ops/sec")
 		b.ReportMetric(r.Writes.P99Ms, "p99-ms")
 	}
@@ -371,11 +393,17 @@ func benchKVWrite1ms(b *testing.B, batch int) {
 
 // BenchmarkKVWrite1msUnbatched — the RTT-bound baseline: one consensus
 // round per Set.
-func BenchmarkKVWrite1msUnbatched(b *testing.B) { benchKVWrite1ms(b, 1) }
+func BenchmarkKVWrite1msUnbatched(b *testing.B) { benchKVWrite1ms(b, 1, false) }
 
 // BenchmarkKVWrite1msBatched64 — group commit at batch 64, window 1ms,
 // pipeline 4: one round carries up to 64 Sets.
-func BenchmarkKVWrite1msBatched64(b *testing.B) { benchKVWrite1ms(b, 64) }
+func BenchmarkKVWrite1msBatched64(b *testing.B) { benchKVWrite1ms(b, 64, false) }
+
+// BenchmarkKVWrite1msCompact — the batched hot path with checkpointed
+// compaction running underneath (checkpoint every 128 slots, truncation
+// live throughout): its ops/sec against the Batched64 floor is the
+// steady-state cost of compaction. Baseline in BENCH_compaction.json.
+func BenchmarkKVWrite1msCompact(b *testing.B) { benchKVWrite1ms(b, 64, true) }
 
 // --- ms-delay KV read-path trend benchmarks (CI bench-trend job) ---
 //

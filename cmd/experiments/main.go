@@ -1,5 +1,5 @@
 // Command experiments regenerates every experiment table of the
-// reproduction (E01-E20; each table's header names the figure, example or
+// reproduction (E01-E22; each table's header names the figure, example or
 // theorem of the paper it maps to — see README.md for the overview).
 //
 // Usage:

@@ -110,6 +110,8 @@ func TestRunFlagCombinationValidation(t *testing.T) {
 		{"batch-window without batch", []string{"-protocol", "kv", "-batch-window", "2ms", "-duration", "10ms"}},
 		{"lease with register", []string{"-protocol", "register", "-lease", "1s", "-duration", "10ms"}},
 		{"negative lease", []string{"-protocol", "kv", "-lease", "-1s", "-duration", "10ms"}},
+		{"compact with register", []string{"-protocol", "register", "-compact", "-duration", "10ms"}},
+		{"compact with lattice", []string{"-protocol", "lattice", "-compact", "-duration", "10ms"}},
 		{"nemesis with register", []string{"-protocol", "register", "-nemesis", "crash(1)@0.5", "-duration", "10ms"}},
 		{"nemesis with tcp", []string{"-protocol", "kv", "-net", "tcp", "-nemesis", "crash(1)@0.5", "-duration", "10ms"}},
 		{"nemesis with pattern", []string{"-protocol", "kv", "-pattern", "1", "-nemesis", "crash(1)@0.5", "-duration", "10ms"}},
@@ -243,6 +245,58 @@ func TestRunBatchedJSON(t *testing.T) {
 	}
 	if report.Batch != 8 || report.Pipeline != 4 {
 		t.Errorf("report missing batch configuration: %s", out.String())
+	}
+}
+
+// TestRunCompactJSON drives a sustained-write kv run whose write count
+// exceeds the slot budget several times over and checks the report carries
+// the compaction section: compaction kept recycling slots (zero write
+// errors past the budget) and bounded the live window.
+func TestRunCompactJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compacting kv run skipped in -short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-protocol", "kv", "-clients", "4", "-readfrac", "0",
+		"-batch", "8", "-batch-window", "1ms", "-pipeline", "4",
+		"-compact", "-slots", "64",
+		"-duration", "1s", "-keys", "16",
+		"-seed", "3", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		TotalOps   uint64            `json:"total_ops"`
+		Errors     map[string]uint64 `json:"errors"`
+		Compaction *struct {
+			Interval      int64  `json:"interval"`
+			SlotBudget    int    `json:"slot_budget"`
+			Checkpoints   uint64 `json:"checkpoints"`
+			Truncations   uint64 `json:"truncations"`
+			SlotsFreed    uint64 `json:"slots_freed"`
+			PeakOccupancy int64  `json:"peak_occupancy"`
+		} `json:"compaction"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	c := report.Compaction
+	if c == nil {
+		t.Fatalf("report missing compaction section: %s", out.String())
+	}
+	if report.Errors["write"] != 0 {
+		t.Errorf("compacting run hit %d write errors: %s", report.Errors["write"], out.String())
+	}
+	if report.TotalOps <= uint64(c.SlotBudget) {
+		t.Errorf("run too small to exercise compaction: %d ops within budget %d", report.TotalOps, c.SlotBudget)
+	}
+	if c.Checkpoints == 0 || c.Truncations == 0 || c.SlotsFreed == 0 {
+		t.Errorf("compaction idle under sustained writes: %+v", c)
+	}
+	if c.PeakOccupancy > int64(c.SlotBudget) {
+		t.Errorf("peak occupancy %d exceeds the window budget %d", c.PeakOccupancy, c.SlotBudget)
 	}
 }
 

@@ -153,6 +153,15 @@ type (
 	// a replicated log (ReplicatedLogOptions.Batch, or WithBatch/WithPipeline
 	// on a cluster).
 	BatchOptions = smr.BatchOptions
+	// CompactionOptions configures checkpointed log compaction on a
+	// replicated log (ReplicatedLogOptions.Compaction, or WithCompaction /
+	// WithShardCompaction on a cluster/store): the applied state folds into
+	// periodic checkpoints, the acknowledged decided prefix is truncated and
+	// its slots recycled, and laggards heal by snapshot-install.
+	CompactionOptions = smr.CompactionOptions
+	// CompactionMetrics is a snapshot of a log's compaction counters
+	// (checkpoints, truncations, freed slots, installs, peak occupancy).
+	CompactionMetrics = smr.CompactionMetrics
 	// AppendResult is the completion of a ReplicatedLog.AppendAsync: slot,
 	// index within the slot's batch, error.
 	AppendResult = smr.AppendResult
@@ -224,6 +233,11 @@ var (
 	// flight across consecutive slots.
 	WithBatch    = core.WithBatch
 	WithPipeline = core.WithPipeline
+	// WithCompaction enables checkpointed log compaction on provisioned
+	// logs/KV stores: sustained workloads recycle slots instead of hitting
+	// ErrLogFull, and replicas that fall below the live window heal by
+	// snapshot-install in O(state).
+	WithCompaction = core.WithCompaction
 	// WithLease enables leased local reads on provisioned KV stores: the
 	// holder process (WithLeaseHolder, default 0) serves SyncGet from its
 	// applied state with no consensus round while its committed,
@@ -282,6 +296,9 @@ var (
 	// independent lease, so a fault in one shard lapses only that shard's
 	// fast read path.
 	WithShardLease = shard.WithLease
+	// WithShardCompaction enables checkpointed log compaction on every
+	// shard's group; each shard truncates and heals independently.
+	WithShardCompaction = shard.WithCompaction
 )
 
 // Workload engine: sustained load generation with tail-latency metrics over

@@ -532,6 +532,13 @@ func (c *Consensus) Propose(ctx context.Context, x string) (string, error) {
 	registered := false
 	err := c.n.CallCtx(ctx, func() {
 		if c.stopped {
+			// A compacting log stops decided instances when it truncates
+			// them; the decision is immutable, so a Propose that loses the
+			// race with truncation still learns it instead of ErrStopped.
+			if c.decided {
+				registered = true
+				ch <- c.decVal
+			}
 			return
 		}
 		registered = true
@@ -606,8 +613,12 @@ func (c *Consensus) View() int64 {
 	return v
 }
 
-// Stop terminates the synchronizer (if private) and releases pending
-// Propose calls.
+// Stop terminates the synchronizer (if private), releases pending Propose
+// calls, and unregisters the instance's wire topics — a compacting
+// replicated log truncates thousands of decided slots over its lifetime,
+// and each must release its registry entries or the node's handler table
+// grows without bound. Stray messages for a stopped instance are dropped
+// by the node.
 func (c *Consensus) Stop() {
 	if c.sync != nil {
 		c.sync.Stop()
@@ -618,6 +629,10 @@ func (c *Consensus) Stop() {
 			close(w)
 		}
 		c.waiters = nil
+		c.n.Unhandle(c.topic1B)
+		c.n.Unhandle(c.topic2A)
+		c.n.Unhandle(c.topic2B)
+		c.n.Unhandle(c.topicDec)
 	})
 }
 

@@ -653,3 +653,24 @@ func (kc *KVClient) SyncGetMany(ctx context.Context, keys []string) (map[string]
 func (kc *KVClient) At(p failure.Proc) *smr.KV {
 	return kc.eps[kc.at(p, len(kc.eps))]
 }
+
+// CompactionMetrics aggregates the compaction counters across every process
+// endpoint: event counters sum (each process checkpoints and truncates
+// independently), peak slot occupancy takes the cluster-wide maximum (the
+// bound the window argument must hold at every process). All zeros when the
+// cluster was opened without WithCompaction.
+func (kc *KVClient) CompactionMetrics() smr.CompactionMetrics {
+	var m smr.CompactionMetrics
+	for _, ep := range kc.eps {
+		em := ep.CompactionMetrics()
+		m.Checkpoints += em.Checkpoints
+		m.Truncations += em.Truncations
+		m.SlotsFreed += em.SlotsFreed
+		m.InstallsSent += em.InstallsSent
+		m.InstallsReceived += em.InstallsReceived
+		if em.PeakOccupancy > m.PeakOccupancy {
+			m.PeakOccupancy = em.PeakOccupancy
+		}
+	}
+	return m
+}

@@ -60,6 +60,7 @@ type config struct {
 	viewC         time.Duration
 	slots         int
 	batch         smr.BatchOptions
+	compaction    smr.CompactionOptions
 	lease         time.Duration
 	leaseHolder   failure.Proc
 	leaseClock    func(failure.Proc) clock.Clock
@@ -134,6 +135,18 @@ func WithBatch(window time.Duration, maxOps int) Option {
 			c.batch.MaxOps = smr.DefaultBatchMaxOps
 		}
 	}
+}
+
+// WithCompaction enables checkpointed log compaction on the replicated logs
+// (and KV stores) provisioned by this cluster: every o.Interval decided
+// slots each process folds its applied state into a checkpoint, the decided
+// prefix below the cluster-wide acknowledged frontier is truncated (freed
+// slots are recycled, so sustained workloads never hit ErrLogFull), and
+// replicas that fall below the live window are healed by a snapshot-install
+// in O(state) instead of an O(history) replay. Non-announcing peers stop
+// blocking truncation after o.AckTimeout. See smr.CompactionOptions.
+func WithCompaction(o smr.CompactionOptions) Option {
+	return func(c *config) { c.compaction = o }
 }
 
 // WithPipeline sets how many append batches a provisioned log keeps in
@@ -230,6 +243,7 @@ type Cluster struct {
 	viewC        time.Duration
 	slots        int
 	batch        smr.BatchOptions
+	compaction   smr.CompactionOptions
 	lease        time.Duration
 	leaseHolder  failure.Proc
 	leaseClock   func(failure.Proc) clock.Clock
@@ -286,6 +300,7 @@ func Open(failProne failure.System, opts ...Option) (*Cluster, error) {
 		viewC:        cfg.viewC,
 		slots:        cfg.slots,
 		batch:        cfg.batch,
+		compaction:   cfg.compaction,
 		lease:        cfg.lease,
 		leaseHolder:  cfg.leaseHolder,
 		leaseClock:   cfg.leaseClock,
@@ -647,7 +662,7 @@ func (c *Cluster) Log(name string) (*LogClient, error) {
 			eps = append(eps, smr.New(nd, smr.Options{
 				Name: "log/" + name, Slots: c.slots,
 				Reads: c.QS.Reads, Writes: c.QS.Writes, ViewC: c.viewC,
-				Batch: c.batch,
+				Batch: c.batch, Compaction: c.compaction,
 			}))
 		}
 		lc := &LogClient{eps: eps}
@@ -676,7 +691,7 @@ func (c *Cluster) KV(name string) (*KVClient, error) {
 			eps = append(eps, smr.NewKV(nd, smr.Options{
 				Name: "kv/" + name, Slots: c.slots,
 				Reads: c.QS.Reads, Writes: c.QS.Writes, ViewC: c.viewC,
-				Batch: c.batch,
+				Batch: c.batch, Compaction: c.compaction,
 			}))
 		}
 		kc := &KVClient{eps: eps, holder: int(c.leaseHolder)}

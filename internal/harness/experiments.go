@@ -555,6 +555,7 @@ func runAll(ctx context.Context, w io.Writer, cfg Config, render func(*Table, io
 		{"E19", func() (*Table, error) { return E19BatchingSweep(ctx, cfg) }},
 		{"E20", func() (*Table, error) { return E20ReadPathSweep(ctx, cfg) }},
 		{"E21", func() (*Table, error) { return E21NemesisScenarios(ctx, cfg) }},
+		{"E22", func() (*Table, error) { return E22CompactionSoak(ctx, cfg) }},
 	}
 	for _, e := range exps {
 		tbl, err := e.run()

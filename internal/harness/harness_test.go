@@ -135,6 +135,7 @@ func TestHeavyClusterExperiments(t *testing.T) {
 		{"E19", func() (*Table, error) { return E19BatchingSweep(context.Background(), cfg) }},
 		{"E20", func() (*Table, error) { return E20ReadPathSweep(context.Background(), cfg) }},
 		{"E21", func() (*Table, error) { return E21NemesisScenarios(context.Background(), cfg) }},
+		{"E22", func() (*Table, error) { return E22CompactionSoak(context.Background(), cfg) }},
 	} {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {

@@ -92,6 +92,16 @@ func (n *Node) Handle(topic string, h Handler) {
 	n.exact.Store(topic, h)
 }
 
+// Unhandle removes the exact handler for a topic. Like Handle it may be
+// called at any time, including from the event loop, and costs O(1) —
+// endpoints that truncate thousands of protocol instances (a compacting
+// replicated log's freed slots) release their registry entries without
+// stalls. Messages for the topic fall back to prefix handlers, or are
+// dropped.
+func (n *Node) Unhandle(topic string) {
+	n.exact.Delete(topic)
+}
+
 type prefixHandler struct {
 	prefix string
 	h      Handler

@@ -67,6 +67,20 @@ func WithLease(d time.Duration) Option {
 	}
 }
 
+// WithCompaction enables checkpointed log compaction on every shard's
+// group: each shard checkpoints, truncates and heals laggards independently
+// over its own log (the truncation frontier is a per-group agreement, so
+// shards never wait on each other's acks). Shorthand for
+// WithGroupOptions(core.WithCompaction(o)).
+func WithCompaction(o smr.CompactionOptions) Option {
+	return func(c *config) {
+		prev := c.group
+		c.group = func(shard int) []core.Option {
+			return append(prev(shard), core.WithCompaction(o))
+		}
+	}
+}
+
 // WithGroupOptionsFunc appends per-shard cluster options (e.g. a distinct
 // simulator seed per group).
 func WithGroupOptionsFunc(f func(shard int) []core.Option) Option {
@@ -422,6 +436,26 @@ func (kv *KV) Metrics() core.ClientMetrics {
 	}
 	if total.Successes > 0 {
 		total.MeanLatency = time.Duration(latNano / int64(total.Successes))
+	}
+	return total
+}
+
+// CompactionMetrics aggregates the compaction counters across shards the
+// same way core.KVClient.CompactionMetrics does across processes: event
+// counters sum, peak slot occupancy takes the maximum over every shard's
+// processes (the per-window bound each shard must hold independently).
+func (kv *KV) CompactionMetrics() smr.CompactionMetrics {
+	var total smr.CompactionMetrics
+	for _, c := range kv.shards {
+		m := c.CompactionMetrics()
+		total.Checkpoints += m.Checkpoints
+		total.Truncations += m.Truncations
+		total.SlotsFreed += m.SlotsFreed
+		total.InstallsSent += m.InstallsSent
+		total.InstallsReceived += m.InstallsReceived
+		if m.PeakOccupancy > total.PeakOccupancy {
+			total.PeakOccupancy = m.PeakOccupancy
+		}
 	}
 	return total
 }

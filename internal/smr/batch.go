@@ -2,6 +2,7 @@ package smr
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -312,16 +313,29 @@ func (b *batcher) propose(batch []pendingOp) {
 			}
 			slot = l.claimNext
 			l.claimNext++
+			l.noteOccupancy()
 		})
 		if stopped {
 			fail(ErrStopped)
 			return
 		}
-		if slot >= int64(len(l.slots)) {
-			fail(ErrLogFull)
+		// Resolve the claimed slot's instance. Without compaction a claim
+		// beyond capacity is ErrLogFull; with it, the claim waits out the
+		// next window extension (checkpoints extend the window ahead of the
+		// decided prefix, so in-flight pipelined rounds below the window end
+		// keep deciding and unblock the wait).
+		inst, err := l.resolveSlot(b.ctx, slot)
+		if errors.Is(err, ErrCompacted) {
+			// The claim lost a race with truncation: competing batches
+			// decided the slot and a checkpoint folded it before this value
+			// was ever proposed there, so retrying cannot double-commit.
+			continue
+		}
+		if err != nil {
+			fail(err)
 			return
 		}
-		v, err := l.slots[slot].Propose(b.ctx, val)
+		v, err := inst.Propose(b.ctx, val)
 		if err != nil {
 			fail(err)
 			return

@@ -1,0 +1,231 @@
+package smr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/node"
+	"repro/internal/quorum"
+	"repro/internal/transport"
+)
+
+// newCompactCluster builds a 4-process KV cluster with compaction enabled
+// (8-slot window, checkpoint every 4 slots, short ack-timeout so laggard
+// fallback paths run inside test budgets); mutate adjusts the shared
+// options per test.
+func newCompactCluster(t *testing.T, mutate func(*Options)) *smrCluster {
+	t.Helper()
+	qs := quorum.Figure1()
+	c := &smrCluster{net: transport.NewMem(4,
+		transport.WithDelay(transport.UniformDelay{Min: 10 * time.Microsecond, Max: 300 * time.Microsecond}),
+		transport.WithSeed(17))}
+	for i := 0; i < 4; i++ {
+		nd := node.New(failure.Proc(i), c.net)
+		c.nodes = append(c.nodes, nd)
+		opts := Options{
+			Slots: 8, Reads: qs.Reads, Writes: qs.Writes, ViewC: 15 * time.Millisecond,
+			Compaction: CompactionOptions{Interval: 4, AckTimeout: 400 * time.Millisecond},
+		}
+		if mutate != nil {
+			mutate(&opts)
+		}
+		c.kvs = append(c.kvs, NewKV(nd, opts))
+	}
+	return c
+}
+
+// TestCompactionSustainedWritesOutliveSlotBudget drives 5x the slot budget
+// through an 8-slot window: without compaction the 9th write would be
+// ErrLogFull; with it, checkpoints must keep truncating so every write
+// lands and the window's high-water mark stays bounded.
+func TestCompactionSustainedWritesOutliveSlotBudget(t *testing.T) {
+	c := newCompactCluster(t, nil)
+	defer c.stop()
+	ctx := ctxSec(t, 120)
+
+	const writes = 40
+	for i := 0; i < writes; i++ {
+		if _, err := c.kvs[0].Set(ctx, fmt.Sprintf("k%d", i%4), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	v, ok, err := c.kvs[0].Get(ctx, fmt.Sprintf("k%d", (writes-1)%4))
+	if err != nil || !ok || v != fmt.Sprintf("v%d", writes-1) {
+		t.Fatalf("read-back = %q/%v/%v", v, ok, err)
+	}
+	m := c.kvs[0].CompactionMetrics()
+	if m.Checkpoints == 0 || m.Truncations == 0 || m.SlotsFreed == 0 {
+		t.Fatalf("no compaction under sustained writes: %+v", m)
+	}
+	// The window plus the truncation lag of a healthy cluster (peers ack
+	// within a round trip) must bound occupancy well below the write total.
+	if m.PeakOccupancy > 3*8 {
+		t.Fatalf("peak occupancy %d not bounded by the window (wrote %d slots)", m.PeakOccupancy, writes)
+	}
+}
+
+// TestCompactionWithPipelinedBatches keeps several group commits in flight
+// while checkpoints truncate the decided prefix underneath them: an
+// in-flight pipelined batch whose claimed slot crosses the truncation
+// frontier must either commit normally or wait out a window extension —
+// never fail or corrupt the fold.
+func TestCompactionWithPipelinedBatches(t *testing.T) {
+	c := newCompactCluster(t, func(o *Options) {
+		o.Batch = BatchOptions{MaxOps: 4, Window: time.Millisecond, Pipeline: 4}
+	})
+	defer c.stop()
+	ctx := ctxSec(t, 120)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := c.kvs[w%2].Set(ctx, fmt.Sprintf("w%d", w), fmt.Sprintf("v%d", i)); err != nil {
+					errs <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := c.kvs[1].Sync(ctx); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	for w := 0; w < 4; w++ {
+		v, ok, err := c.kvs[1].Get(ctx, fmt.Sprintf("w%d", w))
+		if err != nil || !ok || v != "v29" {
+			t.Fatalf("writer %d final read = %q/%v/%v", w, v, ok, err)
+		}
+	}
+	if m := c.kvs[0].CompactionMetrics(); m.Truncations == 0 {
+		t.Fatalf("no truncation with batches in flight: %+v", m)
+	}
+}
+
+// TestCompactionAckTimeoutInstallsLaggard crashes a replica so it stops
+// announcing checkpoints: truncation must proceed via the ack-timeout
+// instead of blocking on the dead peer, and the healed replica — still
+// running slots below the live base — must be caught up by a
+// snapshot-install, not a decs replay.
+func TestCompactionAckTimeoutInstallsLaggard(t *testing.T) {
+	c := newCompactCluster(t, nil)
+	defer c.stop()
+	ctx := ctxSec(t, 120)
+
+	c.net.Crash(3)
+	const writes = 40
+	for i := 0; i < writes; i++ {
+		if _, err := c.kvs[0].Set(ctx, "key", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("write %d with p3 down: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for c.kvs[0].CompactionMetrics().SlotsFreed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ack-timeout never truncated with a dead replica")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.net.Restart(3)
+	for c.kvs[3].CompactionMetrics().InstallsReceived == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("healed replica never received a snapshot-install")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := c.kvs[3].Sync(ctx); err != nil {
+		t.Fatalf("sync at healed replica: %v", err)
+	}
+	v, ok, err := c.kvs[3].Get(ctx, "key")
+	if err != nil || !ok || v != fmt.Sprintf("v%d", writes-1) {
+		t.Fatalf("healed read = %q/%v/%v, want v%d", v, ok, err, writes-1)
+	}
+}
+
+// TestSnapshotInstallRacesConcurrentAppends heals a crashed replica while
+// writers keep pipelined batches in flight: the install (which jumps the
+// healed replica's prefix and truncates its stale window) must commute with
+// concurrent appends on both sides, and the healed replica must converge on
+// the writers' latest values.
+func TestSnapshotInstallRacesConcurrentAppends(t *testing.T) {
+	c := newCompactCluster(t, func(o *Options) {
+		o.Batch = BatchOptions{MaxOps: 4, Window: time.Millisecond, Pipeline: 2}
+	})
+	defer c.stop()
+	ctx := ctxSec(t, 120)
+
+	c.net.Crash(3)
+	for i := 0; i < 20; i++ {
+		if _, err := c.kvs[0].Set(ctx, "warm", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("warm-up write %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for c.kvs[0].CompactionMetrics().SlotsFreed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ack-timeout never truncated with a dead replica")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Heal p3 with appends still streaming from two live processes.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.kvs[w].Set(ctx, fmt.Sprintf("live%d", w), fmt.Sprintf("v%d", i)); err != nil {
+					errs <- fmt.Errorf("live writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	c.net.Restart(3)
+	for c.kvs[3].CompactionMetrics().InstallsReceived == 0 {
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatal("healed replica never received a snapshot-install under load")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The healed replica serves the writers' final values after a barrier.
+	if err := c.kvs[3].Sync(ctx); err != nil {
+		t.Fatalf("sync at healed replica: %v", err)
+	}
+	for w := 0; w < 2; w++ {
+		want, ok, err := c.kvs[0].Get(ctx, fmt.Sprintf("live%d", w))
+		if err != nil || !ok {
+			t.Fatalf("reference read live%d = %v/%v", w, ok, err)
+		}
+		got, ok, err := c.kvs[3].Get(ctx, fmt.Sprintf("live%d", w))
+		if err != nil || !ok || got != want {
+			t.Fatalf("healed live%d = %q/%v/%v, want %q", w, got, ok, err, want)
+		}
+	}
+}

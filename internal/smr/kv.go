@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/node"
+	"repro/internal/wire"
 )
 
 // kvCommand is the log entry format of the replicated KV store.
@@ -40,16 +41,20 @@ type KV struct {
 	// in as the decided prefix advances (Log.OnCommit), so a read is one
 	// map lookup instead of an O(history) prefix replay with a JSON decode
 	// per entry. cursor is the apply cursor — the next slot to fold — and
-	// always equals the log's first locally undecided slot.
-	applied map[string]string
-	cursor  int64
-	corrupt error
-	onMeta  func(slot int64, meta string)
+	// always equals the log's first locally undecided slot. metaSlot/meta
+	// remember the newest Meta entry applied, so a checkpoint can carry it
+	// (see Snapshot).
+	applied  map[string]string
+	cursor   int64
+	corrupt  error
+	onMeta   func(slot int64, meta string)
+	metaSlot int64
+	meta     string
 }
 
 // NewKV installs a replicated KV endpoint on the node. All processes of one
-// store must use the same options. Options.OnCommit is owned by the KV's
-// apply loop and must be left unset.
+// store must use the same options. Options.OnCommit and Options.Snapshotter
+// are owned by the KV's apply loop and must be left unset.
 func NewKV(n *node.Node, opts Options) *KV {
 	if opts.Name == "" {
 		opts.Name = "kv"
@@ -59,6 +64,7 @@ func NewKV(n *node.Node, opts Options) *KV {
 		applied: make(map[string]string),
 	}
 	opts.OnCommit = kv.applySlot
+	opts.Snapshotter = kv
 	kv.log = New(n, opts)
 	return kv
 }
@@ -87,10 +93,59 @@ func (kv *KV) applySlot(slot int64, v string) {
 		if cmd.Key != "" {
 			kv.applied[cmd.Key] = cmd.Val
 		}
-		if cmd.Meta != "" && kv.onMeta != nil {
-			kv.onMeta(slot, cmd.Meta)
+		if cmd.Meta != "" {
+			kv.metaSlot, kv.meta = slot, cmd.Meta
+			if kv.onMeta != nil {
+				kv.onMeta(slot, cmd.Meta)
+			}
 		}
 	}
+}
+
+// Snapshot serializes the applied state for a checkpoint at frontier
+// (smr.Snapshotter). It runs on the node loop in the same step as the fold
+// that reached the frontier, so the map is exactly the decided prefix
+// [0, frontier) and the synchronous pooled encoder can read it in place.
+// The newest Meta entry rides along: a process restored from this
+// checkpoint replays it, so control state carried through the log's total
+// order — a lease grant gating writers — survives compaction (see Restore).
+func (kv *KV) Snapshot(frontier int64) (string, error) {
+	if kv.corrupt != nil {
+		return "", fmt.Errorf("refusing to checkpoint corrupt state: %w", kv.corrupt)
+	}
+	return wire.EncodeCheckpoint(wire.Checkpoint{
+		Frontier: frontier,
+		State:    kv.applied,
+		MetaSlot: kv.metaSlot,
+		Meta:     kv.meta,
+	})
+}
+
+// Restore replaces the applied state with an installed checkpoint
+// (smr.Snapshotter; runs on the node loop). The checkpoint's newest Meta
+// entry is replayed through the meta observer: the lease manager's grants
+// travel as Meta entries, and replaying the latest one re-establishes the
+// writer gate an installed process would otherwise miss — a replay at a
+// later apply time only lengthens the gate, which is the conservative
+// direction for the lease freshness argument.
+func (kv *KV) Restore(state string, frontier int64) error {
+	c, err := wire.DecodeCheckpoint(state)
+	if err != nil {
+		return fmt.Errorf("restore checkpoint: %w", err)
+	}
+	if c.Frontier != frontier {
+		return fmt.Errorf("restore checkpoint: frontier %d does not match install frontier %d", c.Frontier, frontier)
+	}
+	kv.applied = c.State
+	if kv.applied == nil {
+		kv.applied = make(map[string]string)
+	}
+	kv.cursor = frontier
+	kv.metaSlot, kv.meta = c.MetaSlot, c.Meta
+	if c.Meta != "" && kv.onMeta != nil {
+		kv.onMeta(c.MetaSlot, c.Meta)
+	}
+	return nil
 }
 
 func (kv *KV) nextID() string {

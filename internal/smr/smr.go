@@ -6,31 +6,38 @@
 // commands submitted at U_f members commit despite asymmetric channel
 // failures.
 //
-// Slot instances are created for the whole (bounded) log upfront, at every
-// process, when the log endpoint starts. This is not an implementation
-// convenience but a requirement of the paper's model: under a pattern like
-// Figure 1's f1, a read-quorum member (process c) may have NO incoming
-// connectivity at all, so it can never learn about lazily created protocol
-// instances — it can only participate in protocols it starts spontaneously.
-// The paper's algorithms assume every correct process runs the algorithm
-// from startup; the pre-created window realizes exactly that per slot. (An
-// unbounded log would need slot-generic 1B messages — a protocol extension
-// beyond the paper.)
+// Slot instances are created for the whole (bounded) slot window upfront,
+// at every process, when the log endpoint starts. This is not an
+// implementation convenience but a requirement of the paper's model: under
+// a pattern like Figure 1's f1, a read-quorum member (process c) may have
+// NO incoming connectivity at all, so it can never learn about lazily
+// created protocol instances — it can only participate in protocols it
+// starts spontaneously. The paper's algorithms assume every correct process
+// runs the algorithm from startup; the pre-created window realizes exactly
+// that per slot. (An unbounded log would need slot-generic 1B messages — a
+// protocol extension beyond the paper.)
 //
 // The hot path supports group commit: with Options.Batch enabled, commands
 // arriving within a short window coalesce into one ordered batch that a
 // single consensus instance decides as one opaque value, and up to a
 // configurable number of batches pipeline across consecutive slots (see
 // batch.go). Consensus value semantics are untouched — a batch is one value
-// — so the paper's safety argument carries over unchanged. There are still
-// no leader leases and no log compaction; the log exercises the consensus
-// substrate rather than competing with production SMR systems on features.
+// — so the paper's safety argument carries over unchanged. Leader leases
+// (internal/lease) serve leased local reads off the applied state, and
+// checkpointed compaction (Options.Compaction, compact.go) removes the
+// lifetime write budget: the KV periodically serializes its applied state
+// into a checkpoint, the slot window slides forward once every live peer
+// has announced a covering checkpoint (a lagging or dead peer is timed out
+// and later healed by a snapshot-install carrying checkpoint plus decided
+// suffix), and freed slots are recycled — ErrLogFull no longer applies to
+// sustained workloads.
 package smr
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,7 +53,13 @@ import (
 var ErrStopped = errors.New("replicated log stopped")
 
 // ErrLogFull is returned when every slot of the bounded log is decided.
+// With compaction enabled (Options.Compaction) it no longer occurs: the
+// slot window slides forward as checkpoints retire the decided prefix.
 var ErrLogFull = errors.New("replicated log full (all slots decided)")
+
+// ErrCompacted is returned for slots below the live window: their decisions
+// were folded into a checkpoint and truncated.
+var ErrCompacted = errors.New("slot compacted (folded into a checkpoint)")
 
 // DefaultSlots is the default log capacity. Sized for sustained workloads
 // (unbatched, the workload engine's kv driver appends one slot per Set;
@@ -81,8 +94,21 @@ type Options struct {
 	// over the log (the KV's applied map) fold slots in here instead of
 	// replaying the prefix per read. It fires before the slot's prefix
 	// waiters are released, so an append completion observes every
-	// OnCommit effect up to its slot.
+	// OnCommit effect up to its slot. With compaction, a snapshot-install
+	// replaces the skipped slots' OnCommit calls with one Snapshotter
+	// Restore.
 	OnCommit func(slot int64, v string)
+	// Compaction configures checkpointed log compaction: the slot window
+	// slides forward as checkpoints retire the decided prefix (see
+	// compact.go). The zero value disables compaction — the seed's fixed
+	// [0, Slots) log whose exhaustion is ErrLogFull. All processes of one
+	// log must agree on it.
+	Compaction CompactionOptions
+	// Snapshotter serializes and restores the derived state OnCommit folds,
+	// for checkpoints and snapshot-installs. Owned by the KV's apply loop
+	// under NewKV and must be left unset there; a plain compacting Log
+	// without one checkpoints frontiers only (installs carry no state).
+	Snapshotter Snapshotter
 }
 
 // smrIdle1B batches the default 1B messages of every idle slot at one
@@ -104,15 +130,51 @@ type smrDecEntry struct {
 
 // Log is one process's endpoint of the replicated command log.
 type Log struct {
-	n     *node.Node
+	n *node.Node
+	// slots holds the live window's consensus instances: slots[i] is
+	// logical slot base+i. Without compaction the window is fixed at
+	// [0, Slots); with it, extension appends and truncation drops from the
+	// front. Loop-confined after New (Stop reads it only after the loop has
+	// observed stopped).
 	slots []*consensus.Consensus
 	sync  *viewsync.Synchronizer
 
+	// Immutable after New: consensus parameters for window extension's
+	// instance creation, and the configured window size.
+	name   string
+	reads  []graph.BitSet
+	writes []graph.BitSet
+	viewC  time.Duration
+	window int64
+
 	topicIdle1B string
 	topicDecs   string
+	topicCkpt   string
+	topicSnap   string
 
 	// batch is the group-commit append buffer, nil when batching is off.
 	batch *batcher
+
+	// compact is Options.Compaction with defaults applied; compact.enabled()
+	// gates every compaction code path. snapshotter may be nil (see
+	// Options.Snapshotter).
+	compact     CompactionOptions
+	snapshotter Snapshotter
+
+	// windowCh gates proposal claims beyond the live window: extension
+	// closes and re-arms it (swapWindowGate), Stop closes it for good.
+	windowMu     sync.Mutex
+	windowCh     chan struct{}
+	windowClosed bool
+
+	// Compaction counters (CompactionMetrics); atomics, read from any
+	// goroutine.
+	ckptCount    atomic.Uint64
+	truncCount   atomic.Uint64
+	slotsFreed   atomic.Uint64
+	installsSent atomic.Uint64
+	installsRecv atomic.Uint64
+	peakOcc      atomic.Int64
 
 	// onCommit is Options.OnCommit (may be nil). Invoked on the node loop
 	// as the decided prefix advances.
@@ -150,7 +212,17 @@ type Log struct {
 	// peer); they are replayed on demand the moment a covered slot first
 	// activates (see onSlotActive).
 	idle1Bs map[failure.Proc]smrIdle1B
-	stopped bool
+	// Compaction state, loop-confined: base is the lowest live slot,
+	// lastCkpt/ckptState the frontier and serialized payload of this
+	// process's latest checkpoint, ackFrontier the highest checkpoint
+	// frontier each process (self included) has announced, and installView
+	// the last view a snapshot-install was sent to each peer (throttle).
+	base        int64
+	lastCkpt    int64
+	ckptState   string
+	ackFrontier map[failure.Proc]int64
+	installView map[failure.Proc]int64
+	stopped     bool
 }
 
 // New installs a replicated log endpoint on the node, starting one consensus
@@ -176,34 +248,39 @@ func New(n *node.Node, opts Options) *Log {
 	}
 	l := &Log{
 		n:             n,
+		name:          opts.Name,
+		reads:         opts.Reads,
+		writes:        opts.Writes,
+		viewC:         opts.ViewC,
+		window:        int64(opts.Slots),
 		onCommit:      opts.OnCommit,
+		compact:       opts.Compaction.withDefaults(),
+		snapshotter:   opts.Snapshotter,
+		windowCh:      make(chan struct{}),
 		decided:       make(map[int64]string),
 		waiters:       make(map[int64][]chan string),
 		prefixWaiters: make(map[int64][]chan struct{}),
 		frontier:      -1,
 		idle1Bs:       make(map[failure.Proc]smrIdle1B),
+		ackFrontier:   make(map[failure.Proc]int64),
+		installView:   make(map[failure.Proc]int64),
 		topicIdle1B:   opts.Name + "/idle1b",
 		topicDecs:     opts.Name + "/decs",
+		topicCkpt:     opts.Name + "/ckpt",
+		topicSnap:     opts.Name + "/snap",
 	}
 	if opts.Batch.enabled() {
 		l.batch = newBatcher(l, opts.Batch)
 	}
 	for s := 0; s < opts.Slots; s++ {
-		slot := int64(s)
-		l.slots = append(l.slots, consensus.New(n, consensus.Options{
-			Name:  fmt.Sprintf("%s/slot%d", opts.Name, slot),
-			Reads: opts.Reads, Writes: opts.Writes, C: opts.ViewC,
-			NoSync: true,
-			// Runs on the node loop as soon as this process learns the
-			// slot's decision.
-			OnDecide: func(v string) { l.recordDecision(slot, v) },
-			// Runs on the node loop the first time the slot leaves its
-			// virgin state, before the triggering event is processed.
-			OnActive: func() { l.onSlotActive(slot) },
-		}))
+		l.slots = append(l.slots, l.makeSlot(int64(s)))
 	}
 	n.Handle(l.topicIdle1B, l.onIdle1B)
 	n.Handle(l.topicDecs, l.onDecs)
+	if l.compact.enabled() {
+		n.Handle(l.topicCkpt, l.onCkpt)
+		n.Handle(l.topicSnap, l.onSnap)
+	}
 	l.sync = viewsync.New(opts.ViewC, func(v viewsync.View) {
 		// Hop onto the event loop; the synchronizer runs its own goroutine.
 		n.Do(func() { l.stepView(int64(v)) })
@@ -230,13 +307,13 @@ func (l *Log) stepView(v int64) {
 		}
 	}
 	scan := l.frontier // activation during the scan must not extend it
-	for s := int64(0); s <= scan; s++ {
-		if l.slots[s].StepView(v) {
+	for s := l.base; s <= scan; s++ {
+		if l.slotAt(s).StepView(v) {
 			addIdle(s, s+1)
 		}
 	}
-	if tail := scan + 1; tail < int64(len(l.slots)) {
-		addIdle(tail, int64(len(l.slots)))
+	if tail, end := scan+1, l.base+int64(len(l.slots)); tail < end {
+		addIdle(tail, end)
 	}
 	if len(ranges) == 0 {
 		return
@@ -280,10 +357,12 @@ func (l *Log) onIdle1B(from failure.Proc, m wire.Message) {
 		l.idle1Bs[from] = b
 	}
 	var decs []smrDecEntry
+	behind := false
 	for _, r := range incoming {
 		lo, hi := r[0], r[1]
-		if lo < 0 {
-			lo = 0
+		if lo < l.base {
+			behind = true // slots below the live base: truncated here
+			lo = l.base
 		}
 		if hi > l.frontier+1 {
 			hi = l.frontier + 1 // virgin tail: materialized on activation
@@ -291,10 +370,16 @@ func (l *Log) onIdle1B(from failure.Proc, m wire.Message) {
 		for s := lo; s < hi; s++ {
 			if v, ok := l.decided[s]; ok {
 				decs = append(decs, smrDecEntry{Slot: s, Val: v})
-			} else {
-				l.slots[s].Default1B(from, b.View)
+			} else if inst := l.slotAt(s); inst != nil {
+				inst.Default1B(from, b.View)
 			}
 		}
+	}
+	if behind && l.compact.enabled() {
+		// The peer is still running slots whose decided values were
+		// truncated here, so the O(history) decs catch-up below cannot
+		// cover them — heal it with a snapshot-install instead.
+		l.sendInstall(from, b.View)
 	}
 	if len(decs) > 0 {
 		l.n.Send(from, l.topicDecs, decs)
@@ -312,10 +397,13 @@ func (l *Log) onSlotActive(slot int64) {
 	if l.stopped {
 		return
 	}
+	inst := l.slotAt(slot)
+	if inst == nil {
+		return // truncated while the activation was in flight
+	}
 	if slot > l.frontier {
 		l.frontier = slot
 	}
-	inst := l.slots[slot]
 	if l.view > 0 {
 		// Fast-forward a virgin instance into the current view. Its default
 		// 1B for this view needs no fresh send: stepView's tail range
@@ -346,17 +434,31 @@ func (l *Log) onDecs(from failure.Proc, m wire.Message) {
 		return
 	}
 	for _, d := range decs {
-		if d.Slot >= 0 && d.Slot < int64(len(l.slots)) {
-			l.slots[d.Slot].Learn(d.Val)
+		if d.Slot < l.base {
+			continue // already folded into a checkpoint here
+		}
+		if l.compact.enabled() && d.Slot >= l.base+int64(len(l.slots)) {
+			// Evidence of decisions beyond our window: a peer extended on a
+			// checkpoint announcement we missed. Creating instances is
+			// always safe; extend to adopt the decision.
+			l.extendWindow(d.Slot + 1)
+		}
+		if inst := l.slotAt(d.Slot); inst != nil {
+			inst.Learn(d.Val)
 		}
 	}
 }
 
-// Capacity returns the number of slots.
-func (l *Log) Capacity() int { return len(l.slots) }
+// Capacity returns the configured slot-window size. Without compaction it
+// is the fixed log capacity; with it, the window of this size slides
+// forward as checkpoints retire the decided prefix.
+func (l *Log) Capacity() int { return int(l.window) }
 
 // recordDecision stores a decision and wakes waiters. Runs on the loop.
 func (l *Log) recordDecision(slot int64, v string) {
+	if slot < l.base {
+		return // below the live window: already covered by a checkpoint
+	}
 	if _, ok := l.decided[slot]; ok {
 		return
 	}
@@ -364,24 +466,32 @@ func (l *Log) recordDecision(slot int64, v string) {
 		l.frontier = slot
 	}
 	l.decided[slot] = v
+	l.foldPrefix()
+	for _, ch := range l.waiters[slot] {
+		ch <- v
+	}
+	delete(l.waiters, slot)
+	if l.compact.enabled() && l.next >= l.lastCkpt+l.compact.Interval {
+		l.checkpoint()
+	}
+	l.noteOccupancy()
+}
+
+// foldPrefix advances next over contiguous decided slots, folding each into
+// derived state, then releases the prefix waiters now covered. The fold
+// runs BEFORE the waiters are released: an append completion gated on the
+// prefix must observe every commit effect up to its slot. Runs on the loop.
+func (l *Log) foldPrefix() {
 	for {
 		v, ok := l.decided[l.next]
 		if !ok {
 			break
 		}
-		// Fold the slot into derived state BEFORE advancing next (and
-		// before the prefix waiters below are released): an append
-		// completion gated on the prefix must observe every commit effect
-		// up to its slot.
 		if l.onCommit != nil {
 			l.onCommit(l.next, v)
 		}
 		l.next++
 	}
-	for _, ch := range l.waiters[slot] {
-		ch <- v
-	}
-	delete(l.waiters, slot)
 	for k, ws := range l.prefixWaiters {
 		if k < l.next {
 			for _, ch := range ws {
@@ -523,10 +633,17 @@ func (l *Log) Append(ctx context.Context, cmd string) (int64, error) {
 		if stopped {
 			return 0, ErrStopped
 		}
-		if slot >= int64(len(l.slots)) {
-			return 0, ErrLogFull
+		inst, err := l.resolveSlot(ctx, slot)
+		if errors.Is(err, ErrCompacted) {
+			// The claim lost a race with truncation: competing appends
+			// decided the slot and a checkpoint folded it before cmd was
+			// ever proposed there, so retrying cannot double-commit.
+			continue
 		}
-		v, err := l.slots[slot].Propose(ctx, cmd)
+		if err != nil {
+			return 0, err
+		}
+		v, err := inst.Propose(ctx, cmd)
 		if err != nil {
 			return 0, fmt.Errorf("append at slot %d: %w", slot, err)
 		}
@@ -601,16 +718,25 @@ func (l *Log) AppendAsync(ctx context.Context, cmd string) <-chan AppendResult {
 // value carrying several commands; SlotCommands expands it (DecidedPrefix
 // already flattens the whole prefix back into the per-command sequence).
 func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
-	if slot < 0 || slot >= int64(len(l.slots)) {
-		return "", fmt.Errorf("slot %d out of range [0,%d)", slot, len(l.slots))
+	if slot < 0 {
+		return "", fmt.Errorf("slot %d out of range", slot)
 	}
 	ch := make(chan string, 1)
 	registered := false
+	var rangeErr error
 	if err := l.n.CallCtx(ctx, func() {
 		if l.stopped {
 			return
 		}
 		registered = true
+		switch end := l.base + int64(len(l.slots)); {
+		case slot < l.base:
+			rangeErr = fmt.Errorf("slot %d: %w", slot, ErrCompacted)
+			return
+		case slot >= end:
+			rangeErr = fmt.Errorf("slot %d out of range [%d,%d)", slot, l.base, end)
+			return
+		}
 		if v, ok := l.decided[slot]; ok {
 			ch <- v
 			return
@@ -624,9 +750,15 @@ func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
 	if !registered {
 		return "", ErrStopped
 	}
+	if rangeErr != nil {
+		return "", rangeErr
+	}
 	select {
 	case v, ok := <-ch:
 		if !ok {
+			// Stop released the waiter — or, with compaction, the slot was
+			// truncated out from under it (its value lives on only inside a
+			// checkpoint).
 			return "", ErrStopped
 		}
 		return v, nil
@@ -635,17 +767,20 @@ func (l *Log) Get(ctx context.Context, slot int64) (string, error) {
 	}
 }
 
-// DecidedPrefix returns the decided commands of slots [0, k) where k is the
-// first undecided slot at this process, flattening group-commit batches
-// back into their ordered per-command sequence (one decided slot may
-// contribute several commands). The context bounds the wait for the event
-// loop (a loaded loop services the request only after the work ahead of
-// it); it returns ErrStopped after the log's node has stopped.
+// DecidedPrefix returns the decided commands of slots [base, k) where k is
+// the first undecided slot at this process and base is the live window's
+// start (0 without compaction — the full decided prefix; under compaction
+// the truncated prefix below base lives on only inside checkpoints),
+// flattening group-commit batches back into their ordered per-command
+// sequence (one decided slot may contribute several commands). The context
+// bounds the wait for the event loop (a loaded loop services the request
+// only after the work ahead of it); it returns ErrStopped after the log's
+// node has stopped.
 func (l *Log) DecidedPrefix(ctx context.Context) ([]string, error) {
 	ch := make(chan []string, 1)
 	err := l.n.CallCtx(ctx, func() {
 		var out []string
-		for s := int64(0); s < int64(len(l.slots)); s++ {
+		for s := l.base; s < l.base+int64(len(l.slots)); s++ {
 			v, ok := l.decided[s]
 			if !ok {
 				break
@@ -707,6 +842,9 @@ func (l *Log) Stop() {
 			delete(l.prefixWaiters, slot)
 		}
 	})
+	// Release proposal claims parked on the window gate; they observe the
+	// stopped flag on re-check (resolveSlot).
+	l.closeWindowGate()
 	for _, c := range l.slots {
 		c.Stop()
 	}

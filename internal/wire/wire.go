@@ -133,6 +133,62 @@ func DecodeBatch(v string) ([]string, error) {
 	return cmds, nil
 }
 
+// checkpointMagic prefixes a serialized KV checkpoint travelling as one
+// opaque string (see smr's log compaction). Byte 0x02 cannot open a JSON
+// document, so a checkpoint is always distinguishable from the JSON-encoded
+// commands and batches the SMR layers store.
+const checkpointMagic = "\x02c1"
+
+// Checkpoint is the serialized applied state of a replicated KV at a log
+// frontier: every slot below Frontier is folded into State. MetaSlot/Meta
+// carry the latest meta entry at or below the frontier (lease grants travel
+// as meta entries; replaying the newest one on restore re-establishes the
+// writer gate an installed process would otherwise miss).
+type Checkpoint struct {
+	Frontier int64             `json:"f"`
+	State    map[string]string `json:"s,omitempty"`
+	MetaSlot int64             `json:"ms,omitempty"`
+	Meta     string            `json:"m,omitempty"`
+}
+
+// EncodeCheckpoint packs a checkpoint into one opaque string using the
+// pooled encoder. The encoding is checkpointMagic followed by the JSON
+// object.
+func EncodeCheckpoint(c Checkpoint) (string, error) {
+	if c.Frontier < 0 {
+		return "", fmt.Errorf("checkpoint frontier %d is negative", c.Frontier)
+	}
+	e := encPool.Get().(*encoder)
+	e.buf.Reset()
+	e.buf.WriteString(checkpointMagic)
+	if err := e.js.Encode(c); err != nil {
+		encPool.Put(e)
+		return "", fmt.Errorf("marshal checkpoint: %w", err)
+	}
+	e.buf.Truncate(e.buf.Len() - 1) // drop the Encoder's trailing newline
+	out := e.buf.String()           // String copies; the pooled buffer may be reused
+	encPool.Put(e)
+	return out, nil
+}
+
+// IsCheckpoint reports whether a value is a checkpoint produced by
+// EncodeCheckpoint.
+func IsCheckpoint(v string) bool {
+	return len(v) >= len(checkpointMagic) && v[:len(checkpointMagic)] == checkpointMagic
+}
+
+// DecodeCheckpoint unpacks a checkpoint value.
+func DecodeCheckpoint(v string) (Checkpoint, error) {
+	if !IsCheckpoint(v) {
+		return Checkpoint{}, fmt.Errorf("not a checkpoint value (missing marker)")
+	}
+	var c Checkpoint
+	if err := json.Unmarshal([]byte(v[len(checkpointMagic):]), &c); err != nil {
+		return Checkpoint{}, fmt.Errorf("unmarshal checkpoint: %w", err)
+	}
+	return c, nil
+}
+
 // Unmarshal decodes a payload into its envelope.
 func Unmarshal(payload []byte) (Message, error) {
 	var m Message

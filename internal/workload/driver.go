@@ -137,6 +137,16 @@ type Config struct {
 	// open or closed loop). Zero accepts the default 4 when Batch enables
 	// batching; 1 keeps clients synchronous.
 	Pipeline int
+	// Compact enables checkpointed log compaction on the kv protocol's SMR
+	// logs (core.WithCompaction): each shard group folds its applied state
+	// into periodic checkpoints, truncates the acknowledged decided prefix
+	// and recycles the freed slots, so a sustained-write run outlives any
+	// Slots budget instead of filling the log into ErrLogFull. The
+	// checkpoint interval is derived from the per-shard slot budget (a
+	// quarter of the window, at least 16 slots). Requires kv. The report
+	// gains a compaction section (checkpoints, truncations, freed slots,
+	// installs, peak slot occupancy).
+	Compact bool
 	// LatticePool is the number of pre-created single-shot lattice objects
 	// per run for the lattice protocol. Each object is a backing snapshot of
 	// Nodes segment registers at every node; with delta propagation idle
@@ -303,6 +313,9 @@ func (c Config) validate() error {
 	}
 	if c.Lease > 0 && c.Protocol != ProtocolKV {
 		return fmt.Errorf("read leases require the kv protocol, got %q", c.Protocol)
+	}
+	if c.Compact && c.Protocol != ProtocolKV {
+		return fmt.Errorf("log compaction requires the kv protocol, got %q", c.Protocol)
 	}
 	if c.BatchWindow > 0 && c.Batch <= 1 {
 		// The engine only enables group commit when Batch > 1; a bare window

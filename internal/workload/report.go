@@ -96,6 +96,27 @@ type Report struct {
 	// Nemesis is the chaos section of a scenario run (Config.Nemesis): the
 	// actually-injected event timeline and the closing-check verdicts.
 	Nemesis *NemesisReport `json:"nemesis,omitempty"`
+
+	// Compaction is the log-compaction section of a Config.Compact run:
+	// aggregated checkpoint/truncation counters and the peak slot occupancy
+	// against the slot budget the run was configured with.
+	Compaction *CompactionReport `json:"compaction,omitempty"`
+}
+
+// CompactionReport summarizes checkpointed log compaction over one run. The
+// event counters sum across every process of every shard; PeakOccupancy is
+// the worst live-window footprint any process reached — a sustained-write
+// run is healthy when TotalOps greatly exceeds SlotBudget while
+// PeakOccupancy stays a small multiple of the checkpoint interval.
+type CompactionReport struct {
+	Interval         int64  `json:"interval"`
+	SlotBudget       int    `json:"slot_budget"`
+	Checkpoints      uint64 `json:"checkpoints"`
+	Truncations      uint64 `json:"truncations"`
+	SlotsFreed       uint64 `json:"slots_freed"`
+	InstallsSent     uint64 `json:"installs_sent"`
+	InstallsReceived uint64 `json:"installs_received"`
+	PeakOccupancy    int64  `json:"peak_occupancy"`
 }
 
 // NemesisEvent is one fault event the scenario engine actually injected,
@@ -244,6 +265,20 @@ func buildReport(cfg Config, measured time.Duration, qs quorum.System, callers [
 	if nem != nil {
 		r.Nemesis = nem.report()
 	}
+	if kt, ok := tgt.(*kvTarget); ok {
+		if m, interval, budget, on := kt.compactionReport(); on {
+			r.Compaction = &CompactionReport{
+				Interval:         interval,
+				SlotBudget:       budget,
+				Checkpoints:      m.Checkpoints,
+				Truncations:      m.Truncations,
+				SlotsFreed:       m.SlotsFreed,
+				InstallsSent:     m.InstallsSent,
+				InstallsReceived: m.InstallsReceived,
+				PeakOccupancy:    m.PeakOccupancy,
+			}
+		}
+	}
 	return r
 }
 
@@ -313,6 +348,11 @@ func (r *Report) Text(w io.Writer) {
 			fmt.Fprintf(w, " %d", c)
 		}
 		fmt.Fprintln(w)
+	}
+	if c := r.Compaction; c != nil {
+		fmt.Fprintf(w, "compaction: interval=%d budget=%d checkpoints=%d truncations=%d freed=%d installs=%d/%d peak=%d\n",
+			c.Interval, c.SlotBudget, c.Checkpoints, c.Truncations, c.SlotsFreed,
+			c.InstallsSent, c.InstallsReceived, c.PeakOccupancy)
 	}
 	if r.MsgsSent > 0 {
 		fmt.Fprintf(w, "network: %d sent, %d delivered, %d dropped\n",
